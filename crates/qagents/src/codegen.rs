@@ -1,0 +1,76 @@
+//! The code-generation agent: the LLM plus its technique configuration.
+
+use qcir::diag::DiagCode;
+use qlm::model::{CodeLlm, GenConfig, Generation};
+use qlm::spec::TaskSpec;
+
+/// Agent #1 of Figure 1.
+#[derive(Debug, Clone)]
+pub struct CodeGenAgent {
+    llm: CodeLlm,
+    config: GenConfig,
+}
+
+impl CodeGenAgent {
+    /// Creates the agent with a model and configuration.
+    pub fn new(llm: CodeLlm, config: GenConfig) -> Self {
+        CodeGenAgent { llm, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GenConfig {
+        &self.config
+    }
+
+    /// First-pass generation for a task.
+    pub fn generate(&self, spec: &TaskSpec, seed: u64) -> Generation {
+        self.llm.generate(spec, &self.config, seed)
+    }
+
+    /// Repair pass: regenerate given the previous attempt and its error
+    /// trace (the multi-pass prompt template of §IV-A embeds the original
+    /// prompt, the previous code and the trace; mechanistically the model
+    /// keys on the diagnostic codes).
+    pub fn repair(
+        &self,
+        spec: &TaskSpec,
+        prev: &Generation,
+        trace_codes: &[DiagCode],
+        semantic_feedback: bool,
+        seed: u64,
+    ) -> Generation {
+        self.llm
+            .repair(spec, &self.config, prev, trace_codes, semantic_feedback, seed)
+    }
+
+    /// Renders the multi-pass repair prompt (for transcripts; the paper's
+    /// template: original prompt + generated code + error trace).
+    pub fn repair_prompt(spec: &TaskSpec, prev_source: &str, trace: &str) -> String {
+        format!(
+            "{}\n\nThe previous attempt was:\n```\n{}```\n\nIt failed with:\n{}\nFix the error and regenerate the full program.",
+            spec.prompt_text(),
+            prev_source,
+            trace
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_source() {
+        let agent = CodeGenAgent::new(CodeLlm::new(), GenConfig::fine_tuned());
+        let g = agent.generate(&TaskSpec::BellPair, 3);
+        assert!(g.source.contains("qreg"));
+    }
+
+    #[test]
+    fn repair_prompt_contains_all_pieces() {
+        let p = CodeGenAgent::repair_prompt(&TaskSpec::BellPair, "h q[0];\n", "error[E0002]");
+        assert!(p.contains("Bell pair"));
+        assert!(p.contains("h q[0];"));
+        assert!(p.contains("E0002"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # qagents — the multi-agent quantum code generation framework
+//!
+//! The paper's primary contribution (Figure 1): an orchestrator wiring
+//! three agents around a quantum-program developer's request.
+//!
+//! 1. [`codegen::CodeGenAgent`] — wraps the (simulated) code LLM with its
+//!    inference-time technique configuration (fine-tuning, RAG, CoT/SCoT).
+//! 2. [`semantic::SemanticAnalyzerAgent`] — parses, checks and simulates
+//!    the generated program against the task's reference behaviour,
+//!    producing the structured error trace the repair loop feeds back.
+//! 3. [`qec_agent::QecAgent`] — synthesizes a surface-code decoder from
+//!    the device topology and quantifies the noise reduction applied to
+//!    program executions (the paper's Figure 4 methodology).
+//!
+//! [`multipass`] implements the iterative multi-pass optimization (§IV-A)
+//! and [`orchestrator`] glues everything into a single pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use qagents::orchestrator::{Orchestrator, PipelineConfig};
+//! use qeval::suite::test_suite;
+//!
+//! let orchestrator = Orchestrator::new(PipelineConfig::default());
+//! let report = orchestrator.run_task(&test_suite()[0], 7);
+//! println!("{}", report.summary());
+//! ```
+
+pub mod agent;
+pub mod codegen;
+pub mod multipass;
+pub mod orchestrator;
+pub mod qec_agent;
+pub mod semantic;
+
+pub use orchestrator::{Orchestrator, PipelineConfig, PipelineReport};

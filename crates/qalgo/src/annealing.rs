@@ -1,0 +1,99 @@
+//! Trotterized quantum-annealing schedule for the transverse-field Ising
+//! model (TFIM) on a line.
+//!
+//! Interpolates `H(s) = -(1 - s) * sum_i X_i - s * sum_i Z_i Z_{i+1}` from
+//! `s = 0` to `s = 1`. With a slow enough schedule the final state
+//! concentrates on the ferromagnetic ground space {|0...0>, |1...1>}.
+
+use qcir::circuit::Circuit;
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Schedule {
+    /// Trotter steps.
+    pub steps: usize,
+    /// Time per step.
+    pub dt: f64,
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule { steps: 20, dt: 0.35 }
+    }
+}
+
+/// Builds the annealing circuit on `n` qubits with the given schedule,
+/// measuring at the end.
+///
+/// # Panics
+///
+/// Panics when `n == 0` or `schedule.steps == 0`.
+pub fn anneal_tfim(n: usize, schedule: Schedule) -> Circuit {
+    assert!(n >= 2, "annealing needs at least two qubits");
+    assert!(schedule.steps >= 1, "schedule needs at least one step");
+    let mut qc = Circuit::new(n, n);
+    // Start in the ground state of -sum X: |+...+>.
+    for q in 0..n {
+        qc.h(q);
+    }
+    for k in 1..=schedule.steps {
+        let s = k as f64 / schedule.steps as f64;
+        // ZZ coupling term: exp(i s dt Z Z) via CX - RZ - CX.
+        let zz_angle = -2.0 * s * schedule.dt;
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+            qc.rz(zz_angle, q + 1);
+            qc.cx(q, q + 1);
+        }
+        // Transverse-field term: exp(i (1-s) dt X).
+        let x_angle = -2.0 * (1.0 - s) * schedule.dt;
+        for q in 0..n {
+            qc.rx(x_angle, q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Fraction of probability mass on the two ferromagnetic ground states.
+pub fn ground_state_mass(dist: &qsim::dist::Distribution, n: usize) -> f64 {
+    dist.get(0) + dist.get((1u64 << n) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn slow_anneal_finds_ferromagnetic_ground_space() {
+        let qc = anneal_tfim(4, Schedule { steps: 30, dt: 0.4 });
+        let d = Executor::ideal_distribution(&qc, 0);
+        let mass = ground_state_mass(&d, 4);
+        assert!(mass > 0.6, "ground-space mass = {mass}");
+    }
+
+    #[test]
+    fn fast_anneal_is_worse_than_slow() {
+        let fast = Executor::ideal_distribution(&anneal_tfim(4, Schedule { steps: 2, dt: 0.4 }), 0);
+        let slow = Executor::ideal_distribution(&anneal_tfim(4, Schedule { steps: 30, dt: 0.4 }), 0);
+        assert!(
+            ground_state_mass(&slow, 4) > ground_state_mass(&fast, 4),
+            "adiabaticity should matter"
+        );
+    }
+
+    #[test]
+    fn symmetric_between_both_ground_states() {
+        let d = Executor::ideal_distribution(&anneal_tfim(3, Schedule::default()), 0);
+        let p0 = d.get(0);
+        let p7 = d.get(7);
+        assert!((p0 - p7).abs() < 1e-6, "p0 = {p0}, p7 = {p7}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_qubit() {
+        anneal_tfim(1, Schedule::default());
+    }
+}

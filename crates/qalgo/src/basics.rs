@@ -1,0 +1,208 @@
+//! Basic circuits: entangled-pair preparation, GHZ states, superposition,
+//! Bernstein–Vazirani and superdense coding.
+//!
+//! These back the "Basic" band of the evaluation suite (47% of tasks in the
+//! paper's split): circuit construction, simple entanglement and running on
+//! a device.
+
+use qcir::circuit::Circuit;
+
+/// A measured Bell pair: `H(0); CX(0,1); measure`.
+pub fn bell_pair() -> Circuit {
+    let mut qc = Circuit::new(2, 2);
+    qc.h(0).cx(0, 1).measure_all();
+    qc
+}
+
+/// An `n`-qubit GHZ state, measured.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 1, "ghz needs at least one qubit");
+    let mut qc = Circuit::new(n, n);
+    qc.h(0);
+    for q in 0..n - 1 {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Uniform superposition over `n` qubits, measured: every outcome equally
+/// likely.
+pub fn uniform_superposition(n: usize) -> Circuit {
+    let mut qc = Circuit::new(n, n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Prepares the computational basis state `value` on `n` qubits and
+/// measures (tests device X calibration / basic encoding).
+///
+/// # Panics
+///
+/// Panics when `value >= 2^n`.
+pub fn basis_state(n: usize, value: u64) -> Circuit {
+    assert!(value < (1 << n), "value out of range");
+    let mut qc = Circuit::new(n, n);
+    for q in 0..n {
+        if (value >> q) & 1 == 1 {
+            qc.x(q);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// Bernstein–Vazirani: recovers the secret mask `s` in one query.
+///
+/// Uses the phase-oracle form (CZ-free): the oracle is `CX(i, anc)` for
+/// every set bit of `s`, with the ancilla in |->. The top `n` bits measure
+/// to exactly `s`.
+///
+/// # Panics
+///
+/// Panics when `secret >= 2^n`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    assert!(secret < (1 << n), "secret out of range");
+    let anc = n;
+    let mut qc = Circuit::new(n + 1, n);
+    // Ancilla in |->.
+    qc.x(anc).h(anc);
+    for q in 0..n {
+        qc.h(q);
+    }
+    qc.barrier_all();
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            qc.cx(q, anc);
+        }
+    }
+    qc.barrier_all();
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// Superdense coding of the two-bit message `(b1, b0)`.
+///
+/// Alice and Bob share a Bell pair; Alice encodes two classical bits with
+/// one of {I, X, Z, XZ} on her half; Bob decodes. Measurement yields
+/// `b1 b0` deterministically.
+pub fn superdense(b1: bool, b0: bool) -> Circuit {
+    let mut qc = Circuit::new(2, 2);
+    // Shared entanglement.
+    qc.h(0).cx(0, 1);
+    qc.barrier_all();
+    // Alice encodes on qubit 0.
+    if b0 {
+        qc.x(0);
+    }
+    if b1 {
+        qc.z(0);
+    }
+    qc.barrier_all();
+    // Bob decodes.
+    qc.cx(0, 1).h(0);
+    qc.measure(0, 1); // phase bit
+    qc.measure(1, 0); // parity bit
+    qc
+}
+
+/// A parity (even-weight repetition) check: entangles `n` data qubits with
+/// one ancilla computing their parity.
+pub fn parity_check(n: usize) -> Circuit {
+    let anc = n;
+    let mut qc = Circuit::new(n + 1, 1);
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n {
+        qc.cx(q, anc);
+    }
+    qc.measure(anc, 0);
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn bell_pair_only_correlated_outcomes() {
+        let d = Executor::ideal_distribution(&bell_pair(), 0);
+        assert!((d.get(0b00) - 0.5).abs() < 1e-10);
+        assert!((d.get(0b11) - 0.5).abs() < 1e-10);
+        assert_eq!(d.get(0b01), 0.0);
+    }
+
+    #[test]
+    fn ghz_extremes_only() {
+        let d = Executor::ideal_distribution(&ghz(4), 0);
+        assert!((d.get(0b0000) - 0.5).abs() < 1e-10);
+        assert!((d.get(0b1111) - 0.5).abs() < 1e-10);
+        assert!((d.total_mass() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn uniform_superposition_is_flat() {
+        let d = Executor::ideal_distribution(&uniform_superposition(3), 0);
+        for word in 0..8u64 {
+            assert!((d.get(word) - 0.125).abs() < 1e-10, "word {word}");
+        }
+    }
+
+    #[test]
+    fn basis_state_is_deterministic() {
+        let d = Executor::ideal_distribution(&basis_state(4, 0b1010), 0);
+        assert!((d.get(0b1010) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        for secret in [0b000u64, 0b101, 0b111, 0b010] {
+            let d = Executor::ideal_distribution(&bernstein_vazirani(3, secret), 0);
+            assert!(
+                (d.get(secret) - 1.0).abs() < 1e-9,
+                "secret {secret:03b}: prob {}",
+                d.get(secret)
+            );
+        }
+    }
+
+    #[test]
+    fn superdense_transmits_both_bits() {
+        for (b1, b0) in [(false, false), (false, true), (true, false), (true, true)] {
+            let d = Executor::ideal_distribution(&superdense(b1, b0), 0);
+            let word = ((b1 as u64) << 1) | b0 as u64;
+            assert!(
+                (d.get(word) - 1.0).abs() < 1e-9,
+                "message ({b1},{b0}): dist {:?}",
+                d.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "secret out of range")]
+    fn bv_rejects_oversized_secret() {
+        bernstein_vazirani(2, 0b100);
+    }
+
+    #[test]
+    fn parity_check_balanced() {
+        let d = Executor::ideal_distribution(&parity_check(3), 0);
+        assert!((d.get(0) - 0.5).abs() < 1e-9);
+        assert!((d.get(1) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # qalgo — reference quantum algorithm library
+//!
+//! Ground-truth circuit constructions for every task in the evaluation
+//! suite. These play the role of the paper's "answer" half of its
+//! prompt–answer pairs: the grader compares the behaviour of LLM-generated
+//! programs against the circuits built here.
+//!
+//! The catalogue spans the paper's three difficulty bands (§III-B):
+//!
+//! * **Basic** — circuit construction and measurement: [`basics`].
+//! * **Intermediate** — well-known algorithms: [`dj`], [`grover`], [`qft`],
+//!   [`simon`], plus Shor order-finding in [`shor`].
+//! * **Advanced** — teleportation, quantum walks, annealing, phase
+//!   estimation: [`teleport`], [`walk`], [`annealing`], [`qpe`], [`vqe`].
+//!
+//! # Example
+//!
+//! ```
+//! let bell = qalgo::basics::bell_pair();
+//! assert_eq!(bell.num_qubits(), 2);
+//! let grover = qalgo::grover::grover(3, 0b101, None);
+//! assert!(grover.count_gate("h") > 0);
+//! ```
+
+pub mod annealing;
+pub mod basics;
+pub mod dj;
+pub mod grover;
+pub mod qft;
+pub mod qpe;
+pub mod shor;
+pub mod simon;
+pub mod teleport;
+pub mod vqe;
+pub mod walk;

@@ -1,0 +1,125 @@
+//! Quantum Fourier transform and its inverse.
+
+use qcir::circuit::Circuit;
+
+/// Appends the QFT over qubits `0..n` of `qc` (with the final bit-reversal
+/// swaps, matching the textbook definition).
+pub fn append_qft(qc: &mut Circuit, n: usize) {
+    for target in (0..n).rev() {
+        qc.h(target);
+        for control in (0..target).rev() {
+            let k = target - control;
+            let angle = std::f64::consts::PI / (1u64 << k) as f64;
+            qc.cp(angle, control, target);
+        }
+    }
+    for q in 0..n / 2 {
+        qc.swap(q, n - 1 - q);
+    }
+}
+
+/// Appends the inverse QFT over qubits `0..n`.
+pub fn append_iqft(qc: &mut Circuit, n: usize) {
+    for q in 0..n / 2 {
+        qc.swap(q, n - 1 - q);
+    }
+    for target in 0..n {
+        for control in 0..target {
+            let k = target - control;
+            let angle = -std::f64::consts::PI / (1u64 << k) as f64;
+            qc.cp(angle, control, target);
+        }
+        qc.h(target);
+    }
+}
+
+/// A standalone measured QFT circuit applied to the basis state `input`.
+///
+/// # Panics
+///
+/// Panics when `input >= 2^n`.
+pub fn qft_of_basis(n: usize, input: u64) -> Circuit {
+    assert!(input < (1 << n), "input out of range");
+    let mut qc = Circuit::new(n, n);
+    for q in 0..n {
+        if (input >> q) & 1 == 1 {
+            qc.x(q);
+        }
+    }
+    append_qft(&mut qc, n);
+    qc.measure_all();
+    qc
+}
+
+/// QFT followed by inverse QFT on a basis state — identity, used as a
+/// self-check workload.
+pub fn qft_round_trip(n: usize, input: u64) -> Circuit {
+    assert!(input < (1 << n), "input out of range");
+    let mut qc = Circuit::new(n, n);
+    for q in 0..n {
+        if (input >> q) & 1 == 1 {
+            qc.x(q);
+        }
+    }
+    append_qft(&mut qc, n);
+    append_iqft(&mut qc, n);
+    qc.measure_all();
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn qft_then_iqft_is_identity() {
+        for input in 0..8u64 {
+            let d = Executor::ideal_distribution(&qft_round_trip(3, input), 0);
+            assert!(
+                (d.get(input) - 1.0).abs() < 1e-9,
+                "input {input}: p = {}",
+                d.get(input)
+            );
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let d = Executor::ideal_distribution(&qft_of_basis(3, 0), 0);
+        for word in 0..8u64 {
+            assert!((d.get(word) - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qft_magnitudes_always_uniform_on_basis_input() {
+        // QFT of any basis state has uniform measurement probabilities.
+        let d = Executor::ideal_distribution(&qft_of_basis(3, 5), 0);
+        for word in 0..8u64 {
+            assert!((d.get(word) - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qft_unitary_matches_dft_matrix() {
+        use qcir::math::C64;
+        let n = 3;
+        let mut qc = Circuit::new(n, 0);
+        append_qft(&mut qc, n);
+        let u = qsim::state::circuit_unitary(&qc);
+        let dim = 1 << n;
+        let omega = 2.0 * std::f64::consts::PI / dim as f64;
+        let norm = 1.0 / (dim as f64).sqrt();
+        for row in 0..dim {
+            for col in 0..dim {
+                let expected = C64::cis(omega * (row * col) as f64) * norm;
+                assert!(
+                    u.get(row, col).approx_eq(expected, 1e-9),
+                    "({row},{col}): {} vs {expected}",
+                    u.get(row, col)
+                );
+            }
+        }
+    }
+}

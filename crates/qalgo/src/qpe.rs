@@ -1,0 +1,82 @@
+//! Quantum phase estimation of a single-qubit phase gate.
+
+use crate::qft::append_iqft;
+use qcir::circuit::Circuit;
+
+/// Estimates the phase `phi` of `P(2*pi*phi)` acting on |1>, using
+/// `t` counting qubits. The counting register (clbits `0..t`) concentrates
+/// on `round(phi * 2^t)` when `phi` has an exact `t`-bit expansion.
+///
+/// # Panics
+///
+/// Panics when `t == 0` or `phi` is outside `[0, 1)`.
+pub fn phase_estimation(t: usize, phi: f64) -> Circuit {
+    assert!(t >= 1, "need at least one counting qubit");
+    assert!((0.0..1.0).contains(&phi), "phi must be in [0, 1)");
+    let target = t;
+    let mut qc = Circuit::new(t + 1, t);
+    // Eigenstate |1> of P(theta).
+    qc.x(target);
+    for q in 0..t {
+        qc.h(q);
+    }
+    // Controlled-P(theta * 2^k) from counting qubit k.
+    let theta = 2.0 * std::f64::consts::PI * phi;
+    for k in 0..t {
+        let angle = theta * (1u64 << k) as f64;
+        qc.cp(angle, k, target);
+    }
+    append_iqft(&mut qc, t);
+    for q in 0..t {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// The expected counting-register word for an exactly-representable phase.
+pub fn expected_word(t: usize, phi: f64) -> u64 {
+    ((phi * (1u64 << t) as f64).round() as u64) % (1u64 << t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn exact_phases_are_deterministic() {
+        for (t, phi) in [(3, 0.125), (3, 0.5), (3, 0.625), (4, 0.3125)] {
+            let d = Executor::ideal_distribution(&phase_estimation(t, phi), 0);
+            let expected = expected_word(t, phi);
+            assert!(
+                (d.get(expected) - 1.0).abs() < 1e-6,
+                "t={t} phi={phi}: p({expected}) = {}",
+                d.get(expected)
+            );
+        }
+    }
+
+    #[test]
+    fn inexact_phase_concentrates_near_truth() {
+        let t = 4;
+        let phi = 0.3; // not exactly representable in 4 bits
+        let d = Executor::ideal_distribution(&phase_estimation(t, phi), 0);
+        let best = expected_word(t, phi); // round(0.3 * 16) = 5
+        assert_eq!(best, 5);
+        // The two nearest grid points carry the bulk of the mass.
+        let mass = d.get(4) + d.get(5) + d.get(6);
+        assert!(mass > 0.8, "mass near truth = {mass}");
+    }
+
+    #[test]
+    fn zero_phase_reads_zero() {
+        let d = Executor::ideal_distribution(&phase_estimation(3, 0.0), 0);
+        assert!((d.get(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in")]
+    fn rejects_out_of_range_phase() {
+        phase_estimation(3, 1.5);
+    }
+}

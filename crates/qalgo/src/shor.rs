@@ -1,0 +1,200 @@
+//! Shor order-finding for N = 15 (the standard compiled instance).
+//!
+//! The work register holds `|1>` (4 qubits) and the counting register drives
+//! controlled modular multiplications by `a^(2^k) mod 15`, followed by an
+//! inverse QFT. For `a = 7` the order is 4, so the 3-bit counting register
+//! collapses onto {0, 2, 4, 6} (phases k/4).
+
+use crate::qft::append_iqft;
+use qcir::circuit::Circuit;
+
+/// Valid coprime bases for N = 15.
+pub const VALID_BASES: [u64; 8] = [2, 4, 7, 8, 11, 13, 14, 1];
+
+/// Multiplicative order of `a` modulo 15.
+///
+/// # Panics
+///
+/// Panics when `gcd(a, 15) != 1`.
+pub fn order_mod_15(a: u64) -> u64 {
+    assert!(!a.is_multiple_of(3) && !a.is_multiple_of(5) && !a.is_multiple_of(15), "a must be coprime to 15");
+    let mut x = a % 15;
+    let mut r = 1;
+    while x != 1 {
+        x = (x * a) % 15;
+        r += 1;
+    }
+    r
+}
+
+/// Appends the controlled map `|y> -> |a * y mod 15>` on the 4 work qubits
+/// `work[0..4]`, controlled by `ctrl`, for `a` in the coprime set.
+///
+/// Uses the textbook permutation decomposition into controlled swaps and
+/// controlled X gates.
+///
+/// # Panics
+///
+/// Panics for unsupported `a`.
+fn controlled_mul_mod15(qc: &mut Circuit, ctrl: usize, work: [usize; 4], a: u64) {
+    match a {
+        1 => {}
+        2 | 13 => {
+            qc.cswap(ctrl, work[2], work[3]);
+            qc.cswap(ctrl, work[1], work[2]);
+            qc.cswap(ctrl, work[0], work[1]);
+            if a == 13 {
+                for w in work {
+                    qc.cx(ctrl, w);
+                }
+            }
+        }
+        7 | 8 => {
+            qc.cswap(ctrl, work[0], work[1]);
+            qc.cswap(ctrl, work[1], work[2]);
+            qc.cswap(ctrl, work[2], work[3]);
+            if a == 7 {
+                for w in work {
+                    qc.cx(ctrl, w);
+                }
+            }
+        }
+        4 | 11 => {
+            qc.cswap(ctrl, work[1], work[3]);
+            qc.cswap(ctrl, work[0], work[2]);
+            if a == 11 {
+                for w in work {
+                    qc.cx(ctrl, w);
+                }
+            }
+        }
+        14 => {
+            // 14 = 15 - 1: x -> -x mod 15 = bitwise complement on [1..14].
+            for w in work {
+                qc.cx(ctrl, w);
+            }
+        }
+        other => panic!("unsupported base {other} for mod-15 multiplication"),
+    }
+}
+
+/// Builds the order-finding circuit for `a` mod 15 with `t` counting qubits.
+///
+/// Counting qubits are `0..t` (measured into clbits `0..t`); work qubits are
+/// `t..t+4`.
+///
+/// # Panics
+///
+/// Panics when `a` is not coprime to 15 or `t == 0`.
+pub fn order_finding(a: u64, t: usize) -> Circuit {
+    assert!(t >= 1);
+    let _ = order_mod_15(a); // validates coprimality
+    let work = [t, t + 1, t + 2, t + 3];
+    let mut qc = Circuit::new(t + 4, t);
+    // Work register starts in |1>.
+    qc.x(work[0]);
+    for q in 0..t {
+        qc.h(q);
+    }
+    qc.barrier_all();
+    // Controlled-multiplications by a^(2^k).
+    let mut power = a % 15;
+    for k in 0..t {
+        controlled_mul_mod15(&mut qc, k, work, power);
+        power = (power * power) % 15;
+    }
+    qc.barrier_all();
+    append_iqft(&mut qc, t);
+    for q in 0..t {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// The standard instance the suite grades: a = 7, t = 3.
+pub fn shor_15_standard() -> Circuit {
+    order_finding(7, 3)
+}
+
+/// Extracts candidate orders from a measured counting word via the
+/// continued-fraction step (here: denominator of word/2^t in lowest terms).
+pub fn candidate_order(word: u64, t: usize) -> u64 {
+    if word == 0 {
+        return 1;
+    }
+    let denom = 1u64 << t;
+    let g = gcd(word, denom);
+    denom / g
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn orders_mod_15() {
+        assert_eq!(order_mod_15(7), 4);
+        assert_eq!(order_mod_15(2), 4);
+        assert_eq!(order_mod_15(4), 2);
+        assert_eq!(order_mod_15(11), 2);
+        assert_eq!(order_mod_15(14), 2);
+    }
+
+    #[test]
+    fn a7_counting_register_hits_quarters() {
+        let d = Executor::ideal_distribution(&shor_15_standard(), 0);
+        // Order 4 -> phases k/4 -> words {0, 2, 4, 6} each with p = 1/4.
+        for word in [0u64, 2, 4, 6] {
+            assert!(
+                (d.get(word) - 0.25).abs() < 1e-6,
+                "word {word}: p = {}",
+                d.get(word)
+            );
+        }
+        for word in [1u64, 3, 5, 7] {
+            assert!(d.get(word) < 1e-9, "word {word} should be empty");
+        }
+    }
+
+    #[test]
+    fn a4_has_order_two_peaks() {
+        let d = Executor::ideal_distribution(&order_finding(4, 3), 0);
+        // Order 2 -> phases {0, 1/2} -> words {0, 4}.
+        assert!((d.get(0) - 0.5).abs() < 1e-6);
+        assert!((d.get(4) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn candidate_order_recovers_four() {
+        assert_eq!(candidate_order(2, 3), 4); // 2/8 = 1/4
+        assert_eq!(candidate_order(6, 3), 4); // 6/8 = 3/4
+        assert_eq!(candidate_order(4, 3), 2); // 4/8 = 1/2
+        assert_eq!(candidate_order(0, 3), 1);
+    }
+
+    #[test]
+    fn order_divides_measured_candidates() {
+        let d = Executor::ideal_distribution(&shor_15_standard(), 0);
+        let r = order_mod_15(7);
+        for (word, p) in d.iter() {
+            if p > 1e-9 {
+                assert_eq!(r % candidate_order(word, 3), 0, "word {word}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn rejects_non_coprime_base() {
+        order_finding(5, 3);
+    }
+}

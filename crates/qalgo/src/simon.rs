@@ -1,0 +1,118 @@
+//! Simon's problem: find the hidden XOR mask `s` with O(n) quantum queries.
+
+use qcir::circuit::Circuit;
+
+/// Builds one Simon-sampling circuit for an `n`-bit secret `s`.
+///
+/// Input register: qubits `0..n`; output register: `n..2n`. The standard
+/// two-to-one oracle copies `x` into the output register, then — for
+/// non-zero `s` — erases the bit at the lowest set position of `s`,
+/// XOR-ing `s` in when that bit was 1 (giving `f(x) = f(x xor s)`).
+/// Measuring the input register after the final Hadamards yields `y` with
+/// `y . s = 0 (mod 2)` uniformly.
+///
+/// # Panics
+///
+/// Panics when `secret >= 2^n`.
+pub fn simon(n: usize, secret: u64) -> Circuit {
+    assert!(secret < (1 << n), "secret out of range");
+    let mut qc = Circuit::new(2 * n, n);
+    for q in 0..n {
+        qc.h(q);
+    }
+    qc.barrier_all();
+    // Copy x into the output register.
+    for q in 0..n {
+        qc.cx(q, n + q);
+    }
+    if secret != 0 {
+        let pivot = secret.trailing_zeros() as usize;
+        // XOR s into the output conditioned on x_pivot, which collapses the
+        // two preimages {x, x^s} onto the same image.
+        for q in 0..n {
+            if (secret >> q) & 1 == 1 {
+                qc.cx(pivot, n + q);
+            }
+        }
+    }
+    qc.barrier_all();
+    for q in 0..n {
+        qc.h(q);
+    }
+    for q in 0..n {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// Parity of `a & b` (the dot product mod 2 Simon's constraint uses).
+pub fn dot_mod2(a: u64, b: u64) -> u64 {
+    (a & b).count_ones() as u64 % 2
+}
+
+/// Solves for the secret from a set of measured constraint words by
+/// brute-force over all non-zero candidates (fine for suite-sized `n`).
+///
+/// Returns `None` when more than one non-zero candidate is consistent.
+pub fn solve_secret(n: usize, samples: &[u64]) -> Option<u64> {
+    let mut candidates: Vec<u64> = (1..(1u64 << n))
+        .filter(|&s| samples.iter().all(|&y| dot_mod2(y, s) == 0))
+        .collect();
+    if candidates.len() == 1 {
+        candidates.pop()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn all_outcomes_orthogonal_to_secret() {
+        for secret in [0b11u64, 0b10, 0b01] {
+            let d = Executor::ideal_distribution(&simon(2, secret), 0);
+            for (word, p) in d.iter() {
+                if p > 1e-9 {
+                    assert_eq!(dot_mod2(word, secret), 0, "secret {secret:02b}, word {word:02b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_bit_secret_constraints() {
+        let secret = 0b101u64;
+        let d = Executor::ideal_distribution(&simon(3, secret), 0);
+        let valid: Vec<u64> = d.iter().filter(|(_, p)| *p > 1e-9).map(|(w, _)| w).collect();
+        // Exactly half the words satisfy y.s = 0.
+        assert_eq!(valid.len(), 4);
+        for w in valid {
+            assert_eq!(dot_mod2(w, secret), 0);
+        }
+    }
+
+    #[test]
+    fn zero_secret_gives_uniform_outcomes() {
+        let d = Executor::ideal_distribution(&simon(2, 0), 0);
+        for word in 0..4u64 {
+            assert!((d.get(word) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solver_recovers_secret_from_support() {
+        let secret = 0b110u64;
+        let d = Executor::ideal_distribution(&simon(3, secret), 0);
+        let samples: Vec<u64> = d.iter().filter(|(_, p)| *p > 1e-9).map(|(w, _)| w).collect();
+        assert_eq!(solve_secret(3, &samples), Some(secret));
+    }
+
+    #[test]
+    fn solver_reports_ambiguity() {
+        // A single zero sample constrains nothing.
+        assert_eq!(solve_secret(3, &[0]), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Quantum teleportation with mid-circuit measurement and classically
+//! controlled corrections.
+
+use qcir::circuit::Circuit;
+use qcir::gate::Gate;
+
+/// Teleports the state `prep|0>` from qubit 0 to qubit 2.
+///
+/// Classical bits: `c0`/`c1` hold Alice's Bell-measurement outcomes, `c2`
+/// holds the final measurement of Bob's (teleported) qubit. Marginalized
+/// over `c0`/`c1`, the distribution of `c2` equals that of measuring
+/// `prep|0>` directly.
+///
+/// # Panics
+///
+/// Panics when `prep` is not a single-qubit gate.
+pub fn teleport(prep: Gate) -> Circuit {
+    assert_eq!(prep.num_qubits(), 1, "preparation gate must be single-qubit");
+    let mut qc = Circuit::new(3, 3);
+    // State to teleport.
+    qc.push_gate(prep, &[0]);
+    qc.barrier_all();
+    // Shared Bell pair between qubits 1 (Alice) and 2 (Bob).
+    qc.h(1).cx(1, 2);
+    qc.barrier_all();
+    // Alice's Bell measurement.
+    qc.cx(0, 1).h(0);
+    qc.measure(0, 0).measure(1, 1);
+    // Bob's corrections.
+    qc.cond_gate(Gate::X, &[2], 1, true);
+    qc.cond_gate(Gate::Z, &[2], 0, true);
+    qc.measure(2, 2);
+    qc
+}
+
+/// Teleports |1> — the deterministic grading workload (c2 is always 1).
+pub fn teleport_one() -> Circuit {
+    teleport(Gate::X)
+}
+
+/// Teleports |+> — c2 is uniform, but c0/c1 remain uniform too.
+pub fn teleport_plus() -> Circuit {
+    teleport(Gate::H)
+}
+
+/// Probability that classical bit 2 reads 1, marginalizing over c0/c1.
+pub fn prob_c2_one(counts: &qsim::dist::Counts) -> f64 {
+    let mut ones = 0u64;
+    for (word, count) in counts.iter() {
+        if (word >> 2) & 1 == 1 {
+            ones += count;
+        }
+    }
+    ones as f64 / counts.shots().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+
+    #[test]
+    fn teleporting_one_always_delivers_one() {
+        let counts = Executor::ideal().run(&teleport_one(), 2000, 17);
+        assert!((prob_c2_one(&counts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn teleporting_zero_always_delivers_zero() {
+        let counts = Executor::ideal().run(&teleport(Gate::Id), 2000, 18);
+        assert!(prob_c2_one(&counts) < 1e-12);
+    }
+
+    #[test]
+    fn teleporting_plus_is_unbiased() {
+        let counts = Executor::ideal().run(&teleport_plus(), 20_000, 19);
+        let p = prob_c2_one(&counts);
+        assert!((p - 0.5).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn teleporting_ry_preserves_amplitude() {
+        let theta = 1.234_f64;
+        let counts = Executor::ideal().run(&teleport(Gate::RY(theta)), 40_000, 20);
+        let p = prob_c2_one(&counts);
+        let expected = (theta / 2.0).sin().powi(2);
+        assert!((p - expected).abs() < 0.02, "p = {p}, expected {expected}");
+    }
+
+    #[test]
+    fn bell_measurement_outcomes_are_uniform() {
+        let counts = Executor::ideal().run(&teleport_one(), 20_000, 21);
+        for c0c1 in 0..4u64 {
+            let mass: u64 = counts
+                .iter()
+                .filter(|(w, _)| w & 0b11 == c0c1)
+                .map(|(_, c)| c)
+                .sum();
+            let p = mass as f64 / counts.shots() as f64;
+            assert!((p - 0.25).abs() < 0.02, "c1c0={c0c1:02b}: p = {p}");
+        }
+    }
+}

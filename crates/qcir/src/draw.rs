@@ -1,0 +1,237 @@
+//! ASCII circuit rendering.
+//!
+//! Produces a fixed-width textual diagram of a circuit, one row per qubit
+//! (plus a classical row when measurements exist). Used by the examples
+//! and agent transcripts to show generated programs visually.
+//!
+//! ```
+//! use qcir::circuit::Circuit;
+//! let mut bell = Circuit::new(2, 2);
+//! bell.h(0).cx(0, 1).measure_all();
+//! let art = qcir::draw::draw(&bell);
+//! assert!(art.contains("H"));
+//! assert!(art.contains("●"));
+//! ```
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::Gate;
+
+/// One rendered column: the glyph per qubit row.
+struct Column {
+    cells: Vec<String>,
+}
+
+/// Renders the circuit as ASCII art.
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    let mut columns: Vec<Column> = Vec::new();
+    // Per-qubit index of the last column that touched it (for packing).
+    let mut frontier = vec![0usize; n];
+
+    let place = |columns: &mut Vec<Column>,
+                     frontier: &mut Vec<usize>,
+                     qubits: &[usize],
+                     glyphs: Vec<(usize, String)>| {
+        let lo = *qubits.iter().min().expect("non-empty");
+        let hi = *qubits.iter().max().expect("non-empty");
+        // The occupied span is the full vertical range (connectors).
+        let col_idx = (lo..=hi).map(|q| frontier[q]).max().unwrap_or(0);
+        while columns.len() <= col_idx {
+            columns.push(Column {
+                cells: vec![String::new(); n],
+            });
+        }
+        let col = &mut columns[col_idx];
+        // Vertical connector through the span.
+        for q in lo..=hi {
+            if col.cells[q].is_empty() {
+                col.cells[q] = "│".to_string();
+            }
+        }
+        for (q, g) in glyphs {
+            col.cells[q] = g;
+        }
+        for f in frontier.iter_mut().take(hi + 1).skip(lo) {
+            *f = col_idx + 1;
+        }
+    };
+
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, qubits } | Op::CondGate { gate, qubits, .. } => {
+                let glyphs = gate_glyphs(gate, qubits);
+                let mut rendered: Vec<(usize, String)> = glyphs;
+                if let Op::CondGate { clbit, value, .. } = op {
+                    // Annotate the first glyph with the condition.
+                    if let Some(first) = rendered.first_mut() {
+                        first.1 = format!("{}?c{}={}", first.1, clbit, u8::from(*value));
+                    }
+                }
+                place(&mut columns, &mut frontier, qubits, rendered);
+            }
+            Op::Measure { qubit, clbit } => {
+                place(
+                    &mut columns,
+                    &mut frontier,
+                    &[*qubit],
+                    vec![(*qubit, format!("M→c{clbit}"))],
+                );
+            }
+            Op::Reset { qubit } => {
+                place(
+                    &mut columns,
+                    &mut frontier,
+                    &[*qubit],
+                    vec![(*qubit, "|0⟩".to_string())],
+                );
+            }
+            Op::Barrier { qubits } => {
+                if qubits.is_empty() {
+                    continue;
+                }
+                let glyphs = qubits.iter().map(|&q| (q, "░".to_string())).collect();
+                place(&mut columns, &mut frontier, qubits, glyphs);
+            }
+        }
+    }
+
+    // Column widths.
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|c| c.cells.iter().map(|s| s.chars().count()).max().unwrap_or(1).max(1))
+        .collect();
+    let mut out = String::new();
+    for q in 0..n {
+        out.push_str(&format!("q{q:<2}: "));
+        for (col, width) in columns.iter().zip(&widths) {
+            let cell = &col.cells[q];
+            if cell.is_empty() {
+                // Plain wire.
+                out.push_str(&"─".repeat(width + 2));
+            } else {
+                let pad = width - cell.chars().count();
+                let left = pad / 2;
+                let right = pad - left;
+                out.push('─');
+                out.push_str(&"─".repeat(left));
+                out.push_str(cell);
+                out.push_str(&"─".repeat(right));
+                out.push('─');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Glyphs for a gate: controls get `●`, targets get their symbol.
+fn gate_glyphs(gate: &Gate, qubits: &[usize]) -> Vec<(usize, String)> {
+    use Gate::*;
+    match gate {
+        CX => vec![(qubits[0], "●".into()), (qubits[1], "⊕".into())],
+        CY => vec![(qubits[0], "●".into()), (qubits[1], "Y".into())],
+        CZ => vec![(qubits[0], "●".into()), (qubits[1], "●".into())],
+        CH => vec![(qubits[0], "●".into()), (qubits[1], "H".into())],
+        CCX => vec![
+            (qubits[0], "●".into()),
+            (qubits[1], "●".into()),
+            (qubits[2], "⊕".into()),
+        ],
+        CSWAP => vec![
+            (qubits[0], "●".into()),
+            (qubits[1], "✕".into()),
+            (qubits[2], "✕".into()),
+        ],
+        SWAP => vec![(qubits[0], "✕".into()), (qubits[1], "✕".into())],
+        CRX(a) | CRY(a) | CRZ(a) | CP(a) => {
+            let name = gate.name().to_uppercase();
+            vec![
+                (qubits[0], "●".into()),
+                (qubits[1], format!("{}({a:.2})", &name[1..])),
+            ]
+        }
+        RX(a) | RY(a) | RZ(a) | P(a) => {
+            vec![(qubits[0], format!("{}({a:.2})", gate.name().to_uppercase()))]
+        }
+        U(t, p, l) => vec![(qubits[0], format!("U({t:.2},{p:.2},{l:.2})"))],
+        g => vec![(qubits[0], g.name().to_uppercase())],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_diagram_has_expected_glyphs() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        let art = draw(&qc);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('H'), "{art}");
+        assert!(art.contains('●'), "{art}");
+        assert!(art.contains('⊕'), "{art}");
+        assert!(art.contains("M→c0"), "{art}");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).h(1);
+        let art = draw(&qc);
+        // Both H's land in the same column: each row has exactly one H and
+        // the rows are the same length.
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count());
+        let col0 = lines[0].chars().position(|c| c == 'H');
+        let col1 = lines[1].chars().position(|c| c == 'H');
+        assert_eq!(col0, col1, "{art}");
+    }
+
+    #[test]
+    fn ccx_draws_two_controls() {
+        let mut qc = Circuit::new(3, 0);
+        qc.ccx(0, 1, 2);
+        let art = draw(&qc);
+        assert_eq!(art.matches('●').count(), 2);
+        assert_eq!(art.matches('⊕').count(), 1);
+    }
+
+    #[test]
+    fn connector_spans_gap_qubits() {
+        let mut qc = Circuit::new(3, 0);
+        qc.cx(0, 2);
+        let art = draw(&qc);
+        let mid = art.lines().nth(1).expect("3 rows");
+        assert!(mid.contains('│'), "{art}");
+    }
+
+    #[test]
+    fn conditional_annotation() {
+        let mut qc = Circuit::new(1, 1);
+        qc.measure(0, 0);
+        qc.cond_gate(crate::gate::Gate::X, &[0], 0, true);
+        let art = draw(&qc);
+        assert!(art.contains("X?c0=1"), "{art}");
+    }
+
+    #[test]
+    fn rotation_angles_are_rendered() {
+        let mut qc = Circuit::new(1, 0);
+        qc.rz(0.5, 0);
+        let art = draw(&qc);
+        assert!(art.contains("RZ(0.50)"), "{art}");
+    }
+
+    #[test]
+    fn empty_circuit_is_empty_art() {
+        let qc = Circuit::new(0, 0);
+        assert!(draw(&qc).is_empty());
+        let wire_only = Circuit::new(2, 0);
+        let art = draw(&wire_only);
+        assert_eq!(art.lines().count(), 2);
+    }
+}

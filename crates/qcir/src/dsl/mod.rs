@@ -1,0 +1,32 @@
+//! The QasmLite language: lexer, AST and parser.
+//!
+//! QasmLite is a small OpenQASM-flavoured language with one addition that
+//! matters for this reproduction: **versioned imports**. A program begins
+//! with `import qasmlite <version>;` and the semantic checker resolves every
+//! gate name against that version's API surface, which is how
+//! import/deprecation errors — the dominant LLM failure mode the paper
+//! reports — arise mechanically here.
+//!
+//! ```text
+//! import qasmlite 2.1;
+//! qreg q[2];
+//! creg c[2];
+//! h q[0];
+//! cx q[0], q[1];
+//! measure q -> c;
+//! ```
+//!
+//! Subroutines (`gate` definitions) model the "oracle" structure of
+//! algorithm tasks:
+//!
+//! ```text
+//! gate oracle a, b { cx a, b; }
+//! oracle q[0], q[1];
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, GateApp, Item, Operand, Program, RegKind, Stmt};
+pub use parser::parse;

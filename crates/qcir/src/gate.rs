@@ -1,0 +1,431 @@
+//! The QasmLite gate set.
+//!
+//! Each [`Gate`] knows its arity, parameters, canonical (current-version)
+//! name, inverse and unitary matrix. The set mirrors the Qiskit standard
+//! library closely enough that the corruption channels in `qlm` can emit the
+//! same class of mistakes an LLM makes against Qiskit (deprecated aliases,
+//! wrong parameter counts, bad arity).
+
+use crate::math::{C64, FRAC_1_SQRT_2, Matrix};
+use std::fmt;
+
+/// A quantum gate with bound parameters.
+///
+/// ```
+/// use qcir::gate::Gate;
+/// assert_eq!(Gate::H.num_qubits(), 1);
+/// assert_eq!(Gate::CX.num_qubits(), 2);
+/// assert_eq!(Gate::RZ(0.5).inverse(), Gate::RZ(-0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Identity (explicit no-op; kept because noise attaches to it).
+    Id,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = sqrt(Z).
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T = sqrt(S).
+    T,
+    /// T-dagger.
+    Tdg,
+    /// sqrt(X).
+    SX,
+    /// X-rotation by the given angle.
+    RX(f64),
+    /// Y-rotation by the given angle.
+    RY(f64),
+    /// Z-rotation by the given angle.
+    RZ(f64),
+    /// Phase rotation `diag(1, e^{i lambda})`.
+    P(f64),
+    /// General single-qubit unitary `U(theta, phi, lambda)`.
+    U(f64, f64, f64),
+    /// Controlled-X.
+    CX,
+    /// Controlled-Y.
+    CY,
+    /// Controlled-Z.
+    CZ,
+    /// Controlled-H.
+    CH,
+    /// Swap.
+    SWAP,
+    /// Controlled RX.
+    CRX(f64),
+    /// Controlled RY.
+    CRY(f64),
+    /// Controlled RZ.
+    CRZ(f64),
+    /// Controlled phase.
+    CP(f64),
+    /// Toffoli (CCX).
+    CCX,
+    /// Controlled swap (Fredkin).
+    CSWAP,
+}
+
+impl Gate {
+    /// Number of qubits this gate acts on.
+    pub fn num_qubits(&self) -> usize {
+        use Gate::*;
+        match self {
+            Id | H | X | Y | Z | S | Sdg | T | Tdg | SX | RX(_) | RY(_) | RZ(_) | P(_)
+            | U(..) => 1,
+            CX | CY | CZ | CH | SWAP | CRX(_) | CRY(_) | CRZ(_) | CP(_) => 2,
+            CCX | CSWAP => 3,
+        }
+    }
+
+    /// Number of angle parameters the gate carries.
+    pub fn num_params(&self) -> usize {
+        use Gate::*;
+        match self {
+            RX(_) | RY(_) | RZ(_) | P(_) | CRX(_) | CRY(_) | CRZ(_) | CP(_) => 1,
+            U(..) => 3,
+            _ => 0,
+        }
+    }
+
+    /// The gate's parameters in declaration order.
+    pub fn params(&self) -> Vec<f64> {
+        use Gate::*;
+        match *self {
+            RX(a) | RY(a) | RZ(a) | P(a) | CRX(a) | CRY(a) | CRZ(a) | CP(a) => vec![a],
+            U(t, p, l) => vec![t, p, l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Canonical (current library version) lowercase name.
+    pub fn name(&self) -> &'static str {
+        use Gate::*;
+        match self {
+            Id => "id",
+            H => "h",
+            X => "x",
+            Y => "y",
+            Z => "z",
+            S => "s",
+            Sdg => "sdg",
+            T => "t",
+            Tdg => "tdg",
+            SX => "sx",
+            RX(_) => "rx",
+            RY(_) => "ry",
+            RZ(_) => "rz",
+            P(_) => "p",
+            U(..) => "u",
+            CX => "cx",
+            CY => "cy",
+            CZ => "cz",
+            CH => "ch",
+            SWAP => "swap",
+            CRX(_) => "crx",
+            CRY(_) => "cry",
+            CRZ(_) => "crz",
+            CP(_) => "cp",
+            CCX => "ccx",
+            CSWAP => "cswap",
+        }
+    }
+
+    /// Constructs a gate from a canonical name and parameter list.
+    ///
+    /// Returns `None` for unknown names or wrong parameter counts; callers in
+    /// the checker convert that into a diagnostic rather than a panic.
+    pub fn from_name(name: &str, params: &[f64]) -> Option<Gate> {
+        use Gate::*;
+        let gate = match (name, params.len()) {
+            ("id", 0) => Id,
+            ("h", 0) => H,
+            ("x", 0) => X,
+            ("y", 0) => Y,
+            ("z", 0) => Z,
+            ("s", 0) => S,
+            ("sdg", 0) => Sdg,
+            ("t", 0) => T,
+            ("tdg", 0) => Tdg,
+            ("sx", 0) => SX,
+            ("rx", 1) => RX(params[0]),
+            ("ry", 1) => RY(params[0]),
+            ("rz", 1) => RZ(params[0]),
+            ("p", 1) => P(params[0]),
+            ("u", 3) => U(params[0], params[1], params[2]),
+            ("cx", 0) => CX,
+            ("cy", 0) => CY,
+            ("cz", 0) => CZ,
+            ("ch", 0) => CH,
+            ("swap", 0) => SWAP,
+            ("crx", 1) => CRX(params[0]),
+            ("cry", 1) => CRY(params[0]),
+            ("crz", 1) => CRZ(params[0]),
+            ("cp", 1) => CP(params[0]),
+            ("ccx", 0) => CCX,
+            ("cswap", 0) => CSWAP,
+            _ => return None,
+        };
+        Some(gate)
+    }
+
+    /// The inverse gate.
+    pub fn inverse(&self) -> Gate {
+        use Gate::*;
+        match *self {
+            S => Sdg,
+            Sdg => S,
+            T => Tdg,
+            Tdg => T,
+            // SX^dagger equals U(pi/2, pi/2, -pi/2) up to global phase.
+            SX => U(
+                std::f64::consts::FRAC_PI_2,
+                std::f64::consts::FRAC_PI_2,
+                -std::f64::consts::FRAC_PI_2,
+            ),
+            RX(a) => RX(-a),
+            RY(a) => RY(-a),
+            RZ(a) => RZ(-a),
+            P(a) => P(-a),
+            U(t, p, l) => U(-t, -l, -p),
+            CRX(a) => CRX(-a),
+            CRY(a) => CRY(-a),
+            CRZ(a) => CRZ(-a),
+            CP(a) => CP(-a),
+            g => g, // self-inverse: Id, H, X, Y, Z, CX, CY, CZ, CH, SWAP, CCX, CSWAP
+        }
+    }
+
+    /// `true` when the gate is in the Clifford group (stabilizer-simulable).
+    pub fn is_clifford(&self) -> bool {
+        use Gate::*;
+        matches!(self, Id | H | X | Y | Z | S | Sdg | SX | CX | CY | CZ | SWAP)
+    }
+
+    /// The gate's unitary as a dense matrix over its own qubits.
+    ///
+    /// Qubit 0 of the gate is the **most significant** bit of the matrix
+    /// index (big-endian), matching the convention used by the executor.
+    pub fn matrix(&self) -> Matrix {
+        use Gate::*;
+        let z = C64::ZERO;
+        let o = C64::ONE;
+        let i = C64::I;
+        let h = C64::real(FRAC_1_SQRT_2);
+        match *self {
+            Id => Matrix::identity(2),
+            H => Matrix::from_rows(2, &[h, h, h, -h]),
+            X => Matrix::from_rows(2, &[z, o, o, z]),
+            Y => Matrix::from_rows(2, &[z, -i, i, z]),
+            Z => Matrix::from_rows(2, &[o, z, z, -o]),
+            S => Matrix::from_rows(2, &[o, z, z, i]),
+            Sdg => Matrix::from_rows(2, &[o, z, z, -i]),
+            T => Matrix::from_rows(2, &[o, z, z, C64::cis(std::f64::consts::FRAC_PI_4)]),
+            Tdg => Matrix::from_rows(2, &[o, z, z, C64::cis(-std::f64::consts::FRAC_PI_4)]),
+            SX => {
+                let a = C64::new(0.5, 0.5);
+                let b = C64::new(0.5, -0.5);
+                Matrix::from_rows(2, &[a, b, b, a])
+            }
+            RX(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::new(0.0, -(t / 2.0).sin());
+                Matrix::from_rows(2, &[c, s, s, c])
+            }
+            RY(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::real((t / 2.0).sin());
+                Matrix::from_rows(2, &[c, -s, s, c])
+            }
+            RZ(t) => Matrix::from_rows(
+                2,
+                &[C64::cis(-t / 2.0), z, z, C64::cis(t / 2.0)],
+            ),
+            P(l) => Matrix::from_rows(2, &[o, z, z, C64::cis(l)]),
+            U(t, p, l) => {
+                let ct = C64::real((t / 2.0).cos());
+                let st = (t / 2.0).sin();
+                Matrix::from_rows(
+                    2,
+                    &[
+                        ct,
+                        C64::cis(l) * (-st),
+                        C64::cis(p) * st,
+                        C64::cis(p + l) * ct,
+                    ],
+                )
+            }
+            CX | CY | CZ | CH | CRX(_) | CRY(_) | CRZ(_) | CP(_) => {
+                let target = match *self {
+                    CX => X,
+                    CY => Y,
+                    CZ => Z,
+                    CH => H,
+                    CRX(a) => RX(a),
+                    CRY(a) => RY(a),
+                    CRZ(a) => RZ(a),
+                    CP(a) => P(a),
+                    _ => unreachable!(),
+                };
+                controlled(&target.matrix())
+            }
+            SWAP => {
+                let mut m = Matrix::zeros(4);
+                m[(0, 0)] = o;
+                m[(1, 2)] = o;
+                m[(2, 1)] = o;
+                m[(3, 3)] = o;
+                m
+            }
+            CCX => {
+                let mut m = Matrix::identity(8);
+                m[(6, 6)] = z;
+                m[(7, 7)] = z;
+                m[(6, 7)] = o;
+                m[(7, 6)] = o;
+                m
+            }
+            CSWAP => {
+                let mut m = Matrix::identity(8);
+                m[(5, 5)] = z;
+                m[(6, 6)] = z;
+                m[(5, 6)] = o;
+                m[(6, 5)] = o;
+                m
+            }
+        }
+    }
+}
+
+/// Embeds a single-qubit unitary as a controlled two-qubit unitary, control
+/// on the first (most significant) qubit.
+fn controlled(u: &Matrix) -> Matrix {
+    assert_eq!(u.dim(), 2);
+    let mut m = Matrix::identity(4);
+    for r in 0..2 {
+        for c in 0..2 {
+            m[(2 + r, 2 + c)] = u.get(r, c);
+        }
+    }
+    m[(2, 3)] = u.get(0, 1);
+    m[(3, 2)] = u.get(1, 0);
+    m[(2, 2)] = u.get(0, 0);
+    m[(3, 3)] = u.get(1, 1);
+    m
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+            write!(f, "{}({})", self.name(), rendered.join(", "))
+        }
+    }
+}
+
+/// Iterates over every parameterless gate (used by property tests and the
+/// corruption channels to pick substitutes).
+pub fn all_parameterless() -> Vec<Gate> {
+    use Gate::*;
+    vec![
+        Id, H, X, Y, Z, S, Sdg, T, Tdg, SX, CX, CY, CZ, CH, SWAP, CCX, CSWAP,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        let mut gates = all_parameterless();
+        gates.extend([
+            Gate::RX(0.3),
+            Gate::RY(1.1),
+            Gate::RZ(-0.7),
+            Gate::P(2.2),
+            Gate::U(0.4, 1.3, -0.9),
+            Gate::CRX(0.3),
+            Gate::CRY(0.5),
+            Gate::CRZ(-1.3),
+            Gate::CP(0.8),
+        ]);
+        for g in gates {
+            let m = g.matrix();
+            assert!(m.is_unitary(1e-10), "{g} is not unitary");
+            assert_eq!(m.dim(), 1 << g.num_qubits());
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let gates = [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::SX,
+            Gate::RX(0.37),
+            Gate::RZ(-1.2),
+            Gate::U(0.4, 1.3, -0.9),
+            Gate::CX,
+            Gate::CRZ(0.6),
+            Gate::CCX,
+            Gate::CSWAP,
+        ];
+        for g in gates {
+            let m = g.matrix().matmul(&g.inverse().matrix());
+            let id = Matrix::identity(m.dim());
+            assert!(
+                m.approx_eq_up_to_phase(&id, 1e-9),
+                "{g} * inverse != identity"
+            );
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for g in all_parameterless() {
+            let back = Gate::from_name(g.name(), &[]).expect("known name");
+            assert_eq!(back, g);
+        }
+        let rz = Gate::RZ(0.25);
+        assert_eq!(Gate::from_name("rz", &[0.25]), Some(rz));
+        assert_eq!(Gate::from_name("rz", &[]), None);
+        assert_eq!(Gate::from_name("nope", &[]), None);
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H.is_clifford());
+        assert!(Gate::CX.is_clifford());
+        assert!(Gate::S.is_clifford());
+        assert!(!Gate::T.is_clifford());
+        assert!(!Gate::CCX.is_clifford());
+        assert!(!Gate::RZ(0.1).is_clifford());
+    }
+
+    #[test]
+    fn ccx_flips_target_only_when_both_controls_set() {
+        let m = Gate::CCX.matrix();
+        // |110> -> |111>
+        assert!(m.get(7, 6).approx_eq(C64::ONE, 1e-12));
+        // |100> unchanged
+        assert!(m.get(4, 4).approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn display_includes_params() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::RZ(0.5).to_string(), "rz(0.5)");
+    }
+}

@@ -1,0 +1,416 @@
+//! Minimal complex arithmetic and small dense matrices.
+//!
+//! The simulator crates need nothing more than `f64` complex numbers and
+//! row-major `2^k x 2^k` matrices for `k <= 3`, so we implement exactly that
+//! instead of pulling in an external linear-algebra dependency.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use qcir::math::C64;
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns `true` when both components are within `tol` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+/// A dense, row-major, square complex matrix.
+///
+/// Used for gate unitaries (dimension 2, 4 or 8) and for unitary-equivalence
+/// checks in the grader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    dim: usize,
+    data: Vec<C64>,
+}
+
+impl Matrix {
+    /// Creates a `dim x dim` zero matrix.
+    pub fn zeros(dim: usize) -> Self {
+        Matrix {
+            dim,
+            data: vec![C64::ZERO; dim * dim],
+        }
+    }
+
+    /// Creates the `dim x dim` identity matrix.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Matrix::zeros(dim);
+        for i in 0..dim {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != dim * dim`.
+    pub fn from_rows(dim: usize, data: &[C64]) -> Self {
+        assert_eq!(data.len(), dim * dim, "matrix data length mismatch");
+        Matrix {
+            dim,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Matrix dimension (number of rows = columns).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row-major element access without bounds checks beyond slice indexing.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> C64 {
+        self.data[row * self.dim + col]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.dim, rhs.dim, "matmul dimension mismatch");
+        let n = self.dim;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.get(i, k);
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * rhs.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Matrix {
+        let n = self.dim;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self.get(i, j).conj();
+            }
+        }
+        out
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let n = self.dim;
+        let m = rhs.dim;
+        let mut out = Matrix::zeros(n * m);
+        for i in 0..n {
+            for j in 0..n {
+                let a = self.get(i, j);
+                if a == C64::ZERO {
+                    continue;
+                }
+                for k in 0..m {
+                    for l in 0..m {
+                        out[(i * m + k, j * m + l)] = a * rhs.get(k, l);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` when `self` is unitary within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = self.dagger().matmul(self);
+        let id = Matrix::identity(self.dim);
+        prod.approx_eq(&id, tol)
+    }
+
+    /// Element-wise approximate equality.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Approximate equality up to a global phase: finds the phase aligning
+    /// the largest element and compares.
+    pub fn approx_eq_up_to_phase(&self, other: &Matrix, tol: f64) -> bool {
+        if self.dim != other.dim {
+            return false;
+        }
+        // Find the element of `other` with the largest modulus to fix phase.
+        let mut best = 0;
+        let mut best_abs = 0.0;
+        for (idx, z) in other.data.iter().enumerate() {
+            let a = z.abs();
+            if a > best_abs {
+                best_abs = a;
+                best = idx;
+            }
+        }
+        if best_abs <= tol {
+            // `other` is (numerically) zero; compare directly.
+            return self.approx_eq(other, tol);
+        }
+        let a = self.data[best];
+        let b = other.data[best];
+        if a.abs() <= tol {
+            return false;
+        }
+        // phase = a / b, normalised to unit modulus.
+        let phase = a * b.conj() / (b.abs() * a.abs());
+        let scaled: Vec<C64> = other.data.iter().map(|z| *z * phase * (a.abs() / b.abs())).collect();
+        self.data
+            .iter()
+            .zip(&scaled)
+            .all(|(x, y)| x.approx_eq(*y, tol))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &C64 {
+        &self.data[row * self.dim + col]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut C64 {
+        &mut self.data[row * self.dim + col]
+    }
+}
+
+/// `1/sqrt(2)`, used throughout gate definitions.
+pub const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_arithmetic_basics() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        assert!((a.norm_sqr() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.5;
+            let z = C64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_is_unitary() {
+        assert!(Matrix::identity(4).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn matmul_with_identity_is_noop() {
+        let h = Matrix::from_rows(
+            2,
+            &[
+                C64::real(FRAC_1_SQRT_2),
+                C64::real(FRAC_1_SQRT_2),
+                C64::real(FRAC_1_SQRT_2),
+                C64::real(-FRAC_1_SQRT_2),
+            ],
+        );
+        let id = Matrix::identity(2);
+        assert!(h.matmul(&id).approx_eq(&h, 1e-12));
+        assert!(id.matmul(&h).approx_eq(&h, 1e-12));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        let h = Matrix::from_rows(
+            2,
+            &[
+                C64::real(FRAC_1_SQRT_2),
+                C64::real(FRAC_1_SQRT_2),
+                C64::real(FRAC_1_SQRT_2),
+                C64::real(-FRAC_1_SQRT_2),
+            ],
+        );
+        assert!(h.matmul(&h).approx_eq(&Matrix::identity(2), 1e-12));
+        assert!(h.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(4);
+        assert_eq!(a.kron(&b).dim(), 8);
+    }
+
+    #[test]
+    fn phase_insensitive_comparison() {
+        let id = Matrix::identity(2);
+        let mut phased = Matrix::zeros(2);
+        let phase = C64::cis(0.7);
+        phased[(0, 0)] = phase;
+        phased[(1, 1)] = phase;
+        assert!(!id.approx_eq(&phased, 1e-9));
+        assert!(id.approx_eq_up_to_phase(&phased, 1e-9));
+    }
+}

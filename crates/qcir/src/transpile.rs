@@ -1,0 +1,548 @@
+//! Transpilation: decompose to the `{CX, U}` basis and optimize.
+//!
+//! The QEC agent's device-targeting path (and the router in `qec::route`)
+//! needs circuits whose multi-qubit content is CX-only. This module
+//! provides:
+//!
+//! * [`decompose_to_basis`] — rewrite every gate into CX plus single-qubit
+//!   gates (controlled gates via the ABC decomposition, Toffoli via the
+//!   standard 6-CX network, SWAP via 3 CX);
+//! * [`merge_single_qubit_runs`] — fuse runs of adjacent single-qubit
+//!   gates into one `U(theta, phi, lambda)` by matrix composition + ZYZ
+//!   extraction (also drops identity runs);
+//! * [`cancel_inverse_pairs`] — remove adjacent gate/inverse pairs;
+//! * [`transpile`] — the full pipeline, unitary-equivalence-preserving up
+//!   to global phase (property-tested).
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::Gate;
+use crate::math::Matrix;
+#[cfg(test)]
+use crate::math::C64;
+
+/// Extracted ZYZ angles: `m = e^{i alpha} Rz(phi) Ry(theta) Rz(lambda)`,
+/// equivalently `m = e^{i(alpha - (phi+lambda)/2)} U(theta, phi, lambda)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zyz {
+    /// Ry angle.
+    pub theta: f64,
+    /// Leading Rz angle.
+    pub phi: f64,
+    /// Trailing Rz angle.
+    pub lambda: f64,
+    /// Global phase.
+    pub alpha: f64,
+}
+
+/// Extracts ZYZ angles from a single-qubit unitary.
+///
+/// # Panics
+///
+/// Panics when `m` is not 2x2.
+pub fn zyz_decompose(m: &Matrix) -> Zyz {
+    assert_eq!(m.dim(), 2, "zyz needs a single-qubit unitary");
+    let m00 = m.get(0, 0);
+    let m01 = m.get(0, 1);
+    let m10 = m.get(1, 0);
+    let m11 = m.get(1, 1);
+    let c = m00.abs().clamp(0.0, 1.0);
+    let s = m10.abs().clamp(0.0, 1.0);
+    // atan2 avoids the acos precision cliff near theta = 0 and pi.
+    let theta = 2.0 * s.atan2(c);
+    if s < 1e-9 {
+        // Diagonal (up to phase): theta = 0, fold everything into lambda.
+        let alpha = m00.im.atan2(m00.re);
+        let lambda = m11.im.atan2(m11.re) - alpha;
+        return Zyz {
+            theta: 0.0,
+            phi: 0.0,
+            lambda,
+            alpha: alpha + lambda / 2.0,
+        };
+    }
+    if c < 1e-9 {
+        // Anti-diagonal: theta = pi.
+        let alpha = m10.im.atan2(m10.re);
+        let phi_minus: f64 = {
+            let z = -m01;
+            z.im.atan2(z.re) - alpha
+        };
+        // With theta = pi: m10 = e^{i(alpha + (phi - lambda)/2)} * 1 ... fold
+        // the freedom into phi, set lambda = 0.
+        return Zyz {
+            theta: std::f64::consts::PI,
+            phi: -phi_minus,
+            lambda: 0.0,
+            // alpha_global = (arg(m10) + arg(-m01)) / 2.
+            alpha: alpha + phi_minus / 2.0,
+        };
+    }
+    // General: m00 = e^{i(alpha - phi/2 - lambda/2)} cos(theta/2)
+    //          m10 = e^{i(alpha + phi/2 - lambda/2)} sin(theta/2)
+    //          m01 = -e^{i(alpha - phi/2 + lambda/2)} sin(theta/2)
+    let a00 = m00.im.atan2(m00.re);
+    let a10 = m10.im.atan2(m10.re);
+    let a01 = {
+        let z = -m01;
+        z.im.atan2(z.re)
+    };
+    let phi = a10 - a00;
+    let lambda = a01 - a00;
+    let alpha = a00 + phi / 2.0 + lambda / 2.0;
+    Zyz {
+        theta,
+        phi,
+        lambda,
+        alpha,
+    }
+}
+
+impl Zyz {
+    /// The equivalent `U` gate (global phase dropped).
+    pub fn to_u_gate(&self) -> Gate {
+        Gate::U(self.theta, self.phi, self.lambda)
+    }
+
+    /// `true` when the unitary is the identity up to global phase.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        let theta_trivial = self.theta.abs() < tol;
+        let rot = (self.phi + self.lambda).rem_euclid(2.0 * std::f64::consts::PI);
+        theta_trivial && (rot < tol || (2.0 * std::f64::consts::PI - rot) < tol)
+    }
+}
+
+/// Rewrites every operation into the `{CX, single-qubit}` basis.
+///
+/// Measurements, resets, barriers and conditionals pass through
+/// (conditional gates are decomposed only when single-qubit or CX already;
+/// multi-qubit conditional gates other than CX are left intact, as the
+/// trajectory executor handles them directly).
+pub fn decompose_to_basis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_clbits());
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, qubits } => emit_decomposed(&mut out, *gate, qubits),
+            other => out
+                .try_push(other.clone())
+                .expect("same register sizes"),
+        }
+    }
+    out
+}
+
+fn emit_decomposed(out: &mut Circuit, gate: Gate, qubits: &[usize]) {
+    use Gate::*;
+    match gate {
+        // Single-qubit gates pass through (merged later).
+        g if g.num_qubits() == 1 => {
+            out.push_gate(g, qubits);
+        }
+        CX => {
+            out.push_gate(CX, qubits);
+        }
+        CZ => {
+            out.h(qubits[1]).cx(qubits[0], qubits[1]).h(qubits[1]);
+        }
+        SWAP => {
+            out.cx(qubits[0], qubits[1])
+                .cx(qubits[1], qubits[0])
+                .cx(qubits[0], qubits[1]);
+        }
+        CY | CH | CRX(_) | CRY(_) | CRZ(_) | CP(_) => {
+            let target_u = match gate {
+                CY => Y,
+                CH => H,
+                CRX(a) => RX(a),
+                CRY(a) => RY(a),
+                CRZ(a) => RZ(a),
+                CP(a) => P(a),
+                _ => unreachable!(),
+            };
+            emit_controlled_1q(out, qubits[0], qubits[1], &target_u.matrix());
+        }
+        CCX => {
+            let (a, b, c) = (qubits[0], qubits[1], qubits[2]);
+            out.h(c);
+            out.cx(b, c).tdg(c).cx(a, c).t(c).cx(b, c).tdg(c).cx(a, c);
+            out.t(b).t(c).h(c);
+            out.cx(a, b).t(a).tdg(b).cx(a, b);
+        }
+        CSWAP => {
+            let (c, a, b) = (qubits[0], qubits[1], qubits[2]);
+            out.cx(b, a);
+            emit_decomposed(out, CCX, &[c, a, b]);
+            out.cx(b, a);
+        }
+        other => unreachable!("unhandled gate {other}"),
+    }
+}
+
+/// ABC decomposition of a controlled single-qubit unitary:
+/// `CU = (P(alpha) on control) . (A on t) . CX . (B on t) . CX . (C on t)`
+/// with `A = Rz(phi) Ry(theta/2)`, `B = Ry(-theta/2) Rz(-(lambda+phi)/2)`,
+/// `C = Rz((lambda-phi)/2)`.
+fn emit_controlled_1q(out: &mut Circuit, control: usize, target: usize, u: &Matrix) {
+    let z = zyz_decompose(u);
+    let (theta, phi, lambda, alpha) = (z.theta, z.phi, z.lambda, z.alpha);
+    // Circuit order = rightmost matrix factor first.
+    out.rz((lambda - phi) / 2.0, target); // C
+    out.cx(control, target);
+    out.rz(-(lambda + phi) / 2.0, target); // B part 1
+    out.ry(-theta / 2.0, target); // B part 2
+    out.cx(control, target);
+    out.ry(theta / 2.0, target); // A part 1
+    out.rz(phi, target); // A part 2
+    if alpha.abs() > 1e-12 {
+        out.p(alpha, control);
+    }
+}
+
+/// Fuses runs of adjacent single-qubit gates per qubit into one `U` gate
+/// (dropping identity runs). Barriers, measurements, resets, conditionals
+/// and multi-qubit gates flush the pending run.
+pub fn merge_single_qubit_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut pending: Vec<Option<Matrix>> = vec![None; n];
+    let mut out = Circuit::new(n, circuit.num_clbits());
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Matrix>>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            let z = zyz_decompose(&m);
+            if !z.is_identity(1e-10) {
+                out.push_gate(z.to_u_gate(), &[q]);
+            }
+        }
+    };
+
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, qubits } if gate.num_qubits() == 1 => {
+                let q = qubits[0];
+                let m = gate.matrix();
+                pending[q] = Some(match pending[q].take() {
+                    Some(acc) => m.matmul(&acc),
+                    None => m,
+                });
+            }
+            Op::Gate { qubits, .. } | Op::CondGate { qubits, .. } => {
+                for &q in qubits {
+                    flush(&mut out, &mut pending, q);
+                }
+                out.try_push(op.clone()).expect("same registers");
+            }
+            Op::Measure { .. } | Op::Reset { .. } => {
+                // Flush every pending run, not just the measured qubit:
+                // this keeps measure-at-end circuits measure-at-end (no
+                // gate may appear after another qubit's measurement just
+                // because its fusion window stayed open longer).
+                for q in 0..n {
+                    flush(&mut out, &mut pending, q);
+                }
+                out.try_push(op.clone()).expect("same registers");
+            }
+            Op::Barrier { qubits } => {
+                for &q in qubits {
+                    flush(&mut out, &mut pending, q);
+                }
+                out.try_push(op.clone()).expect("same registers");
+            }
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Removes adjacent gate/inverse pairs (same qubits, nothing touching
+/// those qubits in between), to a fixpoint.
+pub fn cancel_inverse_pairs(circuit: &Circuit) -> Circuit {
+    let mut ops: Vec<Op> = circuit.ops().to_vec();
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let Op::Gate { gate, qubits } = ops[i].clone() else {
+                i += 1;
+                continue;
+            };
+            // Find the next op touching any of this gate's qubits.
+            let mut j = i + 1;
+            let mut partner: Option<usize> = None;
+            while j < ops.len() {
+                let touches = ops[j].qubits().iter().any(|q| qubits.contains(q));
+                let is_barrier = matches!(ops[j], Op::Barrier { .. });
+                if touches && !is_barrier {
+                    partner = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(j) = partner {
+                if let Op::Gate {
+                    gate: g2,
+                    qubits: q2,
+                } = &ops[j]
+                {
+                    if *q2 == qubits && gates_inverse(&gate, g2) {
+                        ops.remove(j);
+                        ops.remove(i);
+                        removed = true;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        if !removed {
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits(), circuit.num_clbits());
+    for op in ops {
+        out.try_push(op).expect("same registers");
+    }
+    out
+}
+
+fn gates_inverse(a: &Gate, b: &Gate) -> bool {
+    let inv = a.inverse();
+    if inv == *b {
+        return true;
+    }
+    // Parameterized gates: compare matrices (handles U-form inverses).
+    if a.num_qubits() == b.num_qubits() && a.num_qubits() == 1 {
+        let prod = b.matrix().matmul(&a.matrix());
+        return prod.approx_eq_up_to_phase(&Matrix::identity(2), 1e-10);
+    }
+    false
+}
+
+/// The full pipeline: decompose, cancel, merge (then cancel once more —
+/// merging can expose new CX pairs).
+pub fn transpile(circuit: &Circuit) -> Circuit {
+    let decomposed = decompose_to_basis(circuit);
+    let cancelled = cancel_inverse_pairs(&decomposed);
+    let merged = merge_single_qubit_runs(&cancelled);
+    cancel_inverse_pairs(&merged)
+}
+
+/// `true` when the circuit only uses the `{CX, 1q}` basis in its unitary
+/// portion.
+pub fn is_in_basis(circuit: &Circuit) -> bool {
+    circuit.ops().iter().all(|op| match op {
+        Op::Gate { gate, .. } => gate.num_qubits() == 1 || *gate == Gate::CX,
+        Op::CondGate { gate, .. } => gate.num_qubits() == 1 || *gate == Gate::CX,
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::all_parameterless;
+
+    fn unitary_equiv(a: &Circuit, b: &Circuit) -> bool {
+        // Strip non-gate ops for comparison.
+        let strip = |c: &Circuit| {
+            let mut out = Circuit::new(c.num_qubits(), 0);
+            for op in c.ops() {
+                if let Op::Gate { gate, qubits } = op {
+                    out.push_gate(*gate, qubits);
+                }
+            }
+            out
+        };
+        let ua = circuit_unitary_local(&strip(a));
+        let ub = circuit_unitary_local(&strip(b));
+        ua.approx_eq_up_to_phase(&ub, 1e-7)
+    }
+
+    // Local unitary builder (can't depend on qsim from qcir).
+    fn circuit_unitary_local(c: &Circuit) -> Matrix {
+        let n = c.num_qubits();
+        let dim = 1usize << n;
+        let mut u = Matrix::identity(dim);
+        for op in c.ops() {
+            if let Op::Gate { gate, qubits } = op {
+                let g = embed(&gate.matrix(), qubits, n);
+                u = g.matmul(&u);
+            }
+        }
+        u
+    }
+
+    // Embeds a k-qubit gate matrix (big-endian over `qubits`) into n qubits
+    // (little-endian basis indexing).
+    fn embed(m: &Matrix, qubits: &[usize], n: usize) -> Matrix {
+        let dim = 1usize << n;
+        let k = qubits.len();
+        let mut out = Matrix::zeros(dim);
+        for col in 0..dim {
+            for row_bits in 0..(1usize << k) {
+                // Column restricted: gather the gate-row/col indices.
+                let mut col_bits = 0usize;
+                for (j, &q) in qubits.iter().enumerate() {
+                    if (col >> q) & 1 == 1 {
+                        col_bits |= 1 << (k - 1 - j);
+                    }
+                }
+                let amp = m.get(row_bits, col_bits);
+                if amp == C64::ZERO {
+                    continue;
+                }
+                let mut row = col;
+                for (j, &q) in qubits.iter().enumerate() {
+                    let bit = (row_bits >> (k - 1 - j)) & 1;
+                    if bit == 1 {
+                        row |= 1 << q;
+                    } else {
+                        row &= !(1 << q);
+                    }
+                }
+                out[(row, col)] += amp;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zyz_round_trips_every_gate() {
+        let mut gates: Vec<Gate> = all_parameterless()
+            .into_iter()
+            .filter(|g| g.num_qubits() == 1)
+            .collect();
+        gates.extend([
+            Gate::RX(0.7),
+            Gate::RY(-1.3),
+            Gate::RZ(2.2),
+            Gate::P(0.4),
+            Gate::U(1.1, -0.6, 2.5),
+        ]);
+        for g in gates {
+            let z = zyz_decompose(&g.matrix());
+            let rebuilt = z.to_u_gate().matrix();
+            assert!(
+                rebuilt.approx_eq_up_to_phase(&g.matrix(), 1e-9),
+                "{g}: zyz {z:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decompose_preserves_unitary_for_every_gate() {
+        let cases: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::CZ, vec![0, 1]),
+            (Gate::CY, vec![0, 1]),
+            (Gate::CH, vec![0, 1]),
+            (Gate::SWAP, vec![0, 1]),
+            (Gate::CRX(0.8), vec![0, 1]),
+            (Gate::CRY(-1.1), vec![0, 1]),
+            (Gate::CRZ(2.3), vec![0, 1]),
+            (Gate::CP(0.9), vec![0, 1]),
+            (Gate::CCX, vec![0, 1, 2]),
+            (Gate::CSWAP, vec![0, 1, 2]),
+            // Reversed operand orders exercise the embedding.
+            (Gate::CZ, vec![1, 0]),
+            (Gate::CCX, vec![2, 0, 1]),
+        ];
+        for (gate, qubits) in cases {
+            let n = qubits.iter().max().unwrap() + 1;
+            let mut original = Circuit::new(n, 0);
+            original.push_gate(gate, &qubits);
+            let decomposed = decompose_to_basis(&original);
+            assert!(is_in_basis(&decomposed), "{gate} not in basis");
+            assert!(
+                unitary_equiv(&original, &decomposed),
+                "{gate} on {qubits:?} not equivalent"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_fuses_runs() {
+        let mut qc = Circuit::new(1, 0);
+        qc.h(0).t(0).s(0).h(0).rz(0.3, 0);
+        let merged = merge_single_qubit_runs(&qc);
+        assert_eq!(merged.len(), 1, "five gates fuse into one U");
+        assert!(unitary_equiv(&qc, &merged));
+    }
+
+    #[test]
+    fn merge_drops_identity_runs() {
+        let mut qc = Circuit::new(1, 0);
+        qc.h(0).h(0);
+        let merged = merge_single_qubit_runs(&qc);
+        assert!(merged.is_empty(), "H H is the identity");
+        let mut qc2 = Circuit::new(1, 0);
+        qc2.s(0).sdg(0).x(0).x(0);
+        assert!(merge_single_qubit_runs(&qc2).is_empty());
+    }
+
+    #[test]
+    fn merge_respects_blocking_ops() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).h(0).measure(0, 0);
+        let merged = merge_single_qubit_runs(&qc);
+        // The two H's must not merge across the CX.
+        assert_eq!(merged.count_gate("u"), 2);
+        assert_eq!(merged.count_gate("cx"), 1);
+    }
+
+    #[test]
+    fn cancel_removes_cx_pairs() {
+        let mut qc = Circuit::new(2, 0);
+        qc.cx(0, 1).cx(0, 1).h(0);
+        let cancelled = cancel_inverse_pairs(&qc);
+        assert_eq!(cancelled.count_gate("cx"), 0);
+        assert_eq!(cancelled.count_gate("h"), 1);
+    }
+
+    #[test]
+    fn cancel_respects_interleaving() {
+        let mut qc = Circuit::new(2, 0);
+        qc.cx(0, 1).x(1).cx(0, 1);
+        let cancelled = cancel_inverse_pairs(&qc);
+        // X on the target blocks cancellation.
+        assert_eq!(cancelled.count_gate("cx"), 2);
+    }
+
+    #[test]
+    fn cancel_handles_parameterized_inverses() {
+        let mut qc = Circuit::new(1, 0);
+        qc.rz(0.7, 0).rz(-0.7, 0).t(0).tdg(0);
+        let cancelled = cancel_inverse_pairs(&qc);
+        assert!(cancelled.is_empty(), "{:?}", cancelled.ops());
+    }
+
+    #[test]
+    fn transpile_preserves_grover() {
+        // A full algorithm with CCX, CZ and H: the end-to-end check.
+        let mut qc = Circuit::new(3, 0);
+        for q in 0..3 {
+            qc.h(q);
+        }
+        qc.x(0).h(2).ccx(0, 1, 2).h(2).x(0);
+        qc.cz(0, 1);
+        let transpiled = transpile(&qc);
+        assert!(is_in_basis(&transpiled));
+        assert!(unitary_equiv(&qc, &transpiled));
+    }
+
+    #[test]
+    fn transpile_keeps_measurements() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cz(0, 1).measure_all();
+        let t = transpile(&qc);
+        assert_eq!(t.num_measurements(), 2);
+        assert!(is_in_basis(&t));
+    }
+
+    #[test]
+    fn transpile_reduces_gate_count_on_redundant_circuits() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).h(0).swap(0, 1).swap(0, 1).t(1).tdg(1);
+        let t = transpile(&qc);
+        assert!(t.is_empty(), "fully redundant circuit: {:?}", t.ops());
+    }
+}

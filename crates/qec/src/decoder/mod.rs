@@ -1,0 +1,98 @@
+//! Syndrome decoders.
+//!
+//! All decoders operate on a [`graph::DecodingGraph`]: nodes are stabilizer
+//! measurements (or stabilizer-round pairs in space-time decoding), edges
+//! are error mechanisms (a data-qubit flip, or a measurement error between
+//! rounds), and a virtual boundary absorbs odd defects.
+//!
+//! Three implementations, trading accuracy for speed/simplicity:
+//!
+//! * [`lookup::LookupDecoder`] — exact minimum-weight decoding by
+//!   exhaustive table, distance 3 only.
+//! * [`greedy::GreedyMatchingDecoder`] — greedy minimum-weight matching on
+//!   BFS distances; works on any graph including space-time.
+//! * [`unionfind::UnionFindDecoder`] — cluster-growth + peeling in the
+//!   style of Delfosse–Nickerson; near-matching accuracy at near-linear
+//!   cost.
+
+pub mod graph;
+pub mod greedy;
+pub mod lookup;
+pub mod unionfind;
+
+pub use graph::DecodingGraph;
+pub use greedy::GreedyMatchingDecoder;
+pub use lookup::LookupDecoder;
+pub use unionfind::UnionFindDecoder;
+
+/// The output of a decoder: which data qubits to flip.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Correction {
+    /// Data-qubit indices whose X (or Z) correction is applied, sorted.
+    pub qubit_flips: Vec<usize>,
+}
+
+impl Correction {
+    /// Builds a correction from possibly-repeated qubit flips, cancelling
+    /// pairs (mod-2 semantics).
+    pub fn from_flips(mut flips: Vec<usize>) -> Self {
+        flips.sort_unstable();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < flips.len() {
+            let mut run = 1;
+            while i + run < flips.len() && flips[i + run] == flips[i] {
+                run += 1;
+            }
+            if run % 2 == 1 {
+                out.push(flips[i]);
+            }
+            i += run;
+        }
+        Correction { qubit_flips: out }
+    }
+
+    /// Applies the correction to an error pattern in place.
+    pub fn apply(&self, errors: &mut [bool]) {
+        for &q in &self.qubit_flips {
+            errors[q] = !errors[q];
+        }
+    }
+
+    /// Weight of the correction.
+    pub fn weight(&self) -> usize {
+        self.qubit_flips.len()
+    }
+}
+
+/// Common decoder interface.
+///
+/// `flagged` lists the indices of detection events (graph nodes whose
+/// syndrome bit is 1). The decoder returns the data-qubit correction.
+pub trait Decoder {
+    /// Decodes a set of flagged detection events into a correction.
+    fn decode(&self, flagged: &[usize]) -> Correction;
+
+    /// Short decoder name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_flips_cancels_pairs() {
+        let c = Correction::from_flips(vec![3, 1, 3, 2, 1, 1]);
+        assert_eq!(c.qubit_flips, vec![1, 2]);
+        assert_eq!(c.weight(), 2);
+    }
+
+    #[test]
+    fn apply_toggles() {
+        let c = Correction::from_flips(vec![0, 2]);
+        let mut errors = vec![true, false, false];
+        c.apply(&mut errors);
+        assert_eq!(errors, vec![false, false, true]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # qec — quantum error correction substrate
+//!
+//! Everything the paper's third agent ("QEC Decoder Generation Agent")
+//! needs: device topologies, the rotated surface code, noisy multi-round
+//! syndrome extraction, decoders, and logical-memory experiments that
+//! quantify the qubit-lifetime extension the paper claims.
+//!
+//! Layout:
+//!
+//! * [`topology`] — device coupling maps (line, grid, heavy-hex, full).
+//! * [`surface`] — rotated surface code lattices for odd distance `d`.
+//! * [`repetition`] — the bit-flip repetition code baseline.
+//! * [`syndrome`] — phenomenological noise + multi-round syndrome
+//!   extraction (the "physical errors over time" and "measurement error"
+//!   of the paper's Figure 2).
+//! * [`decoder`] — lookup (exact, d=3), greedy matching, and union-find
+//!   decoders over space or space-time decoding graphs.
+//! * [`memory`] — logical error rate vs physical rate and distance; the
+//!   lifetime-extension factor used by the QEC agent.
+//! * [`agent_iface`] — the `Topology -> DecoderSpec` synthesis interface
+//!   the agent crate consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use qec::surface::SurfaceCode;
+//! let code = SurfaceCode::new(3);
+//! assert_eq!(code.num_data(), 9);
+//! assert_eq!(code.x_stabilizers().len() + code.z_stabilizers().len(), 8);
+//! ```
+
+pub mod agent_iface;
+pub mod decoder;
+pub mod memory;
+pub mod repetition;
+pub mod route;
+pub mod steane;
+pub mod surface;
+pub mod syndrome;
+pub mod topology;
+
+pub use surface::SurfaceCode;
+pub use topology::Topology;

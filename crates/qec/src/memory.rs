@@ -1,0 +1,237 @@
+//! Logical memory experiments: logical error rate vs physical rate and
+//! distance, and the qubit-lifetime-extension factor the QEC agent reports.
+
+use crate::decoder::{
+    Correction, Decoder, DecodingGraph, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder,
+};
+use crate::surface::SurfaceCode;
+use crate::syndrome;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which decoder implementation to use in an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderKind {
+    /// Exact lookup (d = 3 only).
+    Lookup,
+    /// Greedy minimum-weight matching.
+    Greedy,
+    /// Union-find cluster decoder.
+    UnionFind,
+}
+
+impl DecoderKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [DecoderKind; 3] = [
+        DecoderKind::Lookup,
+        DecoderKind::Greedy,
+        DecoderKind::UnionFind,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderKind::Lookup => "lookup-exact",
+            DecoderKind::Greedy => "greedy-matching",
+            DecoderKind::UnionFind => "union-find",
+        }
+    }
+
+    /// Instantiates the decoder for `code` over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `Lookup` is requested for `d != 3`.
+    pub fn build(&self, code: &SurfaceCode, graph: DecodingGraph) -> Box<dyn Decoder> {
+        match self {
+            DecoderKind::Lookup => Box::new(LookupDecoder::new(code)),
+            DecoderKind::Greedy => Box::new(GreedyMatchingDecoder::new(graph)),
+            DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(graph)),
+        }
+    }
+}
+
+/// Result of a logical-memory experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryResult {
+    /// Code distance.
+    pub distance: usize,
+    /// Physical error probability per qubit (per round, if multi-round).
+    pub p_physical: f64,
+    /// Measured logical error probability.
+    pub p_logical: f64,
+    /// Number of Monte-Carlo trials.
+    pub trials: usize,
+    /// Decoder used.
+    pub decoder: &'static str,
+}
+
+impl MemoryResult {
+    /// The lifetime-extension factor: how much longer the logical qubit
+    /// survives than a bare physical qubit at the same rate (ratio of
+    /// error probabilities; >1 means QEC helps).
+    pub fn lifetime_extension(&self) -> f64 {
+        if self.p_logical <= 0.0 {
+            // No observed failures: report the resolution limit.
+            return self.p_physical * self.trials as f64;
+        }
+        self.p_physical / self.p_logical
+    }
+}
+
+/// Code-capacity experiment: i.i.d. X errors with probability `p`, one
+/// perfect syndrome measurement, decode, count logical X flips.
+pub fn code_capacity_experiment(
+    d: usize,
+    p: f64,
+    kind: DecoderKind,
+    trials: usize,
+    seed: u64,
+) -> MemoryResult {
+    let code = SurfaceCode::new(d);
+    let graph = DecodingGraph::code_capacity_x(&code);
+    let decoder = kind.build(&code, graph.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut errors = vec![false; code.num_data()];
+        for e in errors.iter_mut() {
+            if rng.gen_bool(p) {
+                *e = true;
+            }
+        }
+        let flagged = graph.syndrome_of(&errors);
+        let correction = decoder.decode(&flagged);
+        correction.apply(&mut errors);
+        debug_assert!(code.z_syndrome(&errors).iter().all(|&b| !b));
+        if code.is_logical_x_flip(&errors) {
+            failures += 1;
+        }
+    }
+    MemoryResult {
+        distance: d,
+        p_physical: p,
+        p_logical: failures as f64 / trials as f64,
+        trials,
+        decoder: kind.name(),
+    }
+}
+
+/// Phenomenological experiment: `rounds` rounds of noisy syndrome
+/// extraction (data rate `p`, measurement rate `q`), space-time decoding,
+/// then a logical-flip check against the final perfect round.
+pub fn phenomenological_experiment(
+    d: usize,
+    p: f64,
+    q: f64,
+    rounds: usize,
+    trials: usize,
+    seed: u64,
+) -> MemoryResult {
+    let code = SurfaceCode::new(d);
+    // +1 node layer for the final perfect round.
+    let graph = DecodingGraph::spacetime_x(&code, rounds + 1);
+    let decoder = GreedyMatchingDecoder::new(graph);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let history = syndrome::extract(&code, p, q, rounds, &mut rng);
+        let events = history.detection_events();
+        let correction = decoder.decode(&events);
+        let mut errors = history.final_errors.clone();
+        correction.apply(&mut errors);
+        if code.is_logical_x_flip(&errors) {
+            failures += 1;
+        }
+    }
+    MemoryResult {
+        distance: d,
+        p_physical: p,
+        p_logical: failures as f64 / trials as f64,
+        trials,
+        decoder: "greedy-matching(spacetime)",
+    }
+}
+
+/// Applies a decoder end-to-end to one explicit error pattern (exposed for
+/// the Figure 2 bench, which wants the per-piece artifacts).
+pub fn decode_once(code: &SurfaceCode, kind: DecoderKind, errors: &[bool]) -> Correction {
+    let graph = DecodingGraph::code_capacity_x(code);
+    let decoder = kind.build(code, graph.clone());
+    let flagged = graph.syndrome_of(errors);
+    decoder.decode(&flagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_logical_beats_physical() {
+        let r = code_capacity_experiment(3, 0.03, DecoderKind::Lookup, 4000, 42);
+        assert!(
+            r.p_logical < r.p_physical,
+            "p_L = {} should beat p = {}",
+            r.p_logical,
+            r.p_physical
+        );
+        assert!(r.lifetime_extension() > 1.0);
+    }
+
+    #[test]
+    fn larger_distance_helps_below_threshold() {
+        let d3 = code_capacity_experiment(3, 0.02, DecoderKind::UnionFind, 6000, 1);
+        let d5 = code_capacity_experiment(5, 0.02, DecoderKind::UnionFind, 6000, 2);
+        assert!(
+            d5.p_logical <= d3.p_logical,
+            "d5 ({}) should not exceed d3 ({})",
+            d5.p_logical,
+            d3.p_logical
+        );
+    }
+
+    #[test]
+    fn above_threshold_qec_hurts() {
+        // Far above threshold the code amplifies errors.
+        let r = code_capacity_experiment(3, 0.4, DecoderKind::Lookup, 3000, 3);
+        assert!(r.p_logical > r.p_physical * 0.5, "p_L = {}", r.p_logical);
+    }
+
+    #[test]
+    fn decoders_agree_on_low_rates() {
+        let lookup = code_capacity_experiment(3, 0.01, DecoderKind::Lookup, 5000, 7);
+        let greedy = code_capacity_experiment(3, 0.01, DecoderKind::Greedy, 5000, 7);
+        let uf = code_capacity_experiment(3, 0.01, DecoderKind::UnionFind, 5000, 7);
+        for r in [&greedy, &uf] {
+            assert!(
+                (r.p_logical - lookup.p_logical).abs() < 0.01,
+                "{}: {} vs lookup {}",
+                r.decoder,
+                r.p_logical,
+                lookup.p_logical
+            );
+        }
+    }
+
+    #[test]
+    fn phenomenological_below_physical_at_low_noise() {
+        let r = phenomenological_experiment(3, 0.004, 0.004, 3, 2000, 9);
+        // Accumulated physical rate over the experiment is roughly
+        // p * rounds; the decoder must do better than that.
+        let accumulated = 0.004 * 3.0;
+        assert!(
+            r.p_logical < accumulated,
+            "p_L = {} vs accumulated physical {}",
+            r.p_logical,
+            accumulated
+        );
+    }
+
+    #[test]
+    fn zero_noise_never_fails() {
+        let r = code_capacity_experiment(3, 0.0, DecoderKind::Greedy, 500, 5);
+        assert_eq!(r.p_logical, 0.0);
+        let r2 = phenomenological_experiment(3, 0.0, 0.0, 4, 200, 6);
+        assert_eq!(r2.p_logical, 0.0);
+    }
+}

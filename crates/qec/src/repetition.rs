@@ -1,0 +1,156 @@
+//! The bit-flip repetition code — pedagogical baseline and the first code
+//! the QEC agent offers on devices too small for a surface code.
+
+use qcir::circuit::Circuit;
+use rand::Rng;
+
+/// A distance-`n` bit-flip repetition code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepetitionCode {
+    n: usize,
+}
+
+impl RepetitionCode {
+    /// Creates the code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is odd and at least 3 (majority vote needs odd).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3 && n % 2 == 1, "repetition distance must be odd >= 3");
+        RepetitionCode { n }
+    }
+
+    /// Number of data qubits.
+    pub fn num_data(&self) -> usize {
+        self.n
+    }
+
+    /// Majority-vote decoding of a noisy codeword; returns the corrected
+    /// logical bit.
+    pub fn decode_majority(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.n);
+        bits.iter().filter(|&&b| b).count() * 2 > self.n
+    }
+
+    /// Syndrome (adjacent-pair parities) of a noisy codeword.
+    pub fn syndrome(&self, bits: &[bool]) -> Vec<bool> {
+        (0..self.n - 1).map(|i| bits[i] != bits[i + 1]).collect()
+    }
+
+    /// Monte-Carlo logical error rate under i.i.d. bit flips at rate `p`.
+    pub fn logical_error_rate(&self, p: f64, trials: usize, rng: &mut impl Rng) -> f64 {
+        let mut failures = 0usize;
+        for _ in 0..trials {
+            let flips = (0..self.n).filter(|_| rng.gen_bool(p)).count();
+            if flips * 2 > self.n {
+                failures += 1;
+            }
+        }
+        failures as f64 / trials as f64
+    }
+
+    /// Analytic logical error rate (sum of binomial tail above n/2).
+    pub fn analytic_error_rate(&self, p: f64) -> f64 {
+        let n = self.n;
+        let mut total = 0.0;
+        for k in (n / 2 + 1)..=n {
+            total += binomial(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+        }
+        total
+    }
+
+    /// Builds an encode + noiseless-syndrome circuit: a logical `bit` is
+    /// encoded across the data qubits with ancilla parity checks measured
+    /// into clbits `0..n-1` and the data into clbits `n-1..2n-1`.
+    pub fn encode_circuit(&self, bit: bool) -> Circuit {
+        let n = self.n;
+        let num_anc = n - 1;
+        let mut qc = Circuit::new(n + num_anc, num_anc + n);
+        if bit {
+            qc.x(0);
+        }
+        // Fan out the logical bit.
+        for q in 1..n {
+            qc.cx(0, q);
+        }
+        qc.barrier_all();
+        // Parity checks on ancillas n..n+num_anc.
+        for i in 0..num_anc {
+            let anc = n + i;
+            qc.cx(i, anc);
+            qc.cx(i + 1, anc);
+            qc.measure(anc, i);
+        }
+        for q in 0..n {
+            qc.measure(q, num_anc + q);
+        }
+        qc
+    }
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut result = 1.0;
+    for i in 0..k {
+        result *= (n - i) as f64 / (k - i) as f64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::exec::Executor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn majority_decoding() {
+        let code = RepetitionCode::new(5);
+        assert!(!code.decode_majority(&[false, true, false, false, true]));
+        assert!(code.decode_majority(&[true, true, false, true, true]));
+    }
+
+    #[test]
+    fn syndrome_flags_boundaries_of_error_runs() {
+        let code = RepetitionCode::new(5);
+        let s = code.syndrome(&[false, true, true, false, false]);
+        assert_eq!(s, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let code = RepetitionCode::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mc = code.logical_error_rate(0.1, 100_000, &mut rng);
+        let exact = code.analytic_error_rate(0.1);
+        assert!((mc - exact).abs() < 0.005, "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn bigger_codes_suppress_more() {
+        let p = 0.05;
+        let e3 = RepetitionCode::new(3).analytic_error_rate(p);
+        let e5 = RepetitionCode::new(5).analytic_error_rate(p);
+        let e7 = RepetitionCode::new(7).analytic_error_rate(p);
+        assert!(e3 > e5 && e5 > e7, "{e3} > {e5} > {e7}");
+        assert!(e3 < p, "even d=3 beats the bare qubit below threshold");
+    }
+
+    #[test]
+    fn encode_circuit_is_consistent() {
+        let code = RepetitionCode::new(3);
+        let qc = code.encode_circuit(true);
+        let counts = Executor::ideal().run(&qc, 200, 4);
+        // Noiseless: parity checks all zero, data all ones.
+        // clbits: 0..2 parity, 2..5 data.
+        let expected = 0b11100_u64;
+        assert_eq!(counts.count(expected), 200, "{counts}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn rejects_even_distance() {
+        RepetitionCode::new(4);
+    }
+}

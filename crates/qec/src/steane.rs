@@ -1,0 +1,214 @@
+//! The Steane [[7,1,3]] code (Steane 1996), cited by the paper as the
+//! classic example of a QEC code predating surface codes.
+//!
+//! A CSS code built from the [7,4,3] Hamming code: the same three parity
+//! checks serve as X-type and Z-type stabilizers, so single X and Z errors
+//! are independently correctable via Hamming syndrome lookup — the
+//! textbook contrast to the topology-dependent surface code the paper's
+//! agent synthesizes (Steane needs no lattice, but also gives d=3 only).
+
+use qcir::circuit::Circuit;
+use rand::Rng;
+
+/// The three Hamming parity checks over 7 bits (1-indexed positions
+/// 1..=7; bit `q` participates in check `k` iff bit `k` of `q+1` is set).
+const CHECKS: [[usize; 4]; 3] = [
+    [0, 2, 4, 6], // positions with bit0 set: 1,3,5,7
+    [1, 2, 5, 6], // positions with bit1 set: 2,3,6,7
+    [3, 4, 5, 6], // positions with bit2 set: 4,5,6,7
+];
+
+/// The Steane code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SteaneCode;
+
+impl SteaneCode {
+    /// Creates the code.
+    pub fn new() -> Self {
+        SteaneCode
+    }
+
+    /// Number of data qubits.
+    pub fn num_data(&self) -> usize {
+        7
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        3
+    }
+
+    /// The X-type stabilizer supports (detect Z errors).
+    pub fn x_stabilizers(&self) -> [[usize; 4]; 3] {
+        CHECKS
+    }
+
+    /// The Z-type stabilizer supports (detect X errors).
+    pub fn z_stabilizers(&self) -> [[usize; 4]; 3] {
+        CHECKS
+    }
+
+    /// Z-syndrome of an X-error pattern: the 3-bit Hamming syndrome.
+    pub fn z_syndrome(&self, x_errors: &[bool; 7]) -> u8 {
+        let mut syndrome = 0u8;
+        for (k, check) in CHECKS.iter().enumerate() {
+            let parity = check.iter().filter(|&&q| x_errors[q]).count() % 2;
+            if parity == 1 {
+                syndrome |= 1 << k;
+            }
+        }
+        syndrome
+    }
+
+    /// Decodes a 3-bit syndrome to the unique single-qubit correction:
+    /// Hamming decoding — the syndrome *is* the (1-indexed) error position.
+    pub fn decode(&self, syndrome: u8) -> Option<usize> {
+        match syndrome {
+            0 => None,
+            s => Some((s - 1) as usize),
+        }
+    }
+
+    /// Runs one X-error correction cycle on a pattern, returning the
+    /// corrected pattern.
+    pub fn correct_x(&self, mut x_errors: [bool; 7]) -> [bool; 7] {
+        let syndrome = self.z_syndrome(&x_errors);
+        if let Some(q) = self.decode(syndrome) {
+            x_errors[q] = !x_errors[q];
+        }
+        x_errors
+    }
+
+    /// Whether a residual X pattern implements a logical X (odd overlap
+    /// with the logical Z = all-7 support: any odd-weight residual).
+    pub fn is_logical_x_flip(&self, x_errors: &[bool; 7]) -> bool {
+        x_errors.iter().filter(|&&e| e).count() % 2 == 1
+    }
+
+    /// Monte-Carlo logical X error rate under i.i.d. X noise at rate `p`.
+    pub fn logical_error_rate(&self, p: f64, trials: usize, rng: &mut impl Rng) -> f64 {
+        let mut failures = 0usize;
+        for _ in 0..trials {
+            let mut errors = [false; 7];
+            for e in errors.iter_mut() {
+                *e = rng.gen_bool(p);
+            }
+            let corrected = self.correct_x(errors);
+            debug_assert_eq!(self.z_syndrome(&corrected), 0);
+            if self.is_logical_x_flip(&corrected) {
+                failures += 1;
+            }
+        }
+        failures as f64 / trials as f64
+    }
+
+    /// Builds the logical-|0> encoding circuit (standard 7-qubit encoder:
+    /// Hadamards on positions 0, 1 and 3, then the Hamming CNOT fan-out)
+    /// plus ancilla-free transversal measurement.
+    pub fn encode_zero_circuit(&self) -> Circuit {
+        let mut qc = Circuit::new(7, 7);
+        // |0>_L = sum over Hamming codewords; prepare via generators.
+        qc.h(0).h(1).h(3);
+        // Generator rows of the Hamming code (position q in CHECKS[k]).
+        for &(src, targets) in &[
+            (0usize, [2usize, 4, 6]),
+            (1, [2, 5, 6]),
+            (3, [4, 5, 6]),
+        ] {
+            for &t in &targets {
+                qc.cx(src, t);
+            }
+        }
+        qc.measure_all();
+        qc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stabilizers_commute_pairwise() {
+        // CSS condition: every X check overlaps every Z check evenly.
+        let code = SteaneCode::new();
+        for xs in code.x_stabilizers() {
+            for zs in code.z_stabilizers() {
+                let overlap = xs.iter().filter(|q| zs.contains(q)).count();
+                assert_eq!(overlap % 2, 0, "{xs:?} vs {zs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn syndrome_identifies_every_single_error() {
+        let code = SteaneCode::new();
+        for q in 0..7 {
+            let mut errors = [false; 7];
+            errors[q] = true;
+            let syndrome = code.z_syndrome(&errors);
+            assert_eq!(code.decode(syndrome), Some(q), "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn every_single_error_is_corrected() {
+        let code = SteaneCode::new();
+        for q in 0..7 {
+            let mut errors = [false; 7];
+            errors[q] = true;
+            let corrected = code.correct_x(errors);
+            assert_eq!(code.z_syndrome(&corrected), 0);
+            assert!(!code.is_logical_x_flip(&corrected), "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn correction_always_returns_to_codespace() {
+        let code = SteaneCode::new();
+        for pattern in 0u8..128 {
+            let mut errors = [false; 7];
+            for (q, e) in errors.iter_mut().enumerate() {
+                *e = (pattern >> q) & 1 == 1;
+            }
+            let corrected = code.correct_x(errors);
+            assert_eq!(code.z_syndrome(&corrected), 0, "pattern {pattern:#09b}");
+        }
+    }
+
+    #[test]
+    fn logical_error_rate_beats_physical_below_threshold() {
+        let code = SteaneCode::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = 0.02;
+        let rate = code.logical_error_rate(p, 50_000, &mut rng);
+        assert!(rate < p, "logical {rate} !< physical {p}");
+        // d=3: leading order 21 p^2; at p=0.02 that's ~0.0084.
+        assert!((rate - 21.0 * p * p).abs() < 0.004, "rate {rate}");
+    }
+
+    #[test]
+    fn encoder_produces_even_weight_superposition() {
+        // |0>_L is a uniform superposition over the 16 Hamming codewords,
+        // all of even weight... actually codewords of the [7,4] code that
+        // satisfy all three checks. Verify all measured words have zero
+        // syndrome.
+        let code = SteaneCode::new();
+        let qc = code.encode_zero_circuit();
+        let dist = qsim::exec::Executor::ideal_distribution(&qc, 0);
+        let mut support = 0;
+        for (word, p) in dist.iter() {
+            if p > 1e-9 {
+                support += 1;
+                let mut bits = [false; 7];
+                for (q, b) in bits.iter_mut().enumerate() {
+                    *b = (word >> q) & 1 == 1;
+                }
+                assert_eq!(code.z_syndrome(&bits), 0, "word {word:#09b}");
+            }
+        }
+        assert_eq!(support, 8, "|0>_L superposes the 8 even codewords");
+    }
+}

@@ -1,0 +1,226 @@
+//! Two-stage grading of generated programs.
+//!
+//! Stage 1 (**syntactic**): the program must lex, parse and pass the
+//! semantic checker against the versioned API registry — everything a
+//! Python interpreter would reject at import/run time.
+//!
+//! Stage 2 (**semantic**): the lowered circuit is executed on the ideal
+//! simulator and its outcome distribution compared to the reference
+//! circuit's within a total-variation tolerance. This mirrors the paper's
+//! "syntactically and semantically valid" criterion (Figure 3) and the
+//! §V-C split between the two accuracies.
+
+use qcir::diag::Diagnostic;
+use qlm::spec::TaskSpec;
+use qsim::exec::Executor;
+
+/// Total-variation tolerance for exact-distribution comparisons.
+pub const TVD_TOLERANCE_EXACT: f64 = 0.05;
+/// Tolerance for sampled comparisons (mid-circuit measurement paths).
+pub const TVD_TOLERANCE_SAMPLED: f64 = 0.08;
+/// Shots used when sampling is required.
+pub const GRADING_SHOTS: u64 = 8192;
+/// Fixed seed for sampled grading (determinism across runs).
+pub const GRADING_SEED: u64 = 0xE7A1;
+
+/// Grading outcome detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradeDetail {
+    /// Parsed and checked successfully.
+    pub syntactic_ok: bool,
+    /// Behaviour matched the reference within tolerance.
+    pub semantic_ok: bool,
+    /// Diagnostics from the checker (errors and warnings).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The measured total-variation distance, when both circuits ran.
+    pub tvd: Option<f64>,
+}
+
+impl GradeDetail {
+    /// Fully correct: both stages pass.
+    pub fn passed(&self) -> bool {
+        self.syntactic_ok && self.semantic_ok
+    }
+}
+
+/// Grades `source` against the task's reference circuit.
+pub fn grade_source(source: &str, spec: &TaskSpec) -> GradeDetail {
+    // Stage 1: lex/parse.
+    let program = match qcir::dsl::parse(source) {
+        Ok(p) => p,
+        Err(diag) => {
+            return GradeDetail {
+                syntactic_ok: false,
+                semantic_ok: false,
+                diagnostics: vec![diag],
+                tvd: None,
+            };
+        }
+    };
+    // Stage 1b: semantic check + lowering.
+    let outcome = qcir::check::check(&program, &qcir::api::ApiRegistry::standard());
+    let Some(circuit) = outcome.circuit.clone() else {
+        return GradeDetail {
+            syntactic_ok: false,
+            semantic_ok: false,
+            diagnostics: outcome.diagnostics,
+            tvd: None,
+        };
+    };
+
+    // Stage 2: behavioural comparison.
+    let reference = spec.reference_circuit();
+    if circuit.num_clbits() != reference.num_clbits() {
+        return GradeDetail {
+            syntactic_ok: true,
+            semantic_ok: false,
+            diagnostics: outcome.diagnostics,
+            tvd: None,
+        };
+    }
+    if circuit.num_measurements() == 0 && reference.num_measurements() > 0 {
+        return GradeDetail {
+            syntactic_ok: true,
+            semantic_ok: false,
+            diagnostics: outcome.diagnostics,
+            tvd: None,
+        };
+    }
+    if circuit.num_qubits() > 22 {
+        // Refuse to simulate absurd register sizes (generated code can
+        // declare anything); grade as semantically wrong.
+        return GradeDetail {
+            syntactic_ok: true,
+            semantic_ok: false,
+            diagnostics: outcome.diagnostics,
+            tvd: None,
+        };
+    }
+
+    let exact = qsim::exec::measures_only_at_end(&circuit)
+        && qsim::exec::measures_only_at_end(&reference);
+    let (candidate_dist, reference_dist, tolerance) = if exact {
+        (
+            Executor::ideal_distribution(&circuit, GRADING_SEED),
+            Executor::ideal_distribution(&reference, GRADING_SEED),
+            TVD_TOLERANCE_EXACT,
+        )
+    } else {
+        (
+            Executor::ideal()
+                .run(&circuit, GRADING_SHOTS, GRADING_SEED)
+                .to_distribution(),
+            Executor::ideal()
+                .run(&reference, GRADING_SHOTS, GRADING_SEED ^ 0x5555)
+                .to_distribution(),
+            TVD_TOLERANCE_SAMPLED,
+        )
+    };
+    let tvd = candidate_dist.tvd(&reference_dist);
+    GradeDetail {
+        syntactic_ok: true,
+        semantic_ok: tvd <= tolerance,
+        diagnostics: outcome.diagnostics,
+        tvd: Some(tvd),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlm::template::gold_source;
+
+    #[test]
+    fn gold_sources_pass_for_representative_tasks() {
+        let specs = [
+            TaskSpec::BellPair,
+            TaskSpec::Ghz { n: 4 },
+            TaskSpec::Grover { n: 3, marked: 5 },
+            TaskSpec::Shor,
+            TaskSpec::Teleport {
+                prep: qlm::spec::TeleportPrep::One,
+            },
+            TaskSpec::Walk { steps: 2 },
+        ];
+        for spec in specs {
+            let detail = grade_source(&gold_source(&spec), &spec);
+            assert!(
+                detail.passed(),
+                "{spec}: syn={} sem={} tvd={:?} diags={:?}",
+                detail.syntactic_ok,
+                detail.semantic_ok,
+                detail.tvd,
+                detail.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn parse_error_fails_syntactically() {
+        let detail = grade_source("qreg q[2\nh q[0];", &TaskSpec::BellPair);
+        assert!(!detail.syntactic_ok);
+        assert!(!detail.passed());
+        assert!(!detail.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn removed_symbol_fails_syntactically() {
+        let src = "import qasmlite 2.1;\nqreg q[2];\ncreg c[2];\nh q[0];\ncnot q[0], q[1];\nmeasure q -> c;\n";
+        let detail = grade_source(src, &TaskSpec::BellPair);
+        assert!(!detail.syntactic_ok);
+    }
+
+    #[test]
+    fn deprecated_on_old_import_is_syntactically_fine_and_semantically_right() {
+        // cnot under the 2.0 import is only a warning; behaviour matches.
+        let src = "import qasmlite 2.0;\nqreg q[2];\ncreg c[2];\nh q[0];\ncnot q[0], q[1];\nmeasure q -> c;\n";
+        let detail = grade_source(src, &TaskSpec::BellPair);
+        assert!(detail.syntactic_ok, "diags: {:?}", detail.diagnostics);
+        assert!(detail.semantic_ok, "tvd: {:?}", detail.tvd);
+        assert!(!detail.diagnostics.is_empty(), "warning should be present");
+    }
+
+    #[test]
+    fn wrong_algorithm_fails_semantically_only() {
+        // A GHZ program graded against the superposition task: valid code,
+        // wrong distribution.
+        let src = gold_source(&TaskSpec::Ghz { n: 3 });
+        let detail = grade_source(&src, &TaskSpec::Superposition { n: 3 });
+        assert!(detail.syntactic_ok);
+        assert!(!detail.semantic_ok);
+        assert!(detail.tvd.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn missing_measure_fails_semantically() {
+        let src = "import qasmlite 2.1;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\n";
+        let detail = grade_source(src, &TaskSpec::BellPair);
+        assert!(detail.syntactic_ok, "no-measure is only a warning");
+        assert!(!detail.semantic_ok);
+    }
+
+    #[test]
+    fn clbit_interface_mismatch_fails() {
+        let src = "import qasmlite 2.1;\nqreg q[2];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\n";
+        let detail = grade_source(src, &TaskSpec::BellPair);
+        assert!(detail.syntactic_ok);
+        assert!(!detail.semantic_ok);
+    }
+
+    #[test]
+    fn small_angle_perturbations_within_tolerance_pass() {
+        // rz on |0> state doesn't change the distribution at all.
+        let src = "import qasmlite 2.1;\nqreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\nrz(0.001) q[0];\nmeasure q -> c;\n";
+        let detail = grade_source(src, &TaskSpec::BellPair);
+        assert!(detail.passed(), "tvd {:?}", detail.tvd);
+    }
+
+    #[test]
+    fn teleport_grading_uses_sampled_path() {
+        let spec = TaskSpec::Teleport {
+            prep: qlm::spec::TeleportPrep::Plus,
+        };
+        let detail = grade_source(&gold_source(&spec), &spec);
+        assert!(detail.passed(), "tvd {:?}", detail.tvd);
+    }
+}

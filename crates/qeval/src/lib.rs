@@ -1,0 +1,34 @@
+//! # qeval — evaluation suites, grader and pass@k
+//!
+//! Implements the paper's evaluation methodology (§III-B, §V):
+//!
+//! * [`suite`] — the custom 34-task prompt–answer suite with the paper's
+//!   47% basic / 24% intermediate / 29% advanced split.
+//! * [`qhe`] — a Qiskit-HumanEval-like benchmark: library-API-heavy tasks
+//!   used for the Table I comparison.
+//! * [`grade`] — two-stage grading: *syntactic* (parse + semantic check
+//!   against the versioned API) and *semantic* (simulated behaviour within
+//!   tolerance of the reference circuit).
+//! * [`passk`] — the unbiased pass@k estimator of Chen et al. (2021).
+//! * [`report`] — result aggregation and markdown/CSV rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use qeval::grade::grade_source;
+//! use qlm::spec::TaskSpec;
+//!
+//! let gold = qlm::template::gold_source(&TaskSpec::BellPair);
+//! let detail = grade_source(&gold, &TaskSpec::BellPair);
+//! assert!(detail.syntactic_ok && detail.semantic_ok);
+//! ```
+
+pub mod grade;
+pub mod passk;
+pub mod qhe;
+pub mod report;
+pub mod taxonomy;
+pub mod suite;
+
+pub use grade::{grade_source, GradeDetail};
+pub use suite::{test_suite, Task};

@@ -1,0 +1,94 @@
+//! The unbiased pass@k estimator of Chen et al., "Evaluating Large
+//! Language Models Trained on Code" (2021):
+//! `pass@k = E[1 - C(n-c, k) / C(n, k)]` over problems, where `n` samples
+//! were drawn and `c` passed.
+
+/// Unbiased single-problem pass@k given `n` samples with `c` passes.
+///
+/// # Panics
+///
+/// Panics when `c > n` or `k == 0` or `k > n`.
+pub fn pass_at_k(n: usize, c: usize, k: usize) -> f64 {
+    assert!(c <= n, "cannot pass more samples than drawn");
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+    if c == 0 {
+        return 0.0;
+    }
+    if n - c < k {
+        return 1.0;
+    }
+    // 1 - prod_{i=n-c+1..=n} (1 - k/i)
+    let mut prod = 1.0;
+    for i in (n - c + 1)..=n {
+        prod *= 1.0 - k as f64 / i as f64;
+    }
+    1.0 - prod
+}
+
+/// Mean pass@k over a set of problems given per-problem `(n, c)` counts.
+pub fn mean_pass_at_k(results: &[(usize, usize)], k: usize) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|&(n, c)| pass_at_k(n, c, k)).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_passes_is_zero() {
+        assert_eq!(pass_at_k(10, 0, 1), 0.0);
+        assert_eq!(pass_at_k(10, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn all_pass_is_one() {
+        assert!((pass_at_k(10, 10, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pass_at_1_equals_success_rate() {
+        // pass@1 = c/n exactly.
+        for (n, c) in [(10, 3), (20, 7), (50, 25)] {
+            let got = pass_at_k(n, c, 1);
+            let expected = c as f64 / n as f64;
+            assert!((got - expected).abs() < 1e-12, "n={n} c={c}: {got}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_hit_when_failures_fewer_than_k() {
+        assert_eq!(pass_at_k(10, 8, 3), 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        // n=5, c=2, k=2: 1 - C(3,2)/C(5,2) = 1 - 3/10 = 0.7.
+        assert!((pass_at_k(5, 2, 2) - 0.7).abs() < 1e-12);
+        // n=6, c=3, k=3: 1 - C(3,3)/C(6,3) = 1 - 1/20 = 0.95.
+        assert!((pass_at_k(6, 3, 3) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let p1 = pass_at_k(20, 5, 1);
+        let p5 = pass_at_k(20, 5, 5);
+        let p10 = pass_at_k(20, 5, 10);
+        assert!(p1 < p5 && p5 < p10);
+    }
+
+    #[test]
+    fn mean_over_problems() {
+        let results = vec![(10, 0), (10, 10)];
+        assert!((mean_pass_at_k(&results, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_pass_at_k(&[], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn rejects_k_zero() {
+        pass_at_k(5, 2, 0);
+    }
+}

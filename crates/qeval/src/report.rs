@@ -1,0 +1,175 @@
+//! Evaluation runner and result rendering.
+
+use crate::grade::grade_source;
+use crate::suite::Task;
+use qlm::model::{CodeLlm, GenConfig};
+use qlm::spec::Difficulty;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated evaluation outcome for one technique configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutcome {
+    /// Technique label.
+    pub label: String,
+    /// Total graded samples.
+    pub samples: usize,
+    /// Samples that parsed and checked.
+    pub syntactic_ok: usize,
+    /// Samples that also matched the reference behaviour.
+    pub passed: usize,
+    /// Per-difficulty `(passed, samples)`.
+    pub per_difficulty: BTreeMap<Difficulty, (usize, usize)>,
+    /// Per-task `(n, c)` pairs for pass@k computation.
+    pub per_task: Vec<(usize, usize)>,
+}
+
+impl EvalOutcome {
+    /// Fraction of samples that were syntactically valid.
+    pub fn syntactic_rate(&self) -> f64 {
+        self.syntactic_ok as f64 / self.samples.max(1) as f64
+    }
+
+    /// Fraction fully correct (the paper's Figure 3 metric).
+    pub fn pass_rate(&self) -> f64 {
+        self.passed as f64 / self.samples.max(1) as f64
+    }
+
+    /// Unbiased pass@k over tasks.
+    pub fn pass_at_k(&self, k: usize) -> f64 {
+        crate::passk::mean_pass_at_k(&self.per_task, k)
+    }
+
+    /// Pass rate within one difficulty band.
+    pub fn rate_for(&self, difficulty: Difficulty) -> f64 {
+        match self.per_difficulty.get(&difficulty) {
+            Some(&(passed, total)) if total > 0 => passed as f64 / total as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Evaluates a configuration over a task list, `samples_per_task` samples
+/// each (seeded deterministically).
+pub fn evaluate(
+    llm: &CodeLlm,
+    tasks: &[Task],
+    config: &GenConfig,
+    samples_per_task: usize,
+    seed: u64,
+) -> EvalOutcome {
+    let mut syntactic_ok = 0usize;
+    let mut passed = 0usize;
+    let mut per_difficulty: BTreeMap<Difficulty, (usize, usize)> = BTreeMap::new();
+    let mut per_task = Vec::with_capacity(tasks.len());
+    for (t_idx, task) in tasks.iter().enumerate() {
+        let mut task_passed = 0usize;
+        for s in 0..samples_per_task {
+            let sample_seed = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((t_idx * 1000 + s) as u64);
+            let generation = llm.generate(&task.spec, config, sample_seed);
+            let detail = grade_source(&generation.source, &task.spec);
+            if detail.syntactic_ok {
+                syntactic_ok += 1;
+            }
+            let entry = per_difficulty.entry(task.difficulty()).or_insert((0, 0));
+            entry.1 += 1;
+            if detail.passed() {
+                passed += 1;
+                task_passed += 1;
+                entry.0 += 1;
+            }
+        }
+        per_task.push((samples_per_task, task_passed));
+    }
+    EvalOutcome {
+        label: config.label.to_string(),
+        samples: tasks.len() * samples_per_task,
+        syntactic_ok,
+        passed,
+        per_difficulty,
+        per_task,
+    }
+}
+
+/// Renders outcomes as a markdown table (the Figure 3 artifact).
+pub fn render_markdown(rows: &[EvalOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| technique | pass rate | syntactic | basic | intermediate | advanced |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% |",
+            r.label,
+            100.0 * r.pass_rate(),
+            100.0 * r.syntactic_rate(),
+            100.0 * r.rate_for(Difficulty::Basic),
+            100.0 * r.rate_for(Difficulty::Intermediate),
+            100.0 * r.rate_for(Difficulty::Advanced),
+        );
+    }
+    out
+}
+
+/// Renders outcomes as CSV.
+pub fn render_csv(rows: &[EvalOutcome]) -> String {
+    let mut out = String::from("technique,pass_rate,syntactic_rate,basic,intermediate,advanced\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            r.label,
+            r.pass_rate(),
+            r.syntactic_rate(),
+            r.rate_for(Difficulty::Basic),
+            r.rate_for(Difficulty::Intermediate),
+            r.rate_for(Difficulty::Advanced),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::test_suite;
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(5).collect();
+        let a = evaluate(&llm, &tasks, &GenConfig::fine_tuned(), 3, 42);
+        let b = evaluate(&llm, &tasks, &GenConfig::fine_tuned(), 3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(8).collect();
+        let outcome = evaluate(&llm, &tasks, &GenConfig::with_scot(), 4, 1);
+        assert_eq!(outcome.samples, 32);
+        assert!(outcome.passed <= outcome.syntactic_ok);
+        assert!(outcome.syntactic_ok <= outcome.samples);
+        let sum: usize = outcome.per_difficulty.values().map(|&(_, t)| t).sum();
+        assert_eq!(sum, outcome.samples);
+        let task_sum: usize = outcome.per_task.iter().map(|&(_, c)| c).sum();
+        assert_eq!(task_sum, outcome.passed);
+    }
+
+    #[test]
+    fn markdown_and_csv_render() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(3).collect();
+        let rows = vec![evaluate(&llm, &tasks, &GenConfig::base(), 2, 7)];
+        let md = render_markdown(&rows);
+        assert!(md.contains("| base |"));
+        let csv = render_csv(&rows);
+        assert!(csv.lines().count() == 2);
+    }
+}

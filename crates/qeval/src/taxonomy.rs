@@ -1,0 +1,259 @@
+//! Error-class taxonomy reports.
+//!
+//! The paper's analysis sections (§V-C/§V-D/§V-E) argue from the
+//! *composition* of errors — imports and deprecated API dominating, CoT
+//! shifting failures from semantic to none, multi-pass leaving only
+//! knowledge-bound classes. This module measures that composition for any
+//! configuration, so those arguments can be made from data rather than
+//! anecdote.
+
+use crate::grade::grade_source;
+use crate::suite::Task;
+use qcir::diag::{DiagCode, Severity};
+use qlm::model::{CodeLlm, GenConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Coarse failure classes (the paper's vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureClass {
+    /// Import or library-version errors.
+    ImportVersion,
+    /// Deprecated/removed/unknown API symbols.
+    Api,
+    /// Lexical/grammatical failures.
+    Syntax,
+    /// Register/index/shape errors.
+    Shape,
+    /// Program runs but behaves wrongly.
+    Semantic,
+    /// No failure.
+    None,
+}
+
+impl FailureClass {
+    /// Classifies a graded sample by its dominant failure.
+    pub fn of(detail: &crate::grade::GradeDetail) -> FailureClass {
+        if detail.passed() {
+            return FailureClass::None;
+        }
+        if detail.syntactic_ok {
+            return FailureClass::Semantic;
+        }
+        // Dominant = first error-severity diagnostic class in a fixed
+        // priority order (imports outrank API outrank syntax, matching how
+        // a Python run would fail first).
+        let codes: Vec<DiagCode> = detail
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.code)
+            .collect();
+        let has = |pred: fn(&DiagCode) -> bool| codes.iter().any(pred);
+        if has(|c| matches!(c, DiagCode::UnknownImport | DiagCode::MissingImport)) {
+            FailureClass::ImportVersion
+        } else if has(|c| {
+            matches!(
+                c,
+                DiagCode::DeprecatedSymbol | DiagCode::RemovedSymbol | DiagCode::UnknownGate
+            )
+        }) {
+            FailureClass::Api
+        } else if has(|c| matches!(c, DiagCode::LexError | DiagCode::ParseError)) {
+            FailureClass::Syntax
+        } else {
+            FailureClass::Shape
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureClass::ImportVersion => "import/version",
+            FailureClass::Api => "deprecated/unknown api",
+            FailureClass::Syntax => "syntax",
+            FailureClass::Shape => "registers/shape",
+            FailureClass::Semantic => "semantic",
+            FailureClass::None => "pass",
+        }
+    }
+
+    /// All classes in report order.
+    pub const ALL: [FailureClass; 6] = [
+        FailureClass::None,
+        FailureClass::ImportVersion,
+        FailureClass::Api,
+        FailureClass::Syntax,
+        FailureClass::Shape,
+        FailureClass::Semantic,
+    ];
+}
+
+/// Failure-class counts for one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taxonomy {
+    /// Configuration label.
+    pub label: String,
+    /// Counts per class.
+    pub counts: BTreeMap<FailureClass, usize>,
+    /// Total samples.
+    pub total: usize,
+}
+
+impl Taxonomy {
+    /// Fraction of samples in a class.
+    pub fn fraction(&self, class: FailureClass) -> f64 {
+        self.counts.get(&class).copied().unwrap_or(0) as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Measures the failure taxonomy of a configuration over a task list.
+pub fn measure(
+    llm: &CodeLlm,
+    tasks: &[Task],
+    config: &GenConfig,
+    samples_per_task: usize,
+    seed: u64,
+) -> Taxonomy {
+    let mut counts: BTreeMap<FailureClass, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    for (t_idx, task) in tasks.iter().enumerate() {
+        for s in 0..samples_per_task {
+            let sample_seed = seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((t_idx * 1000 + s) as u64);
+            let generation = llm.generate(&task.spec, config, sample_seed);
+            let detail = grade_source(&generation.source, &task.spec);
+            *counts.entry(FailureClass::of(&detail)).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    Taxonomy {
+        label: config.label.to_string(),
+        counts,
+        total,
+    }
+}
+
+/// Renders taxonomies side by side as a markdown table.
+pub fn render_markdown(rows: &[Taxonomy]) -> String {
+    let mut out = String::from("| class |");
+    for r in rows {
+        let _ = write!(out, " {} |", r.label);
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in rows {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for class in FailureClass::ALL {
+        let _ = write!(out, "| {} |", class.label());
+        for r in rows {
+            let _ = write!(out, " {:.1}% |", 100.0 * r.fraction(class));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::test_suite;
+
+    #[test]
+    fn classification_priorities() {
+        use crate::grade::GradeDetail;
+        use qcir::diag::{Diagnostic, Span};
+        let mk = |codes: Vec<DiagCode>| GradeDetail {
+            syntactic_ok: false,
+            semantic_ok: false,
+            diagnostics: codes
+                .into_iter()
+                .map(|c| Diagnostic::error(c, "x", Span::default()))
+                .collect(),
+            tvd: None,
+        };
+        assert_eq!(
+            FailureClass::of(&mk(vec![DiagCode::RemovedSymbol, DiagCode::MissingImport])),
+            FailureClass::ImportVersion
+        );
+        assert_eq!(
+            FailureClass::of(&mk(vec![DiagCode::ParseError, DiagCode::RemovedSymbol])),
+            FailureClass::Api
+        );
+        assert_eq!(
+            FailureClass::of(&mk(vec![DiagCode::ParseError])),
+            FailureClass::Syntax
+        );
+        assert_eq!(
+            FailureClass::of(&mk(vec![DiagCode::QubitOutOfRange])),
+            FailureClass::Shape
+        );
+    }
+
+    #[test]
+    fn taxonomy_counts_sum_to_total() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(6).collect();
+        let t = measure(&llm, &tasks, &GenConfig::base(), 4, 3);
+        assert_eq!(t.total, 24);
+        let sum: usize = t.counts.values().sum();
+        assert_eq!(sum, t.total);
+    }
+
+    #[test]
+    fn library_drift_is_a_major_failure_class() {
+        // The paper's premise: library drift (imports + deprecated API) is
+        // a first-order failure mode. Note the taxonomy takes the *first*
+        // failure a runtime would hit, so unparseable programs classify as
+        // syntax even when they also contain drift — drift is therefore a
+        // lower bound here.
+        let llm = CodeLlm::new();
+        let tasks = test_suite();
+        let t = measure(&llm, &tasks, &GenConfig::base(), 6, 5);
+        let drift = t.fraction(FailureClass::ImportVersion) + t.fraction(FailureClass::Api);
+        assert!(drift > 0.10, "drift {drift} should be a major class");
+        assert!(
+            drift > t.fraction(FailureClass::Shape),
+            "drift {drift} should dominate shape errors"
+        );
+        // Fine-tuning fixes syntax faster than API knowledge (§III intro):
+        // the drift share of failures must grow under fine-tuning.
+        let ft = measure(&llm, &tasks, &GenConfig::fine_tuned(), 6, 5);
+        let base_fail = 1.0 - t.fraction(FailureClass::None);
+        let ft_fail = 1.0 - ft.fraction(FailureClass::None);
+        let ft_drift =
+            ft.fraction(FailureClass::ImportVersion) + ft.fraction(FailureClass::Api);
+        assert!(
+            ft_drift / ft_fail.max(1e-9) > drift / base_fail.max(1e-9),
+            "drift share must grow: ft {ft_drift}/{ft_fail} vs base {drift}/{base_fail}"
+        );
+    }
+
+    #[test]
+    fn cot_shifts_failures_away_from_semantic() {
+        let llm = CodeLlm::new();
+        let tasks = test_suite();
+        let ft = measure(&llm, &tasks, &GenConfig::fine_tuned(), 6, 7);
+        let scot = measure(&llm, &tasks, &GenConfig::with_scot(), 6, 7);
+        assert!(
+            scot.fraction(FailureClass::Semantic) < ft.fraction(FailureClass::Semantic),
+            "scot semantic {} !< ft semantic {}",
+            scot.fraction(FailureClass::Semantic),
+            ft.fraction(FailureClass::Semantic)
+        );
+    }
+
+    #[test]
+    fn markdown_renders_all_classes() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(3).collect();
+        let rows = vec![measure(&llm, &tasks, &GenConfig::base(), 2, 1)];
+        let md = render_markdown(&rows);
+        for class in FailureClass::ALL {
+            assert!(md.contains(class.label()), "{md}");
+        }
+    }
+}

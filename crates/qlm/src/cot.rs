@@ -1,0 +1,230 @@
+//! Chain-of-Thought and Structured Chain-of-Thought prompting.
+//!
+//! The paper hand-writes the first five CoT exemplars and generates the
+//! rest with GPT-4o (§IV-C), noting that "some of the errors occur due to
+//! incorrect CoT prompt generation" (§V-E). We model a plan generator
+//! with a per-kind quality: a good plan supplies algorithm structure the
+//! model lacks; a bad plan *overrides* the model's own (possibly correct)
+//! structure with a wrong one — reproducing both the large benefit and the
+//! residual failure mode.
+
+use crate::spec::TaskSpec;
+use rand::Rng;
+
+/// Which CoT flavour is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CotKind {
+    /// Zero-shot "think step by step".
+    ZeroShot,
+    /// Manual CoT with generated exemplars (the paper's "CoT").
+    Manual,
+    /// Structured CoT (program-structure-aware pseudocode plans).
+    Structured,
+}
+
+impl CotKind {
+    /// Probability the synthesized plan is structurally correct.
+    pub fn plan_quality(&self) -> f64 {
+        match self {
+            CotKind::ZeroShot => 0.55,
+            CotKind::Manual => 0.82,
+            CotKind::Structured => 0.92,
+        }
+    }
+
+    /// Multiplier on the truncation/syntax channels: working through a
+    /// plan stabilizes generation slightly (SCoT most, since the plan
+    /// mirrors program structure).
+    pub fn syntax_stabilization(&self) -> f64 {
+        match self {
+            CotKind::ZeroShot => 0.95,
+            CotKind::Manual => 0.85,
+            CotKind::Structured => 0.70,
+        }
+    }
+}
+
+/// A synthesized plan for a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The plan text (rendered into the augmented prompt / transcripts).
+    pub steps: Vec<String>,
+    /// Whether the plan is structurally correct for the task.
+    pub correct: bool,
+    /// The flavour that produced it.
+    pub kind: CotKind,
+}
+
+/// Synthesizes a plan for `spec`. Correctness is sampled from the kind's
+/// plan quality; incorrect plans contain a realistic structural mistake
+/// (wrong oracle, missing uncompute, wrong iteration count).
+pub fn synthesize_plan(spec: &TaskSpec, kind: CotKind, rng: &mut impl Rng) -> Plan {
+    let correct = rng.gen_bool(kind.plan_quality());
+    let mut steps = skeleton_steps(spec);
+    if !correct && !steps.is_empty() {
+        // Damage the plan: drop or garble a load-bearing step.
+        let victim = rng.gen_range(0..steps.len());
+        match rng.gen_range(0..3) {
+            0 => {
+                steps.remove(victim);
+            }
+            1 => steps[victim] = "apply hadamard gates to all qubits".to_string(),
+            _ => steps[victim] = "repeat the previous step once more".to_string(),
+        }
+    }
+    Plan {
+        steps,
+        correct,
+        kind,
+    }
+}
+
+/// The correct high-level plan skeleton per topic.
+fn skeleton_steps(spec: &TaskSpec) -> Vec<String> {
+    let steps: &[&str] = match spec.topic() {
+        "bell" => &["allocate 2 qubits", "hadamard qubit 0", "cx 0 -> 1", "measure all"],
+        "ghz" => &["allocate n qubits", "hadamard qubit 0", "cx chain", "measure all"],
+        "superposition" => &["allocate n qubits", "hadamard every qubit", "measure all"],
+        "basis-state" => &["allocate n qubits", "x gates on set bits", "measure all"],
+        "bernstein-vazirani" => &[
+            "prepare ancilla in minus state",
+            "hadamard inputs",
+            "oracle: cx from mask bits to ancilla",
+            "hadamard inputs",
+            "measure inputs",
+        ],
+        "superdense" => &["share bell pair", "encode bits with x/z", "decode with cx and h", "measure"],
+        "parity" => &["hadamard data", "cx every data qubit to ancilla", "measure ancilla"],
+        "deutsch-jozsa" => &[
+            "prepare ancilla in minus state",
+            "hadamard inputs",
+            "apply the oracle",
+            "hadamard inputs",
+            "measure inputs: all zero means constant",
+        ],
+        "grover" => &[
+            "hadamard all qubits",
+            "oracle: phase flip the marked state",
+            "diffuser: invert about the mean",
+            "repeat optimal number of iterations",
+            "measure",
+        ],
+        "qft" => &["hadamard + controlled phases per target", "swap for bit reversal", "measure"],
+        "phase-estimation" => &[
+            "prepare eigenstate on target",
+            "hadamard counting register",
+            "controlled powers of the unitary",
+            "inverse qft on counting register",
+            "measure counting register",
+        ],
+        "teleportation" => &[
+            "prepare payload state",
+            "share bell pair",
+            "bell measurement on payload and alice half",
+            "classically controlled x and z on bob half",
+            "measure bob",
+        ],
+        "quantum-walk" => &[
+            "coin qubit + position register",
+            "per step: hadamard coin",
+            "conditional increment when coin 1",
+            "conditional decrement when coin 0",
+            "measure position",
+        ],
+        "shor" => &[
+            "work register starts at one",
+            "hadamard counting register",
+            "controlled modular multiplications by a^(2^k)",
+            "inverse qft on counting register",
+            "measure counting register",
+        ],
+        "simon" => &[
+            "hadamard inputs",
+            "oracle copies input and collapses preimages",
+            "hadamard inputs",
+            "measure constraints",
+        ],
+        "annealing" => &[
+            "start in plus states",
+            "per trotter step: zz couplings then transverse field",
+            "ramp the schedule from transverse to ising",
+            "measure all",
+        ],
+        _ => &[],
+    };
+    steps.iter().map(|s| s.to_string()).collect()
+}
+
+/// Renders the plan into the prompt-augmentation block.
+pub fn render_plan(plan: &Plan) -> String {
+    let mut out = String::from("Let's think step by step:\n");
+    for (i, step) in plan.steps.iter().enumerate() {
+        out.push_str(&format!("{}. {step}\n", i + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_quality_ordering() {
+        assert!(CotKind::Structured.plan_quality() > CotKind::Manual.plan_quality());
+        assert!(CotKind::Manual.plan_quality() > CotKind::ZeroShot.plan_quality());
+    }
+
+    #[test]
+    fn plans_have_steps_for_every_topic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let specs = [
+            TaskSpec::BellPair,
+            TaskSpec::Grover { n: 3, marked: 1 },
+            TaskSpec::Shor,
+            TaskSpec::Walk { steps: 2 },
+            TaskSpec::Annealing { n: 4 },
+        ];
+        for spec in specs {
+            let plan = synthesize_plan(&spec, CotKind::Structured, &mut rng);
+            assert!(!plan.steps.is_empty(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn incorrect_plans_happen_at_roughly_the_configured_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 5000;
+        let bad = (0..trials)
+            .filter(|_| !synthesize_plan(&TaskSpec::BellPair, CotKind::Manual, &mut rng).correct)
+            .count();
+        let rate = bad as f64 / trials as f64;
+        let expected = 1.0 - CotKind::Manual.plan_quality();
+        assert!((rate - expected).abs() < 0.02, "rate {rate} vs {expected}");
+    }
+
+    #[test]
+    fn bad_plans_differ_from_good_ones() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_bad = false;
+        for _ in 0..100 {
+            let plan = synthesize_plan(&TaskSpec::Shor, CotKind::ZeroShot, &mut rng);
+            if !plan.correct {
+                seen_bad = true;
+                let gold = skeleton_steps(&TaskSpec::Shor);
+                assert_ne!(plan.steps, gold);
+            }
+        }
+        assert!(seen_bad);
+    }
+
+    #[test]
+    fn render_is_numbered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = synthesize_plan(&TaskSpec::BellPair, CotKind::Structured, &mut rng);
+        let text = render_plan(&plan);
+        assert!(text.contains("1. "));
+        assert!(text.starts_with("Let's think"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Retrieval-augmented generation over a simulated documentation corpus.
+//!
+//! The corpus mirrors the paper's two RAG datasets (§IV-C): (1) library
+//! API documentation — a mixture of *current* (2.1) and *stale* (1.x/2.0)
+//! pages, because "the documentation available for Qiskit is not up to
+//! date" (§V-E); and (2) algorithm guides explaining the structure of
+//! common quantum algorithms.
+//!
+//! Retrieval is real TF-IDF cosine ranking, and the effect on generation
+//! is mediated entirely by *what was retrieved*: current API chunks
+//! suppress the import/deprecation channels; a matching algorithm guide
+//! nudges structural knowledge.
+
+use qcir::api::{ApiRegistry, Version};
+use std::collections::BTreeMap;
+
+/// What kind of documentation a chunk is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocKind {
+    /// API reference page for a library version.
+    Api {
+        /// The version the page documents.
+        version: Version,
+    },
+    /// An algorithm tutorial/guide.
+    Guide,
+}
+
+/// One retrievable chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Doc {
+    /// Stable identifier.
+    pub id: String,
+    /// Chunk text.
+    pub text: String,
+    /// Kind and provenance.
+    pub kind: DocKind,
+    /// Topic key for guides (matches [`crate::spec::TaskSpec::topic`]).
+    pub topic: Option<&'static str>,
+}
+
+/// Corpus construction options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Fraction of API pages documenting *old* versions (the staleness the
+    /// paper blames for RAG's weak results). 0.0 = all current.
+    pub staleness: f64,
+    /// Whether algorithm guides are included (dataset 2).
+    pub include_guides: bool,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            staleness: 0.5,
+            include_guides: true,
+        }
+    }
+}
+
+/// A TF-IDF vector store over the documentation corpus.
+#[derive(Debug, Clone)]
+pub struct VectorStore {
+    docs: Vec<Doc>,
+    /// term -> document frequency
+    df: BTreeMap<String, usize>,
+    /// per-doc term frequencies
+    tf: Vec<BTreeMap<String, f64>>,
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_string)
+        .collect()
+}
+
+impl VectorStore {
+    /// Builds the standard corpus with the given configuration.
+    pub fn build(config: &CorpusConfig) -> Self {
+        let registry = ApiRegistry::standard();
+        let mut docs = Vec::new();
+        // API pages: one chunk per symbol per documented version. The
+        // staleness knob controls how many old-version pages survive in
+        // the corpus (weighted duplication of stale pages).
+        let current = qcir::api::CURRENT;
+        for &version in &qcir::api::RELEASES {
+            let is_current = version == current;
+            if is_current && config.staleness >= 1.0 {
+                continue;
+            }
+            for (idx, symbol) in registry.symbols_at(version).into_iter().enumerate() {
+                // Old-version pages survive in proportion to the staleness
+                // knob (deterministic subsample so builds are reproducible).
+                if !is_current {
+                    let keep = ((idx * 7919 + 13) % 100) as f64 / 100.0 < config.staleness;
+                    if !keep {
+                        continue;
+                    }
+                }
+                let text = format!(
+                    "qasmlite {version} api reference gate {symbol} usage syntax example circuit import qasmlite {version}"
+                );
+                docs.push(Doc {
+                    id: format!("api-{version}-{symbol}"),
+                    text,
+                    kind: DocKind::Api { version },
+                    topic: None,
+                });
+            }
+        }
+        if config.include_guides {
+            for (topic, text) in guide_pages() {
+                docs.push(Doc {
+                    id: format!("guide-{topic}"),
+                    text: text.to_string(),
+                    kind: DocKind::Guide,
+                    topic: Some(topic),
+                });
+            }
+        }
+        Self::from_docs(docs)
+    }
+
+    /// Builds a store from explicit documents (used by ablations).
+    pub fn from_docs(docs: Vec<Doc>) -> Self {
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
+        let mut tf: Vec<BTreeMap<String, f64>> = Vec::with_capacity(docs.len());
+        for doc in &docs {
+            let tokens = tokenize(&doc.text);
+            let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+            for t in &tokens {
+                *counts.entry(t.clone()).or_insert(0.0) += 1.0;
+            }
+            let norm = tokens.len().max(1) as f64;
+            for v in counts.values_mut() {
+                *v /= norm;
+            }
+            for term in counts.keys() {
+                *df.entry(term.clone()).or_insert(0) += 1;
+            }
+            tf.push(counts);
+        }
+        VectorStore { docs, df, tf }
+    }
+
+    /// Number of chunks in the store.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// `true` when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let n = self.docs.len() as f64;
+        let df = self.df.get(term).copied().unwrap_or(0) as f64;
+        ((n + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+
+    /// TF-IDF cosine retrieval of the top-`k` chunks for a query.
+    pub fn retrieve(&self, query: &str, k: usize) -> Vec<&Doc> {
+        let q_tokens = tokenize(query);
+        let mut q_tf: BTreeMap<String, f64> = BTreeMap::new();
+        for t in &q_tokens {
+            *q_tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        let mut scored: Vec<(f64, usize)> = self
+            .tf
+            .iter()
+            .enumerate()
+            .map(|(i, doc_tf)| {
+                let mut dot = 0.0;
+                let mut d_norm = 0.0;
+                for (term, &w) in doc_tf {
+                    let tfidf = w * self.idf(term);
+                    d_norm += tfidf * tfidf;
+                    if let Some(&qw) = q_tf.get(term) {
+                        dot += tfidf * qw * self.idf(term);
+                    }
+                }
+                let score = if d_norm > 0.0 { dot / d_norm.sqrt() } else { 0.0 };
+                (score, i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .filter(|(s, _)| *s > 0.0)
+            .map(|(_, i)| &self.docs[i])
+            .collect()
+    }
+}
+
+/// What retrieval contributed to a generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalEffect {
+    /// Fraction of retrieved API chunks documenting the current version.
+    pub current_api_fraction: f64,
+    /// Whether a guide matching the task topic was retrieved.
+    pub matched_guide: bool,
+    /// Retrieved chunk ids (for transcripts).
+    pub chunk_ids: Vec<String>,
+}
+
+impl VectorStore {
+    /// Fraction of API pages in the corpus documenting the current
+    /// release. Retrieval over the API dataset returns chunks in this
+    /// proportion (queries like "how do I apply cx" cannot distinguish
+    /// version freshness, which is the paper's stale-docs problem).
+    pub fn current_api_share(&self) -> f64 {
+        let api: Vec<&Doc> = self
+            .docs
+            .iter()
+            .filter(|d| matches!(d.kind, DocKind::Api { .. }))
+            .collect();
+        if api.is_empty() {
+            return 0.0;
+        }
+        let current = api
+            .iter()
+            .filter(|d| matches!(d.kind, DocKind::Api { version } if version == qcir::api::CURRENT))
+            .count();
+        current as f64 / api.len() as f64
+    }
+}
+
+/// Runs retrieval for a task prompt and summarizes its effect.
+///
+/// Two retrievals, matching the paper's two RAG datasets: the API dataset
+/// contributes freshness (its corpus share of current pages — version
+/// freshness is invisible to content queries), and the guide dataset is
+/// queried with the actual prompt via TF-IDF.
+pub fn retrieval_effect(store: &VectorStore, prompt: &str, topic: &str, k: usize) -> RetrievalEffect {
+    let query = format!("{prompt} guide algorithm structure {topic}");
+    let retrieved = store.retrieve(&query, k);
+    let matched_guide = retrieved
+        .iter()
+        .any(|d| d.kind == DocKind::Guide && d.topic == Some(topic));
+    RetrievalEffect {
+        current_api_fraction: store.current_api_share(),
+        matched_guide,
+        chunk_ids: retrieved.iter().map(|d| d.id.clone()).collect(),
+    }
+}
+
+/// The algorithm-guide pages (dataset 2 of §IV-C).
+fn guide_pages() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("bell", "bell pair entanglement guide hadamard cx measure two qubits correlated outcomes"),
+        ("ghz", "ghz state guide multi qubit entanglement hadamard chain of cx gates measure all"),
+        ("superposition", "uniform superposition guide hadamard on every qubit equal probability sampling"),
+        ("deutsch-jozsa", "deutsch jozsa algorithm guide oracle constant balanced ancilla minus state hadamard sandwich measure zero"),
+        ("grover", "grover search algorithm guide amplitude amplification oracle phase flip diffuser iterations optimal sqrt"),
+        ("qft", "quantum fourier transform guide controlled phase rotations swap qubits inverse qft"),
+        ("phase-estimation", "quantum phase estimation guide counting qubits controlled unitary powers inverse fourier transform eigenphase"),
+        ("teleportation", "quantum teleportation guide bell pair mid circuit measurement classical corrections conditional x z gates"),
+        ("quantum-walk", "quantum walk guide coin qubit position register conditional increment decrement cycle interference"),
+        ("shor", "shor order finding guide modular multiplication controlled swaps counting register inverse qft period"),
+        ("simon", "simon algorithm guide hidden xor mask two to one oracle orthogonal constraints linear algebra"),
+        ("annealing", "quantum annealing guide transverse field ising trotterized schedule adiabatic ground state zz coupling"),
+        ("bernstein-vazirani", "bernstein vazirani guide secret mask phase kickback ancilla minus hadamard single query"),
+        ("superdense", "superdense coding guide bell pair encode two classical bits pauli operations decode"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_builds_with_expected_composition() {
+        let store = VectorStore::build(&CorpusConfig::default());
+        assert!(store.len() > 40, "corpus size {}", store.len());
+        let all_current = VectorStore::build(&CorpusConfig {
+            staleness: 0.0,
+            include_guides: false,
+        });
+        // Only 2.1 pages survive.
+        assert!(all_current.len() < store.len());
+    }
+
+    #[test]
+    fn retrieval_finds_topic_guides() {
+        let store = VectorStore::build(&CorpusConfig::default());
+        let effect = retrieval_effect(
+            &store,
+            "Generate a quantum program using Grover's algorithm to find a marked state",
+            "grover",
+            8,
+        );
+        assert!(effect.matched_guide, "grover guide should be retrieved: {:?}", effect.chunk_ids);
+    }
+
+    #[test]
+    fn stale_corpus_retrieves_old_api_pages() {
+        let stale = VectorStore::build(&CorpusConfig {
+            staleness: 1.0,
+            include_guides: false,
+        });
+        let effect = retrieval_effect(&stale, "how do i apply a cx gate", "bell", 6);
+        assert_eq!(effect.current_api_fraction, 0.0);
+    }
+
+    #[test]
+    fn fresh_corpus_retrieves_current_api_pages() {
+        let fresh = VectorStore::build(&CorpusConfig {
+            staleness: 0.0,
+            include_guides: false,
+        });
+        let effect = retrieval_effect(&fresh, "how do i apply a cx gate", "bell", 6);
+        assert_eq!(effect.current_api_fraction, 1.0);
+    }
+
+    #[test]
+    fn retrieve_ranks_relevant_first() {
+        let store = VectorStore::build(&CorpusConfig::default());
+        let top = store.retrieve("teleportation bell pair classical corrections", 3);
+        assert!(!top.is_empty());
+        assert!(
+            top.iter().any(|d| d.topic == Some("teleportation")),
+            "top-3: {:?}",
+            top.iter().map(|d| &d.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_query_retrieves_nothing() {
+        let store = VectorStore::build(&CorpusConfig::default());
+        assert!(store.retrieve("", 5).is_empty());
+    }
+
+    #[test]
+    fn tokenizer_drops_punctuation_and_short_tokens() {
+        let tokens = tokenize("Apply CX(0, 1); a q[0]!");
+        assert!(tokens.contains(&"cx".to_string()));
+        assert!(!tokens.iter().any(|t| t == "a"));
+    }
+}

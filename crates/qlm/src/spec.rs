@@ -1,0 +1,248 @@
+//! Task specifications: what the user asks the framework to generate.
+//!
+//! A [`TaskSpec`] carries everything the pipeline needs: the natural-
+//! language prompt a developer would type, the difficulty band (the
+//! paper's basic/intermediate/advanced split), and the ground-truth
+//! reference circuit the grader compares against.
+
+use qalgo::dj::DjOracle;
+use qcir::circuit::Circuit;
+use std::fmt;
+
+/// Difficulty bands from the paper's test-suite design (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Difficulty {
+    /// Basic circuit generation and measurement (47% of the suite).
+    Basic,
+    /// Well-known algorithms: Grover, Shor, QFT... (24%).
+    Intermediate,
+    /// Teleportation, walks, annealing, QPE (29%).
+    Advanced,
+}
+
+impl fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Difficulty::Basic => write!(f, "basic"),
+            Difficulty::Intermediate => write!(f, "intermediate"),
+            Difficulty::Advanced => write!(f, "advanced"),
+        }
+    }
+}
+
+/// State preparations a teleportation task can request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TeleportPrep {
+    /// Teleport |1>.
+    One,
+    /// Teleport |+>.
+    Plus,
+    /// Teleport `RY(theta)|0>`.
+    Ry(f64),
+}
+
+/// A generation task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskSpec {
+    /// Prepare and measure a Bell pair.
+    BellPair,
+    /// Prepare and measure an `n`-qubit GHZ state.
+    Ghz { n: usize },
+    /// Uniform superposition over `n` qubits.
+    Superposition { n: usize },
+    /// Encode a computational basis state.
+    BasisState { n: usize, value: u64 },
+    /// Bernstein–Vazirani with the given secret.
+    BernsteinVazirani { n: usize, secret: u64 },
+    /// Superdense coding of two bits.
+    Superdense { b1: bool, b0: bool },
+    /// Parity check of `n` qubits onto an ancilla.
+    ParityCheck { n: usize },
+    /// Deutsch–Jozsa over `n` inputs.
+    DeutschJozsa { n: usize, oracle: DjOracle },
+    /// Grover search for a marked state.
+    Grover { n: usize, marked: u64 },
+    /// QFT applied to a basis state.
+    QftBasis { n: usize, input: u64 },
+    /// QFT followed by inverse QFT (identity check).
+    QftRoundTrip { n: usize, input: u64 },
+    /// Phase estimation of `P(2 pi phi)`.
+    Qpe { t: usize, phi: f64 },
+    /// Quantum teleportation.
+    Teleport { prep: TeleportPrep },
+    /// Coined quantum walk on the 4-cycle.
+    Walk { steps: usize },
+    /// Shor order finding for a=7 mod 15.
+    Shor,
+    /// Simon's algorithm with the given secret.
+    Simon { n: usize, secret: u64 },
+    /// Trotterized TFIM annealing.
+    Annealing { n: usize },
+}
+
+impl TaskSpec {
+    /// The difficulty band this task belongs to.
+    pub fn difficulty(&self) -> Difficulty {
+        use TaskSpec::*;
+        match self {
+            BellPair
+            | Ghz { .. }
+            | Superposition { .. }
+            | BasisState { .. }
+            | BernsteinVazirani { .. }
+            | Superdense { .. }
+            | ParityCheck { .. } => Difficulty::Basic,
+            DeutschJozsa { .. } | Grover { .. } | QftBasis { .. } | QftRoundTrip { .. }
+            | Shor | Simon { .. } => Difficulty::Intermediate,
+            Qpe { .. } | Teleport { .. } | Walk { .. } | Annealing { .. } => Difficulty::Advanced,
+        }
+    }
+
+    /// A stable topic key used by the knowledge base and RAG retrieval.
+    pub fn topic(&self) -> &'static str {
+        use TaskSpec::*;
+        match self {
+            BellPair => "bell",
+            Ghz { .. } => "ghz",
+            Superposition { .. } => "superposition",
+            BasisState { .. } => "basis-state",
+            BernsteinVazirani { .. } => "bernstein-vazirani",
+            Superdense { .. } => "superdense",
+            ParityCheck { .. } => "parity",
+            DeutschJozsa { .. } => "deutsch-jozsa",
+            Grover { .. } => "grover",
+            QftBasis { .. } | QftRoundTrip { .. } => "qft",
+            Qpe { .. } => "phase-estimation",
+            Teleport { .. } => "teleportation",
+            Walk { .. } => "quantum-walk",
+            Shor => "shor",
+            Simon { .. } => "simon",
+            Annealing { .. } => "annealing",
+        }
+    }
+
+    /// The natural-language prompt a developer would write.
+    pub fn prompt_text(&self) -> String {
+        use TaskSpec::*;
+        match self {
+            BellPair => "Generate a quantum program that prepares a Bell pair and measures both qubits.".into(),
+            Ghz { n } => format!("Generate a quantum program preparing an {n}-qubit GHZ state and measuring every qubit."),
+            Superposition { n } => format!("Generate a quantum program that puts {n} qubits into a uniform superposition and samples them."),
+            BasisState { n, value } => format!("Generate a quantum program encoding the basis state {value} on {n} qubits and measuring it."),
+            BernsteinVazirani { n, secret } => format!("Generate a quantum program implementing Bernstein-Vazirani over {n} bits for the secret mask {secret}."),
+            Superdense { b1, b0 } => format!("Generate a quantum program implementing superdense coding of the bits ({}, {}).", *b1 as u8, *b0 as u8),
+            ParityCheck { n } => format!("Generate a quantum program computing the parity of {n} superposed qubits onto an ancilla and measuring it."),
+            DeutschJozsa { n, oracle } => {
+                let kind = match oracle {
+                    DjOracle::ConstantZero => "a constant-zero".to_string(),
+                    DjOracle::ConstantOne => "a constant-one".to_string(),
+                    DjOracle::BalancedMask(m) => format!("a balanced (mask {m})"),
+                };
+                format!("Generate a quantum program running the Deutsch-Jozsa algorithm on {n} input qubits with {kind} oracle.")
+            }
+            Grover { n, marked } => format!("Generate a quantum program using Grover's algorithm to find the marked state {marked} among {n} qubits."),
+            QftBasis { n, input } => format!("Generate a quantum program applying the quantum Fourier transform to the {n}-qubit basis state {input} and measuring."),
+            QftRoundTrip { n, input } => format!("Generate a quantum program applying the QFT and inverse QFT to the {n}-qubit basis state {input}, verifying the identity."),
+            Qpe { t, phi } => format!("Generate a quantum program performing quantum phase estimation of a phase gate with phase {phi} using {t} counting qubits."),
+            Teleport { .. } => "Generate a quantum program implementing quantum teleportation with mid-circuit measurement and classical corrections.".into(),
+            Walk { steps } => format!("Generate a quantum program running a {steps}-step coined quantum walk on a 4-node cycle."),
+            Shor => "Generate a quantum program performing Shor order finding for a = 7 modulo 15 with 3 counting qubits.".into(),
+            Simon { n, secret } => format!("Generate a quantum program implementing Simon's algorithm over {n} bits with hidden mask {secret}."),
+            Annealing { n } => format!("Generate a quantum program running a trotterized quantum annealing schedule on a {n}-qubit transverse-field Ising chain."),
+        }
+    }
+
+    /// The ground-truth reference circuit for grading.
+    pub fn reference_circuit(&self) -> Circuit {
+        use TaskSpec::*;
+        match self {
+            BellPair => qalgo::basics::bell_pair(),
+            Ghz { n } => qalgo::basics::ghz(*n),
+            Superposition { n } => qalgo::basics::uniform_superposition(*n),
+            BasisState { n, value } => qalgo::basics::basis_state(*n, *value),
+            BernsteinVazirani { n, secret } => qalgo::basics::bernstein_vazirani(*n, *secret),
+            Superdense { b1, b0 } => qalgo::basics::superdense(*b1, *b0),
+            ParityCheck { n } => qalgo::basics::parity_check(*n),
+            DeutschJozsa { n, oracle } => qalgo::dj::deutsch_jozsa(*n, *oracle),
+            Grover { n, marked } => qalgo::grover::grover(*n, *marked, None),
+            QftBasis { n, input } => qalgo::qft::qft_of_basis(*n, *input),
+            QftRoundTrip { n, input } => qalgo::qft::qft_round_trip(*n, *input),
+            Qpe { t, phi } => qalgo::qpe::phase_estimation(*t, *phi),
+            Teleport { prep } => match prep {
+                TeleportPrep::One => qalgo::teleport::teleport_one(),
+                TeleportPrep::Plus => qalgo::teleport::teleport_plus(),
+                TeleportPrep::Ry(theta) => qalgo::teleport::teleport(qcir::gate::Gate::RY(*theta)),
+            },
+            Walk { steps } => qalgo::walk::quantum_walk(*steps),
+            Shor => qalgo::shor::shor_15_standard(),
+            Simon { n, secret } => qalgo::simon::simon(*n, *secret),
+            Annealing { n } => qalgo::annealing::anneal_tfim(*n, qalgo::annealing::Schedule::default()),
+        }
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.topic(), self.difficulty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_specs() -> Vec<TaskSpec> {
+        vec![
+            TaskSpec::BellPair,
+            TaskSpec::Ghz { n: 4 },
+            TaskSpec::DeutschJozsa {
+                n: 3,
+                oracle: DjOracle::ConstantZero,
+            },
+            TaskSpec::Grover { n: 3, marked: 5 },
+            TaskSpec::Teleport {
+                prep: TeleportPrep::One,
+            },
+            TaskSpec::Shor,
+            TaskSpec::Annealing { n: 4 },
+        ]
+    }
+
+    #[test]
+    fn difficulty_bands() {
+        assert_eq!(TaskSpec::BellPair.difficulty(), Difficulty::Basic);
+        assert_eq!(TaskSpec::Shor.difficulty(), Difficulty::Intermediate);
+        assert_eq!(
+            TaskSpec::Walk { steps: 2 }.difficulty(),
+            Difficulty::Advanced
+        );
+    }
+
+    #[test]
+    fn every_spec_has_a_reference_circuit() {
+        for spec in sample_specs() {
+            let c = spec.reference_circuit();
+            assert!(c.num_qubits() > 0, "{spec}");
+            assert!(!c.is_empty(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn prompts_are_nonempty_and_distinct() {
+        let prompts: Vec<String> = sample_specs().iter().map(|s| s.prompt_text()).collect();
+        for p in &prompts {
+            assert!(p.len() > 20);
+        }
+        let unique: std::collections::BTreeSet<&String> = prompts.iter().collect();
+        assert_eq!(unique.len(), prompts.len());
+    }
+
+    #[test]
+    fn topics_are_stable_keys() {
+        assert_eq!(TaskSpec::BellPair.topic(), "bell");
+        assert_eq!(
+            TaskSpec::QftBasis { n: 3, input: 1 }.topic(),
+            TaskSpec::QftRoundTrip { n: 3, input: 1 }.topic()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Program templates: the "gold" QasmLite source the model emits when it
+//! knows an algorithm, and the plausible-but-wrong sources it emits when
+//! it does not.
+
+use crate::spec::TaskSpec;
+use qcir::fmt::to_qasmlite;
+use rand::Rng;
+
+/// The correct program for a task: the reference circuit, rendered to
+/// canonical QasmLite.
+pub fn gold_source(spec: &TaskSpec) -> String {
+    to_qasmlite(&spec.reference_circuit())
+}
+
+/// A syntactically valid but semantically wrong program for the task — the
+/// paper's "syntactically correct but nonsensical code" failure mode.
+///
+/// The wrong program keeps the right register shape (the model usually gets
+/// the interface right) but substitutes a generic structure: a partial
+/// superposition with some entanglers, or a mis-parameterized variant of
+/// the right algorithm.
+pub fn confabulated_source(spec: &TaskSpec, rng: &mut impl Rng) -> String {
+    let gold = gold_source(spec);
+    let first = rng.gen_range(0..3);
+    // A confabulation that happens to coincide with the right program is
+    // not a confabulation; rotate variants until the text differs (the
+    // rotation-soup variant always does).
+    for offset in 0..3 {
+        let candidate = confabulation_variant(spec, (first + offset) % 3);
+        if candidate != gold {
+            return candidate;
+        }
+    }
+    unreachable!("rotation-soup variant always differs from gold");
+}
+
+fn confabulation_variant(spec: &TaskSpec, variant: usize) -> String {
+    let reference = spec.reference_circuit();
+    let n = reference.num_qubits();
+    let c = reference.num_clbits().max(1);
+    let mut qc = qcir::circuit::Circuit::new(n, c);
+    match variant {
+        0 => {
+            // Partial superposition + stray flip: "looks quantum".
+            for q in 0..n.div_ceil(2) {
+                qc.h(q);
+            }
+            if n > 1 {
+                qc.x(n - 1);
+            }
+        }
+        1 => {
+            // Entangler chain without the oracle/algorithm body.
+            qc.h(0);
+            for q in 0..n.saturating_sub(1) {
+                qc.cx(q, q + 1);
+            }
+        }
+        _ => {
+            // Rotation soup: plausible parameterized structure.
+            for q in 0..n {
+                qc.ry(0.3 + 0.41 * q as f64, q);
+            }
+            for q in 0..n.saturating_sub(1) {
+                qc.cz(q, q + 1);
+            }
+            for q in 0..n {
+                qc.rz(0.7, q);
+            }
+        }
+    }
+    for bit in 0..c {
+        let q = bit.min(n.saturating_sub(1));
+        qc.measure(q, bit);
+    }
+    to_qasmlite(&qc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gold_source_parses_and_checks() {
+        let specs = [
+            TaskSpec::BellPair,
+            TaskSpec::Grover { n: 3, marked: 2 },
+            TaskSpec::Shor,
+            TaskSpec::Teleport {
+                prep: crate::spec::TeleportPrep::One,
+            },
+        ];
+        for spec in specs {
+            let src = gold_source(&spec);
+            let program = qcir::dsl::parse(&src).expect("gold source parses");
+            let circuit = qcir::check::lower(&program).expect("gold source checks");
+            assert_eq!(circuit.num_qubits(), spec.reference_circuit().num_qubits());
+        }
+    }
+
+    #[test]
+    fn confabulated_source_is_valid_but_different() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = TaskSpec::Grover { n: 3, marked: 2 };
+        for _ in 0..10 {
+            let src = confabulated_source(&spec, &mut rng);
+            let program = qcir::dsl::parse(&src).expect("confabulation parses");
+            let circuit = qcir::check::lower(&program).expect("confabulation checks");
+            assert_eq!(circuit.num_qubits(), 3);
+            assert_ne!(src, gold_source(&spec), "must differ from gold");
+        }
+    }
+
+    #[test]
+    fn confabulation_keeps_register_interface() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = TaskSpec::DeutschJozsa {
+            n: 3,
+            oracle: qalgo::dj::DjOracle::ConstantZero,
+        };
+        let src = confabulated_source(&spec, &mut rng);
+        let circuit = qcir::check::lower(&qcir::dsl::parse(&src).unwrap()).unwrap();
+        let reference = spec.reference_circuit();
+        assert_eq!(circuit.num_qubits(), reference.num_qubits());
+        assert_eq!(circuit.num_clbits(), reference.num_clbits());
+    }
+}

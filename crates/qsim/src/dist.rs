@@ -1,0 +1,325 @@
+//! Measurement-outcome distributions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Shot counts over classical-register outcomes.
+///
+/// Outcomes are stored as integers with classical bit `i` in bit `i`;
+/// [`Counts::bitstring`] renders them most-significant-bit first, matching
+/// Qiskit's display convention.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    num_clbits: usize,
+    shots: u64,
+    table: BTreeMap<u64, u64>,
+}
+
+impl Counts {
+    /// Creates an empty counts table for `num_clbits` classical bits.
+    pub fn new(num_clbits: usize) -> Self {
+        Counts {
+            num_clbits,
+            shots: 0,
+            table: BTreeMap::new(),
+        }
+    }
+
+    /// Records one shot with the given outcome word.
+    pub fn record(&mut self, outcome: u64) {
+        *self.table.entry(outcome).or_insert(0) += 1;
+        self.shots += 1;
+    }
+
+    /// Total shots recorded.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Number of classical bits per outcome.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn distinct_outcomes(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Raw count for an outcome word.
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.table.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of an outcome word.
+    pub fn probability(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// Empirical probability of a bitstring like `"011"` (MSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the string length differs from `num_clbits` or contains
+    /// non-binary characters.
+    pub fn probability_of_str(&self, bits: &str) -> f64 {
+        self.probability(parse_bitstring(bits, self.num_clbits))
+    }
+
+    /// The most frequent outcome, or `None` when empty.
+    pub fn most_likely(&self) -> Option<u64> {
+        self.table
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(&outcome, _)| outcome)
+    }
+
+    /// Renders an outcome word as an MSB-first bitstring.
+    pub fn bitstring(&self, outcome: u64) -> String {
+        render_bitstring(outcome, self.num_clbits)
+    }
+
+    /// Iterates over `(outcome, count)` pairs in outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.table.iter().map(|(&o, &c)| (o, c))
+    }
+
+    /// Converts to a normalized probability map.
+    pub fn to_distribution(&self) -> Distribution {
+        let mut d = Distribution::new(self.num_clbits);
+        if self.shots == 0 {
+            return d;
+        }
+        for (&outcome, &count) in &self.table {
+            d.set(outcome, count as f64 / self.shots as f64);
+        }
+        d
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} shots over {} bit(s):", self.shots, self.num_clbits)?;
+        for (&outcome, &count) in &self.table {
+            writeln!(
+                f,
+                "  {} : {:>8}  ({:.4})",
+                self.bitstring(outcome),
+                count,
+                count as f64 / self.shots.max(1) as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u64> for Counts {
+    /// Collects outcome words; `num_clbits` is set to the minimum width that
+    /// holds the largest outcome.
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut table: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut shots = 0;
+        let mut max = 0u64;
+        for outcome in iter {
+            *table.entry(outcome).or_insert(0) += 1;
+            shots += 1;
+            max = max.max(outcome);
+        }
+        let num_clbits = if max == 0 { 1 } else { (64 - max.leading_zeros()) as usize };
+        Counts {
+            num_clbits,
+            shots,
+            table,
+        }
+    }
+}
+
+/// A normalized probability distribution over outcome words.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Distribution {
+    num_clbits: usize,
+    probs: BTreeMap<u64, f64>,
+}
+
+impl Distribution {
+    /// An empty distribution over `num_clbits` bits.
+    pub fn new(num_clbits: usize) -> Self {
+        Distribution {
+            num_clbits,
+            probs: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a distribution from state-vector probabilities (index = word).
+    pub fn from_probabilities(num_clbits: usize, probs: &[f64]) -> Self {
+        let mut d = Distribution::new(num_clbits);
+        for (i, &p) in probs.iter().enumerate() {
+            if p > 0.0 {
+                d.set(i as u64, p);
+            }
+        }
+        d
+    }
+
+    /// Sets the probability of an outcome.
+    pub fn set(&mut self, outcome: u64, p: f64) {
+        if p > 0.0 {
+            self.probs.insert(outcome, p);
+        } else {
+            self.probs.remove(&outcome);
+        }
+    }
+
+    /// Probability of an outcome (0 when absent).
+    pub fn get(&self, outcome: u64) -> f64 {
+        self.probs.get(&outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Iterates over `(outcome, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.probs.iter().map(|(&o, &p)| (o, p))
+    }
+
+    /// Total probability mass (should be ~1 for complete distributions).
+    pub fn total_mass(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// Total-variation distance to another distribution.
+    pub fn tvd(&self, other: &Distribution) -> f64 {
+        let mut keys: Vec<u64> = self.probs.keys().copied().collect();
+        keys.extend(other.probs.keys().copied());
+        keys.sort_unstable();
+        keys.dedup();
+        0.5 * keys
+            .into_iter()
+            .map(|k| (self.get(k) - other.get(k)).abs())
+            .sum::<f64>()
+    }
+
+    /// Hellinger distance to another distribution.
+    pub fn hellinger(&self, other: &Distribution) -> f64 {
+        let mut keys: Vec<u64> = self.probs.keys().copied().collect();
+        keys.extend(other.probs.keys().copied());
+        keys.sort_unstable();
+        keys.dedup();
+        let bc: f64 = keys
+            .into_iter()
+            .map(|k| (self.get(k) * other.get(k)).sqrt())
+            .sum();
+        (1.0 - bc.min(1.0)).sqrt()
+    }
+}
+
+/// Parses an MSB-first bitstring into an outcome word.
+///
+/// # Panics
+///
+/// Panics when `bits.len() != width` or a character is not `0`/`1`.
+pub fn parse_bitstring(bits: &str, width: usize) -> u64 {
+    assert_eq!(bits.len(), width, "bitstring width mismatch");
+    let mut word = 0u64;
+    for (i, ch) in bits.chars().enumerate() {
+        let bit = match ch {
+            '0' => 0u64,
+            '1' => 1u64,
+            other => panic!("invalid bitstring character `{other}`"),
+        };
+        // MSB-first: first character is the highest classical bit.
+        word |= bit << (width - 1 - i);
+    }
+    word
+}
+
+/// Renders an outcome word as an MSB-first bitstring of `width` characters.
+pub fn render_bitstring(outcome: u64, width: usize) -> String {
+    (0..width)
+        .rev()
+        .map(|i| if (outcome >> i) & 1 == 1 { '1' } else { '0' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(2);
+        c.record(0b00);
+        c.record(0b11);
+        c.record(0b11);
+        assert_eq!(c.shots(), 3);
+        assert_eq!(c.count(0b11), 2);
+        assert_eq!(c.most_likely(), Some(0b11));
+        assert!((c.probability(0b00) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bitstring_round_trip() {
+        assert_eq!(parse_bitstring("011", 3), 0b011);
+        assert_eq!(render_bitstring(0b011, 3), "011");
+        assert_eq!(parse_bitstring("100", 3), 0b100);
+        assert_eq!(render_bitstring(5, 4), "0101");
+    }
+
+    #[test]
+    fn probability_of_str_uses_msb_first() {
+        let mut c = Counts::new(3);
+        c.record(0b001); // clbit 0 = 1
+        assert!((c.probability_of_str("001") - 1.0).abs() < 1e-12);
+        assert_eq!(c.probability_of_str("100"), 0.0);
+    }
+
+    #[test]
+    fn tvd_of_identical_is_zero() {
+        let mut a = Distribution::new(2);
+        a.set(0, 0.5);
+        a.set(3, 0.5);
+        assert!(a.tvd(&a.clone()) < 1e-12);
+    }
+
+    #[test]
+    fn tvd_of_disjoint_is_one() {
+        let mut a = Distribution::new(1);
+        a.set(0, 1.0);
+        let mut b = Distribution::new(1);
+        b.set(1, 1.0);
+        assert!((a.tvd(&b) - 1.0).abs() < 1e-12);
+        assert!((a.hellinger(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_to_distribution_normalizes() {
+        let mut c = Counts::new(1);
+        for _ in 0..3 {
+            c.record(0);
+        }
+        c.record(1);
+        let d = c.to_distribution();
+        assert!((d.get(0) - 0.75).abs() < 1e-12);
+        assert!((d.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_infers_width() {
+        let c: Counts = vec![0u64, 5, 2].into_iter().collect();
+        assert_eq!(c.num_clbits(), 3);
+        assert_eq!(c.shots(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn parse_checks_width() {
+        parse_bitstring("01", 3);
+    }
+}

@@ -1,0 +1,360 @@
+//! Circuit execution: shots, trajectories, conditionals.
+
+use crate::dist::{Counts, Distribution};
+use crate::noise::NoiseModel;
+use crate::state::StateVector;
+use qcir::circuit::{Circuit, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Executes circuits against a noise model.
+///
+/// For noiseless circuits whose measurements all come last, the executor
+/// evolves the state once and samples outcomes from the exact distribution;
+/// otherwise it runs one Monte-Carlo trajectory per shot (required for
+/// mid-circuit measurement, conditionals, resets and noise).
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    noise: NoiseModel,
+}
+
+impl Executor {
+    /// A noiseless executor.
+    pub fn ideal() -> Self {
+        Executor {
+            noise: NoiseModel::ideal(),
+        }
+    }
+
+    /// An executor with the given noise model.
+    pub fn with_noise(noise: NoiseModel) -> Self {
+        Executor { noise }
+    }
+
+    /// The active noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Runs `shots` shots with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the circuit exceeds the dense-simulation qubit cap.
+    pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Counts {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if !self.noise.is_noisy() && measures_only_at_end(circuit) {
+            return self.run_fast(circuit, shots, &mut rng);
+        }
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let outcome = self.run_trajectory(circuit, &mut rng);
+            counts.record(outcome);
+        }
+        counts
+    }
+
+    /// Evolves the unitary prefix once, then samples measured qubits.
+    fn run_fast(&self, circuit: &Circuit, shots: u64, rng: &mut StdRng) -> Counts {
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        let mut measure_map: Vec<(usize, usize)> = Vec::new();
+        for op in circuit.ops() {
+            match op {
+                Op::Gate { gate, qubits } => sv.apply_gate(*gate, qubits),
+                Op::Measure { qubit, clbit } => measure_map.push((*qubit, *clbit)),
+                Op::Barrier { .. } => {}
+                _ => unreachable!("fast path precondition violated"),
+            }
+        }
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let basis = sv.sample(rng);
+            let mut word = 0u64;
+            for &(q, c) in &measure_map {
+                if (basis >> q) & 1 == 1 {
+                    word |= 1 << c;
+                }
+            }
+            counts.record(word);
+        }
+        counts
+    }
+
+    /// One full Monte-Carlo trajectory; returns the classical outcome word.
+    fn run_trajectory(&self, circuit: &Circuit, rng: &mut StdRng) -> u64 {
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        let mut clbits = 0u64;
+        for op in circuit.ops() {
+            match op {
+                Op::Gate { gate, qubits } => {
+                    sv.apply_gate(*gate, qubits);
+                    for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
+                        sv.apply_gate(pauli.gate(), &[q]);
+                    }
+                }
+                Op::CondGate {
+                    gate,
+                    qubits,
+                    clbit,
+                    value,
+                } => {
+                    let bit = (clbits >> clbit) & 1 == 1;
+                    if bit == *value {
+                        sv.apply_gate(*gate, qubits);
+                        for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
+                            sv.apply_gate(pauli.gate(), &[q]);
+                        }
+                    }
+                }
+                Op::Measure { qubit, clbit } => {
+                    let raw = sv.measure(*qubit, rng);
+                    let reported = self.noise.sample_readout(raw, rng);
+                    if reported {
+                        clbits |= 1 << clbit;
+                    } else {
+                        clbits &= !(1 << clbit);
+                    }
+                }
+                Op::Reset { qubit } => {
+                    sv.reset(*qubit, rng);
+                }
+                Op::Barrier { .. } => {
+                    for (q, pauli) in self.noise.sample_idle_errors(sv.num_qubits(), rng) {
+                        sv.apply_gate(pauli.gate(), &[q]);
+                    }
+                }
+            }
+        }
+        clbits
+    }
+
+    /// The exact noiseless outcome distribution for circuits whose
+    /// measurements all come last; falls back to a 16384-shot estimate for
+    /// circuits with mid-circuit measurement or conditionals.
+    pub fn ideal_distribution(circuit: &Circuit, seed: u64) -> Distribution {
+        if measures_only_at_end(circuit) {
+            let mut sv = StateVector::zero(circuit.num_qubits());
+            let mut measure_map: Vec<(usize, usize)> = Vec::new();
+            for op in circuit.ops() {
+                match op {
+                    Op::Gate { gate, qubits } => sv.apply_gate(*gate, qubits),
+                    Op::Measure { qubit, clbit } => measure_map.push((*qubit, *clbit)),
+                    Op::Barrier { .. } => {}
+                    _ => unreachable!(),
+                }
+            }
+            let mut dist = Distribution::new(circuit.num_clbits());
+            for (basis, p) in sv.probabilities().into_iter().enumerate() {
+                if p <= 1e-15 {
+                    continue;
+                }
+                let mut word = 0u64;
+                for &(q, c) in &measure_map {
+                    if (basis >> q) & 1 == 1 {
+                        word |= 1 << c;
+                    }
+                }
+                let existing = dist.get(word);
+                dist.set(word, existing + p);
+            }
+            dist
+        } else {
+            Executor::ideal()
+                .run(circuit, 16_384, seed)
+                .to_distribution()
+        }
+    }
+
+    /// Runs the unitary portion only and returns the final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the circuit contains measurements, resets or conditional
+    /// gates.
+    pub fn statevector(circuit: &Circuit) -> StateVector {
+        assert!(
+            circuit.is_unitary_only(),
+            "statevector() requires a measurement-free circuit"
+        );
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        for op in circuit.ops() {
+            if let Op::Gate { gate, qubits } = op {
+                sv.apply_gate(*gate, qubits);
+            }
+        }
+        sv
+    }
+}
+
+/// `true` when the circuit has no conditionals/resets and every measurement
+/// comes after the last gate.
+pub fn measures_only_at_end(circuit: &Circuit) -> bool {
+    let mut seen_measure = false;
+    for op in circuit.ops() {
+        match op {
+            Op::CondGate { .. } | Op::Reset { .. } => return false,
+            Op::Measure { .. } => seen_measure = true,
+            Op::Gate { .. } => {
+                if seen_measure {
+                    return false;
+                }
+            }
+            Op::Barrier { .. } => {}
+        }
+    }
+    true
+}
+
+/// Convenience: sample a random `u64` stream deterministically from a seed
+/// plus an index (used by benches to decorrelate sweeps).
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    // SplitMix64 step.
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Samples `n` outcomes from an arbitrary discrete distribution (utility for
+/// synthetic workloads).
+pub fn sample_distribution(dist: &Distribution, n: u64, seed: u64) -> Counts {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(u64, f64)> = dist.iter().collect();
+    let mut counts = Counts::new(dist.num_clbits());
+    for _ in 0..n {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = pairs.last().map(|&(o, _)| o).unwrap_or(0);
+        for &(o, p) in &pairs {
+            acc += p;
+            if r < acc {
+                chosen = o;
+                break;
+            }
+        }
+        counts.record(chosen);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use qcir::gate::Gate;
+
+    fn bell() -> Circuit {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        qc
+    }
+
+    #[test]
+    fn ideal_bell_is_correlated() {
+        let counts = Executor::ideal().run(&bell(), 2000, 9);
+        assert_eq!(counts.shots(), 2000);
+        assert_eq!(counts.count(0b01) + counts.count(0b10), 0);
+        let p00 = counts.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 = {p00}");
+    }
+
+    #[test]
+    fn fast_and_trajectory_paths_agree() {
+        let qc = bell();
+        let fast = Executor::ideal().run(&qc, 4000, 1).to_distribution();
+        // Force the trajectory path with a zero-rate "noisy" model.
+        let mut zero = NoiseModel::uniform_depolarizing(0.0);
+        zero.idle_error = 0.0;
+        zero.readout_error = 1e-300; // non-zero flag, negligible effect
+        let slow = Executor::with_noise(zero).run(&qc, 4000, 1).to_distribution();
+        assert!(fast.tvd(&slow) < 0.05);
+    }
+
+    #[test]
+    fn ideal_distribution_is_exact() {
+        let dist = Executor::ideal_distribution(&bell(), 0);
+        assert!((dist.get(0b00) - 0.5).abs() < 1e-12);
+        assert!((dist.get(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Executor::ideal().run(&bell(), 100, 42);
+        let b = Executor::ideal().run(&bell(), 100, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn readout_noise_pollutes_deterministic_circuit() {
+        let mut qc = Circuit::new(1, 1);
+        qc.x(0).measure(0, 0);
+        let nm = NoiseModel {
+            one_qubit_depol: 0.0,
+            two_qubit_depol: 0.0,
+            readout_error: 0.2,
+            idle_error: 0.0,
+            label: "ro".into(),
+        };
+        let counts = Executor::with_noise(nm).run(&qc, 20_000, 5);
+        let p_wrong = counts.probability(0b0);
+        assert!((p_wrong - 0.2).abs() < 0.02, "p_wrong = {p_wrong}");
+    }
+
+    #[test]
+    fn conditional_teleport_like_correction_works() {
+        // Prepare |1> on q0, measure into c0, then conditionally flip q1.
+        let mut qc = Circuit::new(2, 2);
+        qc.x(0).measure(0, 0);
+        qc.cond_gate(Gate::X, &[1], 0, true);
+        qc.measure(1, 1);
+        let counts = Executor::ideal().run(&qc, 200, 3);
+        assert_eq!(counts.count(0b11), 200);
+    }
+
+    #[test]
+    fn reset_mid_circuit() {
+        let mut qc = Circuit::new(1, 1);
+        qc.x(0).reset(0).measure(0, 0);
+        let counts = Executor::ideal().run(&qc, 100, 4);
+        assert_eq!(counts.count(0), 100);
+    }
+
+    #[test]
+    fn depolarizing_noise_reduces_fidelity() {
+        let qc = bell();
+        let noisy = Executor::with_noise(profiles::noisy_nisq()).run(&qc, 5000, 6);
+        let ideal = Executor::ideal_distribution(&qc, 0);
+        let tvd = noisy.to_distribution().tvd(&ideal);
+        assert!(tvd > 0.02, "noise should be visible, tvd = {tvd}");
+        assert!(tvd < 0.6, "noise should not destroy the state, tvd = {tvd}");
+    }
+
+    #[test]
+    fn measures_only_at_end_detection() {
+        assert!(measures_only_at_end(&bell()));
+        let mut mid = Circuit::new(2, 2);
+        mid.h(0).measure(0, 0).x(1).measure(1, 1);
+        assert!(!measures_only_at_end(&mid));
+        let mut cond = Circuit::new(1, 1);
+        cond.measure(0, 0);
+        cond.cond_gate(Gate::X, &[0], 0, true);
+        assert!(!measures_only_at_end(&cond));
+    }
+
+    #[test]
+    fn derive_seed_decorrelates() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(derive_seed(1, 0), a);
+    }
+
+    #[test]
+    fn sample_distribution_matches_probabilities() {
+        let mut d = Distribution::new(1);
+        d.set(0, 0.25);
+        d.set(1, 0.75);
+        let counts = sample_distribution(&d, 20_000, 8);
+        assert!((counts.probability(1) - 0.75).abs() < 0.02);
+    }
+}

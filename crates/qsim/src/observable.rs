@@ -1,0 +1,310 @@
+//! Pauli-string observables and expectation values.
+//!
+//! The VQE workloads (and any ablation wanting an energy rather than a
+//! distribution) need `<psi| P |psi>` for Pauli strings `P` and weighted
+//! sums of them (Hamiltonians). Expectations are computed directly on the
+//! state vector without building the operator matrix.
+
+use crate::state::StateVector;
+use qcir::math::C64;
+use std::fmt;
+
+/// A single-qubit Pauli factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+/// A tensor product of Pauli factors over `n` qubits.
+///
+/// ```
+/// use qsim::observable::PauliString;
+/// let zz = PauliString::parse("ZZI").expect("valid");
+/// assert_eq!(zz.num_qubits(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    factors: Vec<PauliOp>,
+}
+
+impl PauliString {
+    /// The identity string over `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            factors: vec![PauliOp::I; n],
+        }
+    }
+
+    /// Builds from explicit factors (factor `i` acts on qubit `i`).
+    pub fn new(factors: Vec<PauliOp>) -> Self {
+        PauliString { factors }
+    }
+
+    /// Parses a string like `"ZZI"` — **leftmost character acts on qubit
+    /// 0** (reading order, not bit order).
+    ///
+    /// Returns `None` on characters outside `IXYZ`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let factors: Option<Vec<PauliOp>> = s
+            .chars()
+            .map(|c| match c.to_ascii_uppercase() {
+                'I' => Some(PauliOp::I),
+                'X' => Some(PauliOp::X),
+                'Y' => Some(PauliOp::Y),
+                'Z' => Some(PauliOp::Z),
+                _ => None,
+            })
+            .collect();
+        Some(PauliString { factors: factors? })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factor on `qubit`.
+    pub fn factor(&self, qubit: usize) -> PauliOp {
+        self.factors.get(qubit).copied().unwrap_or(PauliOp::I)
+    }
+
+    /// Weight: number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.factors.iter().filter(|&&f| f != PauliOp::I).count()
+    }
+
+    /// `<psi| P |psi>` (always real for Hermitian P; the real part is
+    /// returned and the imaginary part asserted small in debug builds).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the string is wider than the state.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert!(
+            self.num_qubits() <= state.num_qubits(),
+            "observable wider than state"
+        );
+        let amps = state.amplitudes();
+        let mut acc = C64::ZERO;
+        // <psi|P|psi> = sum_i conj(psi_i) * (P psi)_i, computed by mapping
+        // each basis index through the X-part and phase of P.
+        let mut x_mask = 0usize;
+        for (q, &f) in self.factors.iter().enumerate() {
+            if matches!(f, PauliOp::X | PauliOp::Y) {
+                x_mask |= 1 << q;
+            }
+        }
+        for (i, amp) in amps.iter().enumerate() {
+            if *amp == C64::ZERO {
+                continue;
+            }
+            let j = i ^ x_mask;
+            // Phase from Y and Z factors acting on |i>.
+            let mut phase = C64::ONE;
+            for (q, &f) in self.factors.iter().enumerate() {
+                let bit = (i >> q) & 1;
+                match f {
+                    PauliOp::I | PauliOp::X => {}
+                    PauliOp::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                    PauliOp::Y => {
+                        // Y|0> = i|1>, Y|1> = -i|0>.
+                        phase *= if bit == 0 { C64::I } else { -C64::I };
+                    }
+                }
+            }
+            // (P psi)_j accumulates phase * psi_i; contribute conj(psi_j)*...
+            acc += amps[j].conj() * phase * *amp;
+        }
+        debug_assert!(acc.im.abs() < 1e-9, "expectation must be real: {acc}");
+        acc.re
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for factor in &self.factors {
+            let c = match factor {
+                PauliOp::I => 'I',
+                PauliOp::X => 'X',
+                PauliOp::Y => 'Y',
+                PauliOp::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A weighted sum of Pauli strings (a Hamiltonian).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Hamiltonian {
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl Hamiltonian {
+    /// An empty Hamiltonian.
+    pub fn new() -> Self {
+        Hamiltonian { terms: Vec::new() }
+    }
+
+    /// Adds a weighted term (builder style).
+    pub fn term(mut self, coefficient: f64, pauli: PauliString) -> Self {
+        self.terms.push((coefficient, pauli));
+        self
+    }
+
+    /// The transverse-field Ising chain
+    /// `H = -J sum Z_i Z_{i+1} - h sum X_i` on `n` qubits.
+    pub fn tfim_chain(n: usize, j: f64, h: f64) -> Self {
+        let mut ham = Hamiltonian::new();
+        for q in 0..n.saturating_sub(1) {
+            let mut f = vec![PauliOp::I; n];
+            f[q] = PauliOp::Z;
+            f[q + 1] = PauliOp::Z;
+            ham = ham.term(-j, PauliString::new(f));
+        }
+        for q in 0..n {
+            let mut f = vec![PauliOp::I; n];
+            f[q] = PauliOp::X;
+            ham = ham.term(-h, PauliString::new(f));
+        }
+        ham
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(coefficient, string)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &PauliString)> {
+        self.terms.iter().map(|(c, p)| (*c, p))
+    }
+
+    /// `<psi| H |psi>`.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        self.terms
+            .iter()
+            .map(|(c, p)| c * p.expectation(state))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::gate::Gate;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p = PauliString::parse("XIZY").expect("valid");
+        assert_eq!(p.to_string(), "XIZY");
+        assert_eq!(p.weight(), 3);
+        assert!(PauliString::parse("XQ").is_none());
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let z = PauliString::parse("Z").expect("valid");
+        let zero = StateVector::zero(1);
+        assert!((z.expectation(&zero) - 1.0).abs() < 1e-12);
+        let one = StateVector::basis(1, 1);
+        assert!((z.expectation(&one) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_expectation_on_plus_state() {
+        let mut plus = StateVector::zero(1);
+        plus.apply_gate(Gate::H, &[0]);
+        let x = PauliString::parse("X").expect("valid");
+        assert!((x.expectation(&plus) - 1.0).abs() < 1e-12);
+        let z = PauliString::parse("Z").expect("valid");
+        assert!(z.expectation(&plus).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_expectation_on_y_eigenstate() {
+        // |+i> = (|0> + i|1>)/sqrt(2) = S H |0>.
+        let mut psi = StateVector::zero(1);
+        psi.apply_gate(Gate::H, &[0]);
+        psi.apply_gate(Gate::S, &[0]);
+        let y = PauliString::parse("Y").expect("valid");
+        assert!((y.expectation(&psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zz_on_bell_state_is_one() {
+        let mut bell = StateVector::zero(2);
+        bell.apply_gate(Gate::H, &[0]);
+        bell.apply_gate(Gate::CX, &[0, 1]);
+        let zz = PauliString::parse("ZZ").expect("valid");
+        assert!((zz.expectation(&bell) - 1.0).abs() < 1e-12);
+        let xx = PauliString::parse("XX").expect("valid");
+        assert!((xx.expectation(&bell) - 1.0).abs() < 1e-12);
+        let zi = PauliString::parse("ZI").expect("valid");
+        assert!(zi.expectation(&bell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let mut psi = StateVector::zero(3);
+        psi.apply_gate(Gate::H, &[0]);
+        psi.apply_gate(Gate::T, &[1]);
+        let id = PauliString::identity(3);
+        assert!((id.expectation(&psi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tfim_hamiltonian_ground_state_energies() {
+        // At h = 0 the ground states are the aligned ferromagnets with
+        // E = -J (n-1).
+        let ham = Hamiltonian::tfim_chain(4, 1.0, 0.0);
+        assert_eq!(ham.num_terms(), 7);
+        let zero = StateVector::zero(4);
+        assert!((ham.expectation(&zero) + 3.0).abs() < 1e-12);
+        // At J = 0, |+...+> is the ground state with E = -h n.
+        let ham_x = Hamiltonian::tfim_chain(3, 0.0, 1.0);
+        let mut plus = StateVector::zero(3);
+        for q in 0..3 {
+            plus.apply_gate(Gate::H, &[q]);
+        }
+        assert!((ham_x.expectation(&plus) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_bounded_by_operator_norm() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let mut psi = StateVector::zero(3);
+            for _ in 0..8 {
+                let q = rng.gen_range(0..3);
+                match rng.gen_range(0..3) {
+                    0 => psi.apply_gate(Gate::H, &[q]),
+                    1 => psi.apply_gate(Gate::T, &[q]),
+                    _ => {
+                        let p = (q + 1) % 3;
+                        psi.apply_gate(Gate::CX, &[q, p]);
+                    }
+                }
+            }
+            for s in ["XYZ", "ZZI", "IYX"] {
+                let p = PauliString::parse(s).expect("valid");
+                let e = p.expectation(&psi);
+                assert!(e.abs() <= 1.0 + 1e-9, "{s}: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Criterion microbenches: decoder throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qec::decoder::{Decoder, DecodingGraph, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder};
+use qec::surface::SurfaceCode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_syndromes(code: &SurfaceCode, p: f64, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let graph = DecodingGraph::code_capacity_x(code);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let errors: Vec<bool> = (0..code.num_data()).map(|_| rng.gen_bool(p)).collect();
+            graph.syndrome_of(&errors)
+        })
+        .collect()
+}
+
+fn bench_decoders_d3(c: &mut Criterion) {
+    let code = SurfaceCode::new(3);
+    let syndromes = random_syndromes(&code, 0.05, 64, 1);
+    let graph = DecodingGraph::code_capacity_x(&code);
+    let lookup = LookupDecoder::new(&code);
+    let greedy = GreedyMatchingDecoder::new(graph.clone());
+    let uf = UnionFindDecoder::new(graph);
+
+    let mut group = c.benchmark_group("decode_d3_batch64");
+    group.bench_function("lookup", |b| {
+        b.iter(|| {
+            for s in &syndromes {
+                std::hint::black_box(lookup.decode(s));
+            }
+        })
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            for s in &syndromes {
+                std::hint::black_box(greedy.decode(s));
+            }
+        })
+    });
+    group.bench_function("union-find", |b| {
+        b.iter(|| {
+            for s in &syndromes {
+                std::hint::black_box(uf.decode(s));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_decoders_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_scaling");
+    for &d in &[3usize, 5, 7] {
+        let code = SurfaceCode::new(d);
+        let syndromes = random_syndromes(&code, 0.03, 16, 2);
+        let graph = DecodingGraph::code_capacity_x(&code);
+        let greedy = GreedyMatchingDecoder::new(graph.clone());
+        let uf = UnionFindDecoder::new(graph);
+        group.bench_with_input(BenchmarkId::new("greedy", d), &d, |b, _| {
+            b.iter(|| {
+                for s in &syndromes {
+                    std::hint::black_box(greedy.decode(s));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("union-find", d), &d, |b, _| {
+            b.iter(|| {
+                for s in &syndromes {
+                    std::hint::black_box(uf.decode(s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spacetime(c: &mut Criterion) {
+    let code = SurfaceCode::new(3);
+    let graph = DecodingGraph::spacetime_x(&code, 6);
+    let decoder = GreedyMatchingDecoder::new(graph);
+    let mut rng = StdRng::seed_from_u64(3);
+    let events: Vec<Vec<usize>> = (0..16)
+        .map(|_| {
+            (0..24usize)
+                .filter(|_| rng.gen_bool(0.15))
+                .collect()
+        })
+        .collect();
+    c.bench_function("spacetime_d3_r6_batch16", |b| {
+        b.iter(|| {
+            for e in &events {
+                std::hint::black_box(decoder.decode(e));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_decoders_d3, bench_decoders_scaling, bench_spacetime);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenches: QasmLite front-end throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qlm::spec::TaskSpec;
+use qlm::template::gold_source;
+
+fn bench_parse_and_check(c: &mut Criterion) {
+    let sources: Vec<String> = [
+        TaskSpec::BellPair,
+        TaskSpec::Grover { n: 3, marked: 5 },
+        TaskSpec::Shor,
+        TaskSpec::Annealing { n: 4 },
+        TaskSpec::Qpe { t: 4, phi: 0.3125 },
+    ]
+    .iter()
+    .map(gold_source)
+    .collect();
+
+    c.bench_function("parse_5_programs", |b| {
+        b.iter(|| {
+            for src in &sources {
+                std::hint::black_box(qcir::dsl::parse(src).expect("parses"));
+            }
+        })
+    });
+
+    let programs: Vec<_> = sources.iter().map(|s| qcir::dsl::parse(s).unwrap()).collect();
+    c.bench_function("check_5_programs", |b| {
+        b.iter(|| {
+            for p in &programs {
+                std::hint::black_box(qcir::check::lower(p).expect("checks"));
+            }
+        })
+    });
+
+    c.bench_function("round_trip_shor", |b| {
+        let shor = gold_source(&TaskSpec::Shor);
+        b.iter(|| {
+            let p = qcir::dsl::parse(&shor).expect("parses");
+            let circuit = qcir::check::lower(&p).expect("checks");
+            std::hint::black_box(qcir::fmt::to_qasmlite(&circuit))
+        })
+    });
+}
+
+fn bench_grading(c: &mut Criterion) {
+    let spec = TaskSpec::Grover { n: 3, marked: 5 };
+    let src = gold_source(&spec);
+    c.bench_function("grade_grover3", |b| {
+        b.iter(|| std::hint::black_box(qeval::grade::grade_source(&src, &spec)))
+    });
+}
+
+criterion_group!(benches, bench_parse_and_check, bench_grading);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion microbenches: simulator kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcir::circuit::Circuit;
+use qcir::gate::Gate;
+use qsim::exec::Executor;
+use qsim::stabilizer::StabilizerSim;
+use qsim::state::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gates");
+    for &n in &[8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("h_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sv = StateVector::zero(n);
+                for q in 0..n {
+                    sv.apply_gate(Gate::H, &[q]);
+                }
+                std::hint::black_box(sv.norm_sqr())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cx_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sv = StateVector::zero(n);
+                sv.apply_gate(Gate::H, &[0]);
+                for q in 0..n - 1 {
+                    sv.apply_gate(Gate::CX, &[q, q + 1]);
+                }
+                std::hint::black_box(sv.norm_sqr())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shot_sampling(c: &mut Criterion) {
+    let mut qc = Circuit::new(10, 10);
+    qc.h(0);
+    for q in 0..9 {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    c.bench_function("ghz10_4096_shots", |b| {
+        b.iter(|| std::hint::black_box(Executor::ideal().run(&qc, 4096, 1)))
+    });
+    let noisy = Executor::with_noise(qsim::profiles::ibm_brisbane_like());
+    c.bench_function("ghz10_256_noisy_trajectories", |b| {
+        b.iter(|| std::hint::black_box(noisy.run(&qc, 256, 1)))
+    });
+}
+
+fn bench_stabilizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stabilizer");
+    for &n in &[49usize, 97, 169] {
+        group.bench_with_input(BenchmarkId::new("ghz_and_measure", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut sim = StabilizerSim::new(n);
+                sim.h(0);
+                for q in 0..n - 1 {
+                    sim.cx(q, q + 1);
+                }
+                std::hint::black_box(sim.measure(n - 1, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_application,
+    bench_shot_sampling,
+    bench_stabilizer
+);
+criterion_main!(benches);

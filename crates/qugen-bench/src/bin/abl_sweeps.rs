@@ -1,0 +1,169 @@
+//! **Ablations** the design calls out (DESIGN.md):
+//!
+//! 1. RAG corpus staleness — the paper blames out-of-date documentation
+//!    for RAG's weak results; sweeping staleness quantifies how much a
+//!    fresh corpus would have helped.
+//! 2. CoT plan quality — the paper notes errors from "incorrect CoT
+//!    prompt generation"; sweeping the flavour separates plan quality
+//!    from plan presence.
+//! 3. FIM-rate provenance — the paper reports 0.1 as the optimal
+//!    fill-in-the-middle rate; the dataset-effectiveness model peaks there.
+
+use qeval::report::evaluate;
+use qeval::suite::test_suite;
+use qlm::cot::CotKind;
+use qlm::finetune::DatasetDescriptor;
+use qlm::model::{CodeLlm, GenConfig};
+use qlm::rag::CorpusConfig;
+use qugen_bench::util::{banner, bar, pct};
+
+const SAMPLES_PER_TASK: usize = 12;
+const SEED: u64 = 0xAB1;
+
+fn main() {
+    let tasks = test_suite();
+
+    banner("ablation 1: RAG corpus staleness");
+    println!("| staleness | pass rate | syntactic |");
+    println!("|---|---|---|");
+    let mut fresh_rate = 0.0;
+    let mut stale_rate = 0.0;
+    for &staleness in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let llm = CodeLlm::with_corpus(&CorpusConfig {
+            staleness,
+            include_guides: true,
+        });
+        let outcome = evaluate(&llm, &tasks, &GenConfig::with_rag(), SAMPLES_PER_TASK, SEED);
+        println!(
+            "| {staleness} | {} | {} |",
+            pct(outcome.pass_rate()),
+            pct(outcome.syntactic_rate())
+        );
+        if staleness == 0.0 {
+            fresh_rate = outcome.pass_rate();
+        }
+        if staleness == 1.0 {
+            stale_rate = outcome.pass_rate();
+        }
+    }
+    check(
+        "a fresh corpus beats a fully stale one",
+        fresh_rate > stale_rate,
+    );
+
+    banner("ablation 2: CoT flavour (plan quality)");
+    let llm = CodeLlm::new();
+    let mut rates = Vec::new();
+    for (label, cot) in [
+        ("none", None),
+        ("zero-shot", Some(CotKind::ZeroShot)),
+        ("manual", Some(CotKind::Manual)),
+        ("structured", Some(CotKind::Structured)),
+    ] {
+        let mut config = GenConfig::fine_tuned();
+        config.cot = cot;
+        config.label = "cot-ablation";
+        let outcome = evaluate(&llm, &tasks, &config, SAMPLES_PER_TASK, SEED + 1);
+        println!("{label:>12} {} {}", bar(outcome.pass_rate(), 40), pct(outcome.pass_rate()));
+        rates.push(outcome.pass_rate());
+    }
+    check("structured > manual > none", rates[3] > rates[2] && rates[2] > rates[0]);
+
+    banner("ablation 3: FIM rate (dataset effectiveness model)");
+    println!("| fim rate | effectiveness |");
+    println!("|---|---|");
+    let mut best = (0.0, 0.0);
+    for &fim in &[0.0, 0.05, 0.1, 0.2, 0.4] {
+        let mut d = DatasetDescriptor::paper_default();
+        d.fim_rate = fim;
+        let e = d.effectiveness();
+        println!("| {fim} | {e:.4} |");
+        if e > best.1 {
+            best = (fim, e);
+        }
+    }
+    check("effectiveness peaks at the paper's 0.1", (best.0 - 0.1).abs() < 1e-9);
+
+    banner("ablation 5: routing overhead per device topology (paper §IV-B)");
+    {
+        use qec::route::route;
+        use qec::topology::Topology;
+        // A star-entangled circuit: maximally punishing for sparse devices.
+        let n = 8;
+        let mut qc = qcir::circuit::Circuit::new(n, n);
+        qc.h(0);
+        for q in 1..n {
+            qc.cx(0, q);
+        }
+        qc.measure_all();
+        println!("| device | swaps | swaps per 2q gate |");
+        println!("|---|---|---|");
+        let mut hex_overhead = 0.0;
+        let mut grid_overhead = 0.0;
+        for device in [
+            Topology::full(n),
+            Topology::grid(3, 3),
+            Topology::line(n),
+            Topology::heavy_hex(2, 2),
+        ] {
+            let routed = route(&qc, &device).expect("routes");
+            println!(
+                "| {} | {} | {:.2} |",
+                device.name(),
+                routed.swap_count,
+                routed.overhead(&qc)
+            );
+            if device.name().starts_with("heavy-hex") {
+                hex_overhead = routed.overhead(&qc);
+            }
+            if device.name().starts_with("grid") {
+                grid_overhead = routed.overhead(&qc);
+            }
+        }
+        check(
+            "heavy-hex pays at least the grid's routing cost",
+            hex_overhead >= grid_overhead,
+        );
+    }
+
+    banner("ablation 6: failure-class taxonomy per technique (§V-C/§V-E)");
+    {
+        use qeval::taxonomy::{measure, render_markdown as render_taxonomy};
+        let rows: Vec<_> = [
+            GenConfig::base(),
+            GenConfig::fine_tuned(),
+            GenConfig::with_rag(),
+            GenConfig::with_scot(),
+        ]
+        .iter()
+        .map(|c| measure(&llm, &tasks, c, 8, SEED + 9))
+        .collect();
+        print!("{}", render_taxonomy(&rows));
+        let drift = |t: &qeval::taxonomy::Taxonomy| {
+            t.fraction(qeval::taxonomy::FailureClass::ImportVersion)
+                + t.fraction(qeval::taxonomy::FailureClass::Api)
+        };
+        check(
+            "RAG shrinks the drift classes",
+            drift(&rows[2]) < drift(&rows[1]),
+        );
+        check(
+            "SCoT shrinks the semantic class",
+            rows[3].fraction(qeval::taxonomy::FailureClass::Semantic)
+                < rows[1].fraction(qeval::taxonomy::FailureClass::Semantic),
+        );
+    }
+
+    banner("ablation 4: dataset size");
+    println!("| upsampled tokens | effectiveness |");
+    println!("|---|---|");
+    for &tokens in &[100_000u64, 1_000_000, 9_000_000, 100_000_000] {
+        let mut d = DatasetDescriptor::paper_default();
+        d.upsampled_tokens = tokens;
+        println!("| {tokens} | {:.4} |", d.effectiveness());
+    }
+}
+
+fn check(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "ok" } else { "MISMATCH" });
+}

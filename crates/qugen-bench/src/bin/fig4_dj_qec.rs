@@ -1,0 +1,105 @@
+//! **Figure 4** — "Results for QEC Experiments": the constant
+//! Deutsch–Jozsa oracle under a quantum-noise environment, with and
+//! without the framework's QEC agent.
+//!
+//! (a) the corrections suggested by the decoder (on the |1>-prep memory
+//! workload of Figure 2), (b) results under the IBM-Brisbane-like noise
+//! profile, (c) results re-simulated at the reduced effective error rate
+//! implied by the decoder's measured lifetime extension — exactly the
+//! paper's methodology ("we simulated our results for (c) using a lower
+//! error probability than IBM Brisbane, corresponding to the new error
+//! rate after QEC").
+//!
+//! Expected shape: the |000> probability rises in (c), every erroneous
+//! outcome's probability falls.
+
+use qagents::qec_agent::QecAgent;
+use qec::memory::{decode_once, DecoderKind};
+use qec::surface::SurfaceCode;
+use qec::topology::Topology;
+use qugen_bench::util::{banner, histogram, pct};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHOTS: u64 = 4096;
+const SEED: u64 = 0xF164;
+
+fn main() {
+    banner("Figure 4: constant Deutsch-Jozsa under noise, with and without QEC");
+
+    // (a) decoder corrections on a |1>-prep surface-code memory.
+    banner("(a) corrections suggested by the decoder");
+    let code = SurfaceCode::new(3);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut errors = vec![false; code.num_data()];
+    for e in errors.iter_mut() {
+        if rng.gen_bool(0.08) {
+            *e = true;
+        }
+    }
+    let injected: Vec<usize> = errors
+        .iter()
+        .enumerate()
+        .filter_map(|(q, &e)| e.then_some(q))
+        .collect();
+    println!("injected X errors on data qubits: {injected:?}");
+    let correction = decode_once(&code, DecoderKind::Lookup, &errors);
+    println!("decoder corrections:              {:?}", correction.qubit_flips);
+    let mut marks = vec![None; code.num_data()];
+    for &q in &injected {
+        marks[q] = Some('X');
+    }
+    for &q in &correction.qubit_flips {
+        marks[q] = Some(if marks[q] == Some('X') { '*' } else { 'C' });
+    }
+    print!("{}", code.render(&marks));
+    println!("(X = error, C = correction, * = both)\n");
+
+    // The QEC agent: synthesize a decoder for a surface-code-capable
+    // device and quantify the noise reduction.
+    let device = Topology::grid(7, 7);
+    let agent = QecAgent::new(device, 0.02);
+    let circuit = qalgo::dj::figure4_circuit();
+    let noise = qsim::profiles::ibm_brisbane_like();
+    let cmp = agent
+        .compare(&circuit, &noise, SHOTS, SEED)
+        .expect("decoder synthesis succeeds on a grid device");
+
+    println!("synthesized decoder: {}", cmp.spec);
+    println!(
+        "effective noise reduction factor: {:.3}",
+        cmp.spec.noise_reduction_factor()
+    );
+
+    banner("(b) results on the Brisbane-like profile (no QEC)");
+    print!("{}", histogram(&cmp.noisy, 40));
+    println!("  p(|000>) = {}", pct(cmp.noisy.probability(0)));
+    println!("  TVD from ideal = {:.4}", cmp.noisy_tvd());
+
+    banner("(c) results after applying the corrections (reduced error rate)");
+    print!("{}", histogram(&cmp.corrected, 40));
+    println!("  p(|000>) = {}", pct(cmp.corrected.probability(0)));
+    println!("  TVD from ideal = {:.4}", cmp.corrected_tvd());
+
+    banner("shape checks vs paper");
+    check(
+        "higher probability of expected result",
+        cmp.corrected.probability(0) > cmp.noisy.probability(0),
+    );
+    let mut each_error_lower = true;
+    for outcome in 1..8u64 {
+        if cmp.corrected.probability(outcome) > cmp.noisy.probability(outcome) + 0.01 {
+            each_error_lower = false;
+        }
+    }
+    check("lower probability of error outcomes", each_error_lower);
+    check("TVD from ideal shrinks", cmp.corrected_tvd() < cmp.noisy_tvd());
+    check(
+        "decoder extends qubit lifetime (> 1x)",
+        cmp.spec.estimated_lifetime_extension > 1.0,
+    );
+}
+
+fn check(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "ok" } else { "MISMATCH" });
+}

@@ -1,0 +1,116 @@
+//! **§V-D** — effect of multi-pass inference: accuracy as a function of
+//! the pass budget.
+//!
+//! Paper: the fine-tuned model improves from 28% to 34% with triple
+//! passes, after which "additional inference passes ... yielded limited
+//! benefit" because the residual errors are import/deprecated-API misuse
+//! the model cannot fix from the trace alone. The per-pass marginal gain
+//! and the composition of surviving error classes are both reported here.
+
+use qagents::codegen::CodeGenAgent;
+use qagents::multipass::run_multipass;
+use qagents::semantic::SemanticAnalyzerAgent;
+use qeval::suite::test_suite;
+use qlm::corrupt::Channel;
+use qlm::model::{CodeLlm, GenConfig};
+use qugen_bench::util::{banner, bar, pct};
+use std::collections::BTreeMap;
+
+const SAMPLES_PER_TASK: usize = 16;
+const MAX_PASSES: usize = 6;
+const SEED: u64 = 0x5D_5D;
+
+fn main() {
+    let llm = CodeLlm::new();
+    let codegen = CodeGenAgent::new(llm, GenConfig::fine_tuned());
+    let analyzer = SemanticAnalyzerAgent::new();
+    let tasks = test_suite();
+    banner("Section V-D: multi-pass inference");
+    println!(
+        "{} tasks x {SAMPLES_PER_TASK} samples, up to {MAX_PASSES} passes\n",
+        tasks.len()
+    );
+
+    let mut cumulative = [0usize; MAX_PASSES + 1];
+    let mut total = 0usize;
+    let mut surviving_channels: BTreeMap<Channel, usize> = BTreeMap::new();
+    let mut survivors = 0usize;
+    for (t_idx, task) in tasks.iter().enumerate() {
+        for s in 0..SAMPLES_PER_TASK {
+            let seed = SEED
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((t_idx * 1000 + s) as u64);
+            let result = run_multipass(&codegen, &analyzer, &task.spec, MAX_PASSES, seed);
+            total += 1;
+            if let Some(p) = result.first_passing() {
+                for entry in cumulative.iter_mut().skip(p) {
+                    *entry += 1;
+                }
+            } else {
+                survivors += 1;
+                for &ch in &result.last().generation.applied {
+                    *surviving_channels.entry(ch).or_insert(0) += 1;
+                }
+                if !result.last().generation.structure_known {
+                    *surviving_channels.entry(Channel::WrongStructure).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    println!("| pass budget | accuracy | marginal gain |");
+    println!("|---|---|---|");
+    let mut prev = 0.0;
+    let mut rates = Vec::new();
+    for (p, &cum) in cumulative.iter().enumerate().skip(1) {
+        let rate = cum as f64 / total as f64;
+        println!("| {p} | {} | {} |", pct(rate), pct(rate - prev));
+        rates.push(rate);
+        prev = rate;
+    }
+    banner("bar view");
+    for (p, rate) in rates.iter().enumerate() {
+        println!("pass {} {} {}", p + 1, bar(*rate, 40), pct(*rate));
+    }
+
+    banner("error classes surviving all passes (paper: import/deprecated dominate)");
+    let mut classes: Vec<(Channel, usize)> = surviving_channels.into_iter().collect();
+    classes.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (ch, n) in &classes {
+        println!(
+            "  {:>18}: {:>5} ({} of unrepaired samples)",
+            ch.to_string(),
+            n,
+            pct(*n as f64 / survivors.max(1) as f64)
+        );
+    }
+
+    banner("shape checks vs paper");
+    check("pass 3 improves over pass 1", rates[2] > rates[0]);
+    check(
+        "improvement by pass 3 is moderate (4-15 points)",
+        (0.04..0.15).contains(&(rates[2] - rates[0])),
+    );
+    check(
+        "marginal gain shrinks after pass 3",
+        (rates[5] - rates[4]) < (rates[1] - rates[0]) + (rates[2] - rates[1]),
+    );
+    let api_survivors = classes
+        .iter()
+        .filter(|(ch, _)| matches!(ch, Channel::StaleImport | Channel::DeprecatedApi | Channel::ImportOmission))
+        .map(|&(_, n)| n)
+        .sum::<usize>();
+    let other_survivors = classes
+        .iter()
+        .filter(|(ch, _)| matches!(ch, Channel::SyntaxError | Channel::Truncation | Channel::MissingMeasure))
+        .map(|&(_, n)| n)
+        .sum::<usize>();
+    check(
+        "surviving errors are dominated by import/deprecated-API misuse",
+        api_survivors > other_survivors,
+    );
+}
+
+fn check(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "ok" } else { "MISMATCH" });
+}

@@ -1,0 +1,18 @@
+//! # qugen-bench — the benchmark harness
+//!
+//! One binary per table/figure of the reproduced paper (see DESIGN.md's
+//! experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3_validity` | Figure 3 — technique sweep on the custom suite |
+//! | `table1_qhe` | Table I + §V-C syntactic/semantic split |
+//! | `sec5d_multipass` | §V-D multi-pass accuracy vs pass budget |
+//! | `fig2_syndromes` | Figure 2 — syndrome evolution and decoder output |
+//! | `fig4_dj_qec` | Figure 4 — Deutsch–Jozsa with/without QEC |
+//! | `xlog_memory` | supporting: logical error rate vs p, d, decoder |
+//! | `abl_sweeps` | supporting: staleness / CoT-quality / FIM ablations |
+//!
+//! Criterion microbenches live in `benches/`.
+
+pub mod util;

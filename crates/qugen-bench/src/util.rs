@@ -1,0 +1,70 @@
+//! Shared helpers for the experiment binaries.
+
+use qsim::dist::Counts;
+use std::fmt::Write as _;
+
+/// Renders a horizontal ASCII bar of `width` cells for a fraction.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let filled = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+/// Renders a counts table as an ASCII histogram (the Figure 4 panels).
+pub fn histogram(counts: &Counts, width: usize) -> String {
+    let mut out = String::new();
+    let shots = counts.shots().max(1) as f64;
+    for (outcome, count) in counts.iter() {
+        let p = count as f64 / shots;
+        let _ = writeln!(
+            out,
+            "  |{}> {:>7}  {:6.3}  {}",
+            counts.bitstring(outcome),
+            count,
+            p,
+            bar(p, width)
+        );
+    }
+    out
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps_and_scales() {
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4), "██··");
+        assert_eq!(bar(2.0, 4), "████");
+    }
+
+    #[test]
+    fn histogram_renders_rows() {
+        let mut c = Counts::new(2);
+        c.record(0);
+        c.record(3);
+        let h = histogram(&c, 10);
+        assert!(h.contains("|00>"));
+        assert!(h.contains("|11>"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.285), "28.5%");
+    }
+}

@@ -1,0 +1,32 @@
+//! Surface-code memory: measure the lifetime extension the QEC agent
+//! promises.
+//!
+//! ```text
+//! cargo run --example surface_code_memory --release
+//! ```
+//!
+//! Sweeps physical error rates for distances 3 and 5 under the union-find
+//! decoder and prints the logical error rate plus the lifetime-extension
+//! factor — the quantity the QEC agent feeds into the Figure 4(c)
+//! re-simulation.
+
+use qugen::qec::memory::{code_capacity_experiment, DecoderKind};
+
+fn main() {
+    println!("| d | p | p_logical | lifetime extension |");
+    println!("|---|---|---|---|");
+    for &d in &[3usize, 5] {
+        for &p in &[0.005, 0.01, 0.02, 0.05] {
+            let r = code_capacity_experiment(d, p, DecoderKind::UnionFind, 3000, 99);
+            println!(
+                "| {d} | {p} | {:.5} | {:.1}x |",
+                r.p_logical,
+                r.lifetime_extension()
+            );
+        }
+    }
+    println!();
+    println!("Below threshold (~10% for this noise model), the logical error");
+    println!("rate falls well under the physical rate and improves with d —");
+    println!("this is the \"extended average qubit lifetime\" of the paper's §IV-B.");
+}

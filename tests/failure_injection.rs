@@ -1,0 +1,177 @@
+//! Failure-injection tests: force each corruption channel onto known-good
+//! programs and verify the checker/analyzer reports the matching
+//! diagnostic class — the contract the multi-pass repair loop depends on.
+
+use qugen::qagents::semantic::SemanticAnalyzerAgent;
+use qugen::qcir::diag::DiagCode;
+use qugen::qlm::corrupt::{apply, Channel};
+use qugen::qlm::spec::TaskSpec;
+use qugen::qlm::template::gold_source;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn specs() -> Vec<TaskSpec> {
+    vec![
+        TaskSpec::BellPair,
+        TaskSpec::Ghz { n: 4 },
+        TaskSpec::Grover { n: 3, marked: 5 },
+        TaskSpec::Qpe { t: 3, phi: 0.125 },
+    ]
+}
+
+/// Injects `channel` into each spec's gold source and returns the analyzer
+/// verdicts (skipping no-op applications where the operator found nothing
+/// to corrupt).
+fn inject(channel: Channel) -> Vec<(TaskSpec, qugen::qagents::semantic::SemanticAnalysis)> {
+    let analyzer = SemanticAnalyzerAgent::new();
+    let mut out = Vec::new();
+    for spec in specs() {
+        let gold = gold_source(&spec);
+        let mut rng = StdRng::seed_from_u64(13);
+        let corrupted = apply(channel, &gold, &mut rng);
+        if corrupted == gold {
+            continue; // operator had no site to corrupt in this program
+        }
+        out.push((spec.clone(), analyzer.analyze(&corrupted, &spec)));
+    }
+    out
+}
+
+#[test]
+fn import_omission_reports_missing_import() {
+    let results = inject(Channel::ImportOmission);
+    assert!(!results.is_empty());
+    for (spec, analysis) in results {
+        assert!(!analysis.passed(), "{spec}");
+        assert!(
+            analysis.trace_codes.contains(&DiagCode::MissingImport),
+            "{spec}: {:?}",
+            analysis.trace_codes
+        );
+    }
+}
+
+#[test]
+fn stale_import_reports_version_errors_or_still_works() {
+    // 2.0 is harmless (canonical names exist); 1.x breaks modern gates.
+    // With the fixed seed the operator picks a specific version; across all
+    // specs at least one must surface MissingImport when it picked 1.x, and
+    // none may produce an *unknown* crash class.
+    let results = inject(Channel::StaleImport);
+    assert!(!results.is_empty());
+    for (spec, analysis) in &results {
+        if !analysis.passed() {
+            assert!(
+                analysis
+                    .trace_codes
+                    .iter()
+                    .all(|c| matches!(c, DiagCode::MissingImport | DiagCode::UnknownImport)),
+                "{spec}: {:?}",
+                analysis.trace_codes
+            );
+        }
+    }
+}
+
+#[test]
+fn deprecated_api_reports_removed_symbol() {
+    let results = inject(Channel::DeprecatedApi);
+    // Only specs whose programs contain cx/ccx/p sites get corrupted.
+    assert!(!results.is_empty());
+    for (spec, analysis) in results {
+        assert!(!analysis.passed(), "{spec}");
+        assert!(
+            analysis.trace_codes.contains(&DiagCode::RemovedSymbol),
+            "{spec}: {:?}",
+            analysis.trace_codes
+        );
+        // The hint must name the replacement (what the repair model uses).
+        assert!(
+            analysis.error_trace.contains("use `"),
+            "{spec}: {}",
+            analysis.error_trace
+        );
+    }
+}
+
+#[test]
+fn syntax_error_reports_parse_failure() {
+    for (spec, analysis) in inject(Channel::SyntaxError) {
+        assert!(!analysis.detail.syntactic_ok, "{spec}");
+        assert!(
+            analysis
+                .trace_codes
+                .iter()
+                .any(|c| matches!(c, DiagCode::ParseError | DiagCode::LexError)),
+            "{spec}: {:?}",
+            analysis.trace_codes
+        );
+    }
+}
+
+#[test]
+fn missing_measure_fails_semantically_with_flag() {
+    for (spec, analysis) in inject(Channel::MissingMeasure) {
+        assert!(analysis.detail.syntactic_ok, "{spec} still compiles");
+        assert!(!analysis.detail.semantic_ok, "{spec}");
+        assert!(analysis.semantic_feedback, "{spec}");
+    }
+}
+
+#[test]
+fn truncation_breaks_or_degrades() {
+    for (spec, analysis) in inject(Channel::Truncation) {
+        // A truncated program either fails to run or runs incorrectly;
+        // it must never grade as a full pass.
+        assert!(!analysis.passed(), "{spec}");
+    }
+}
+
+#[test]
+fn index_error_is_caught_or_changes_semantics() {
+    for (spec, analysis) in inject(Channel::IndexError) {
+        assert!(!analysis.passed(), "{spec}");
+        if !analysis.detail.syntactic_ok {
+            assert!(
+                analysis.trace_codes.iter().any(|c| matches!(
+                    c,
+                    DiagCode::QubitOutOfRange | DiagCode::DuplicateQubit
+                )),
+                "{spec}: {:?}",
+                analysis.trace_codes
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_params_degrades_semantics_only() {
+    for (spec, analysis) in inject(Channel::WrongParams) {
+        // Angle perturbation keeps the program compiling.
+        assert!(analysis.detail.syntactic_ok, "{spec}");
+    }
+}
+
+#[test]
+fn repair_addresses_exactly_the_reported_channel() {
+    use qugen::qlm::model::channels_addressed;
+    // The repair model's trace-code -> channel mapping must cover every
+    // failure class the analyzer can emit for injected corruption.
+    for channel in [
+        Channel::ImportOmission,
+        Channel::DeprecatedApi,
+        Channel::SyntaxError,
+    ] {
+        for (spec, analysis) in inject(channel) {
+            if analysis.trace_codes.is_empty() {
+                continue;
+            }
+            let addressed = channels_addressed(&analysis.trace_codes);
+            assert!(
+                addressed.contains(&channel),
+                "{spec}: channel {channel} not addressed by {:?}",
+                analysis.trace_codes
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the full pipeline from prompt to graded,
+//! error-corrected program.
+
+use qugen::qagents::orchestrator::{Orchestrator, PipelineConfig, QecStage};
+use qugen::qec::topology::Topology;
+use qugen::qeval::report::evaluate;
+use qugen::qeval::suite::test_suite;
+use qugen::qlm::model::{CodeLlm, GenConfig};
+
+#[test]
+fn default_pipeline_processes_every_suite_task() {
+    let orchestrator = Orchestrator::new(PipelineConfig::default());
+    let tasks = test_suite();
+    let reports = orchestrator.run_suite(&tasks, 77);
+    assert_eq!(reports.len(), tasks.len());
+    // Every report must carry at least a prompt and one generation.
+    for report in &reports {
+        assert!(report.transcript.len() >= 2, "{}", report.task_id);
+        assert!(report.multipass.passes_used() >= 1);
+        assert!(report.multipass.passes_used() <= 3);
+    }
+    // With the fine-tuned model a sensible fraction should pass.
+    let passed = reports.iter().filter(|r| r.passed()).count();
+    assert!(
+        passed >= tasks.len() / 5,
+        "only {passed}/{} tasks passed",
+        tasks.len()
+    );
+}
+
+#[test]
+fn technique_ordering_reproduces_figure3_shape() {
+    let llm = CodeLlm::new();
+    let tasks = test_suite();
+    let samples = 10;
+    let seed = 1234;
+    let base = evaluate(&llm, &tasks, &GenConfig::base(), samples, seed).pass_rate();
+    let tuned = evaluate(&llm, &tasks, &GenConfig::fine_tuned(), samples, seed).pass_rate();
+    let rag = evaluate(&llm, &tasks, &GenConfig::with_rag(), samples, seed).pass_rate();
+    let cot = evaluate(&llm, &tasks, &GenConfig::with_cot(), samples, seed).pass_rate();
+    let scot = evaluate(&llm, &tasks, &GenConfig::with_scot(), samples, seed).pass_rate();
+
+    assert!(base < tuned, "base {base} !< tuned {tuned}");
+    assert!(tuned <= rag + 0.02, "tuned {tuned} !<= rag {rag} (+eps)");
+    assert!(rag < cot, "rag {rag} !< cot {cot}");
+    assert!(cot < scot + 0.03, "cot {cot} !< scot {scot} (+eps)");
+    // RAG is a small delta; CoT is a large one (the paper's headline).
+    assert!(rag - tuned < 0.10, "rag delta too large: {}", rag - tuned);
+    assert!(cot - tuned > 0.04, "cot delta too small: {}", cot - tuned);
+}
+
+#[test]
+fn qec_stage_improves_fidelity_on_dj() {
+    let config = PipelineConfig {
+        gen: GenConfig::with_scot(),
+        max_passes: 3,
+        qec: Some(QecStage {
+            topology: Topology::grid(7, 7),
+            physical_rate: 0.02,
+            noise: qugen::qsim::profiles::ibm_brisbane_like(),
+            shots: 2048,
+        }),
+    };
+    let orchestrator = Orchestrator::new(config);
+    let task = test_suite()
+        .into_iter()
+        .find(|t| t.id == "mid/dj-const")
+        .expect("dj task present");
+    for seed in 0..40 {
+        let report = orchestrator.run_task(&task, seed);
+        if let Some(qec) = &report.qec {
+            assert!(
+                qec.corrected_tvd() <= qec.noisy_tvd() + 0.01,
+                "QEC must not hurt: {} vs {}",
+                qec.corrected_tvd(),
+                qec.noisy_tvd()
+            );
+            assert!(qec.spec.estimated_lifetime_extension > 1.0);
+            return;
+        }
+    }
+    panic!("no compiling generation in 40 seeds");
+}
+
+#[test]
+fn multipass_repairs_recover_some_failures() {
+    let llm = CodeLlm::new();
+    let codegen =
+        qugen::qagents::codegen::CodeGenAgent::new(llm, GenConfig::fine_tuned());
+    let analyzer = qugen::qagents::semantic::SemanticAnalyzerAgent::new();
+    let tasks = test_suite();
+    let mut first_pass = 0usize;
+    let mut third_pass = 0usize;
+    let mut total = 0usize;
+    for (i, task) in tasks.iter().enumerate() {
+        for s in 0..6u64 {
+            let seed = (i as u64) * 131 + s;
+            let result =
+                qugen::qagents::multipass::run_multipass(&codegen, &analyzer, &task.spec, 3, seed);
+            total += 1;
+            if result.first_passing() == Some(1) {
+                first_pass += 1;
+            }
+            if result.passed() {
+                third_pass += 1;
+            }
+        }
+    }
+    assert!(third_pass > first_pass, "{third_pass} !> {first_pass}");
+    // Saturating, not magic: the repair loop cannot double accuracy.
+    assert!(
+        (third_pass - first_pass) as f64 / total as f64 <= 0.25,
+        "repair gain implausibly large"
+    );
+}
+
+#[test]
+fn generated_code_grades_deterministically() {
+    let llm = CodeLlm::new();
+    let spec = &test_suite()[5].spec;
+    let config = GenConfig::with_rag();
+    let g1 = llm.generate(spec, &config, 999);
+    let g2 = llm.generate(spec, &config, 999);
+    assert_eq!(g1.source, g2.source);
+    let d1 = qugen::qeval::grade::grade_source(&g1.source, spec);
+    let d2 = qugen::qeval::grade::grade_source(&g2.source, spec);
+    assert_eq!(d1.passed(), d2.passed());
+    assert_eq!(d1.tvd, d2.tvd);
+}

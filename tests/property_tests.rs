@@ -1,0 +1,254 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+use qugen::qcir::circuit::Circuit;
+use qugen::qcir::gate::Gate;
+use qugen::qcir::math::Matrix;
+use qugen::qsim::state::StateVector;
+
+/// Strategy: an arbitrary gate with valid parameters.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        Just(Gate::SX),
+        (-6.3f64..6.3).prop_map(Gate::RX),
+        (-6.3f64..6.3).prop_map(Gate::RY),
+        (-6.3f64..6.3).prop_map(Gate::RZ),
+        (-6.3f64..6.3).prop_map(Gate::P),
+        (-3.2f64..3.2, -3.2f64..3.2, -3.2f64..3.2).prop_map(|(t, p, l)| Gate::U(t, p, l)),
+        Just(Gate::CX),
+        Just(Gate::CY),
+        Just(Gate::CZ),
+        Just(Gate::CH),
+        Just(Gate::SWAP),
+        (-6.3f64..6.3).prop_map(Gate::CRZ),
+        (-6.3f64..6.3).prop_map(Gate::CP),
+        Just(Gate::CCX),
+        Just(Gate::CSWAP),
+    ]
+}
+
+/// Strategy: a random circuit over `n` qubits with `len` gates.
+fn arb_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((arb_gate(), prop::collection::vec(0..n, 3)), 0..len).prop_map(
+        move |ops| {
+            let mut qc = Circuit::new(n, n);
+            for (gate, mut qs) in ops {
+                qs.truncate(gate.num_qubits());
+                qs.sort_unstable();
+                qs.dedup();
+                if qs.len() == gate.num_qubits() {
+                    qc.push_gate(gate, &qs);
+                }
+            }
+            qc
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every gate's matrix is unitary, and its inverse matrix composes to
+    /// the identity (up to global phase).
+    #[test]
+    fn gate_matrices_are_unitary(gate in arb_gate()) {
+        let m = gate.matrix();
+        prop_assert!(m.is_unitary(1e-9));
+        let prod = m.matmul(&gate.inverse().matrix());
+        prop_assert!(prod.approx_eq_up_to_phase(&Matrix::identity(m.dim()), 1e-8));
+    }
+
+    /// State evolution preserves the norm for any circuit.
+    #[test]
+    fn random_circuits_preserve_norm(qc in arb_circuit(4, 24)) {
+        let mut sv = StateVector::zero(4);
+        for op in qc.ops() {
+            if let qugen::qcir::circuit::Op::Gate { gate, qubits } = op {
+                sv.apply_gate(*gate, qubits);
+            }
+        }
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-8);
+    }
+
+    /// Applying a circuit then its inverse returns to |0...0>.
+    #[test]
+    fn circuit_inverse_undoes(qc in arb_circuit(3, 12)) {
+        let mut sv = StateVector::zero(3);
+        for op in qc.ops() {
+            if let qugen::qcir::circuit::Op::Gate { gate, qubits } = op {
+                sv.apply_gate(*gate, qubits);
+            }
+        }
+        for op in qc.inverse().ops() {
+            if let qugen::qcir::circuit::Op::Gate { gate, qubits } = op {
+                sv.apply_gate(*gate, qubits);
+            }
+        }
+        let back = StateVector::zero(3);
+        prop_assert!((sv.fidelity(&back) - 1.0).abs() < 1e-7);
+    }
+
+    /// Pretty-printed circuits parse and lower back to the same circuit.
+    #[test]
+    fn printer_parser_round_trip(qc in arb_circuit(4, 16)) {
+        let mut qc = qc;
+        // Make the circuit measurable so NoMeasurement warnings don't matter.
+        qc.measure_all();
+        let src = qugen::qcir::fmt::to_qasmlite(&qc);
+        let program = qugen::qcir::dsl::parse(&src).expect("printer output parses");
+        let lowered = qugen::qcir::check::lower(&program).expect("printer output lowers");
+        prop_assert_eq!(lowered, qc);
+    }
+
+    /// pass@k is monotone in k, bounded by [0,1], and equals c/n at k=1.
+    #[test]
+    fn pass_at_k_properties(n in 1usize..60, c_frac in 0.0f64..1.0, k_frac in 0.0f64..1.0) {
+        let c = ((n as f64) * c_frac) as usize;
+        let k = 1 + ((n.saturating_sub(1)) as f64 * k_frac) as usize;
+        let p = qugen::qeval::passk::pass_at_k(n, c, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p1 = qugen::qeval::passk::pass_at_k(n, c, 1);
+        prop_assert!((p1 - c as f64 / n as f64).abs() < 1e-9);
+        if k < n {
+            let p_next = qugen::qeval::passk::pass_at_k(n, c, k + 1);
+            prop_assert!(p_next >= p - 1e-12);
+        }
+    }
+
+    /// Distribution distances are metrics-ish: symmetric and zero on self.
+    #[test]
+    fn tvd_symmetry(probs in prop::collection::vec(0.0f64..1.0, 4)) {
+        use qugen::qsim::dist::Distribution;
+        let total: f64 = probs.iter().sum();
+        prop_assume!(total > 0.0);
+        let mut a = Distribution::new(2);
+        for (i, p) in probs.iter().enumerate() {
+            a.set(i as u64, p / total);
+        }
+        let mut b = Distribution::new(2);
+        b.set(0, 1.0);
+        prop_assert!(a.tvd(&a.clone()) < 1e-12);
+        prop_assert!((a.tvd(&b) - b.tvd(&a)).abs() < 1e-12);
+        prop_assert!(a.tvd(&b) <= 1.0 + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Decoder invariant: for any error pattern on the d=3 code, every
+    /// decoder returns a correction that clears the syndrome; for patterns
+    /// of weight <= 1 no logical flip survives.
+    #[test]
+    fn decoders_clear_any_syndrome(pattern in 0u32..(1 << 9)) {
+        use qugen::qec::decoder::{Decoder, DecodingGraph, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder};
+        use qugen::qec::surface::SurfaceCode;
+        let code = SurfaceCode::new(3);
+        let graph = DecodingGraph::code_capacity_x(&code);
+        let decoders: Vec<Box<dyn Decoder>> = vec![
+            Box::new(LookupDecoder::new(&code)),
+            Box::new(GreedyMatchingDecoder::new(graph.clone())),
+            Box::new(UnionFindDecoder::new(graph.clone())),
+        ];
+        let errors: Vec<bool> = (0..9).map(|q| (pattern >> q) & 1 == 1).collect();
+        let flagged = graph.syndrome_of(&errors);
+        for dec in &decoders {
+            let mut e = errors.clone();
+            dec.decode(&flagged).apply(&mut e);
+            prop_assert!(code.z_syndrome(&e).iter().all(|&b| !b), "{} left syndrome", dec.name());
+            if pattern.count_ones() <= 1 {
+                prop_assert!(!code.is_logical_x_flip(&e), "{} flipped logical", dec.name());
+            }
+        }
+    }
+
+    /// The simulated LLM is deterministic in its seed and its corruption
+    /// metadata always matches the emitted source for import channels.
+    #[test]
+    fn llm_generation_consistency(seed in 0u64..5000) {
+        use qugen::qlm::corrupt::Channel;
+        use qugen::qlm::model::{CodeLlm, GenConfig};
+        use qugen::qlm::spec::TaskSpec;
+        let llm = CodeLlm::new();
+        let config = GenConfig::base();
+        let g = llm.generate(&TaskSpec::Ghz { n: 3 }, &config, seed);
+        let g2 = llm.generate(&TaskSpec::Ghz { n: 3 }, &config, seed);
+        prop_assert_eq!(&g, &g2);
+        if g.applied.contains(&Channel::ImportOmission) {
+            prop_assert!(!g.source.contains("import"));
+        }
+        if g.applied.contains(&Channel::MissingMeasure) {
+            prop_assert!(!g.source.contains("measure"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Transpilation preserves the circuit unitary up to global phase.
+    #[test]
+    fn transpile_preserves_unitary(qc in arb_circuit(3, 10)) {
+        use qugen::qcir::transpile::{is_in_basis, transpile};
+        use qugen::qsim::state::circuit_unitary;
+        let t = transpile(&qc);
+        prop_assert!(is_in_basis(&t));
+        let ua = circuit_unitary(&strip_to_gates(&qc));
+        let ub = circuit_unitary(&strip_to_gates(&t));
+        prop_assert!(ua.approx_eq_up_to_phase(&ub, 1e-6));
+    }
+
+    /// Routing preserves the measured-outcome distribution and respects
+    /// the coupling map.
+    #[test]
+    fn routing_preserves_distributions(qc in arb_circuit(4, 12)) {
+        use qugen::qec::route::{respects_topology, route};
+        use qugen::qec::topology::Topology;
+        use qugen::qsim::exec::Executor;
+        // Route the CX-basis form (routing requires <= 2-qubit gates).
+        let mut basis = qugen::qcir::transpile::transpile(&qc);
+        basis.measure_all();
+        let device = Topology::line(4);
+        let routed = route(&basis, &device).expect("line-4 hosts 4 qubits");
+        prop_assert!(respects_topology(&routed.circuit, &device));
+        let a = Executor::ideal_distribution(&basis, 0);
+        let b = Executor::ideal_distribution(&routed.circuit, 0);
+        prop_assert!(a.tvd(&b) < 1e-7, "tvd {}", a.tvd(&b));
+    }
+
+    /// The Steane code corrects every weight-<=1 X error and always
+    /// returns to the codespace.
+    #[test]
+    fn steane_invariants(pattern in 0u8..128) {
+        use qugen::qec::steane::SteaneCode;
+        let code = SteaneCode::new();
+        let mut errors = [false; 7];
+        for (q, e) in errors.iter_mut().enumerate() {
+            *e = (pattern >> q) & 1 == 1;
+        }
+        let corrected = code.correct_x(errors);
+        prop_assert_eq!(code.z_syndrome(&corrected), 0);
+        if pattern.count_ones() <= 1 {
+            prop_assert!(!code.is_logical_x_flip(&corrected));
+        }
+    }
+}
+
+/// Drops non-gate operations so circuits can be compared as unitaries.
+fn strip_to_gates(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.num_qubits(), 0);
+    for op in c.ops() {
+        if let qugen::qcir::circuit::Op::Gate { gate, qubits } = op {
+            out.push_gate(*gate, qubits);
+        }
+    }
+    out
+}
