@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let mut t = Transcript::new();
-        t.push(AgentId::SemanticAnalyzer, "trace", "error[E0104]: unknown gate");
+        t.push(
+            AgentId::SemanticAnalyzer,
+            "trace",
+            "error[E0104]: unknown gate",
+        );
         let s = t.to_string();
         assert!(s.contains("semantic-analyzer"));
         assert!(s.contains("E0104"));

@@ -39,8 +39,14 @@ impl CodeGenAgent {
         semantic_feedback: bool,
         seed: u64,
     ) -> Generation {
-        self.llm
-            .repair(spec, &self.config, prev, trace_codes, semantic_feedback, seed)
+        self.llm.repair(
+            spec,
+            &self.config,
+            prev,
+            trace_codes,
+            semantic_feedback,
+            seed,
+        )
     }
 
     /// Renders the multi-pass repair prompt (for transcripts; the paper's

@@ -163,7 +163,10 @@ impl Orchestrator {
         }
 
         // QEC stage: only meaningful when the final program lowered.
-        let qec = match (&self.config.qec, multipass.last().analysis.detail.syntactic_ok) {
+        let qec = match (
+            &self.config.qec,
+            multipass.last().analysis.detail.syntactic_ok,
+        ) {
             (Some(stage), true) => {
                 let source = &multipass.last().generation.source;
                 let circuit = qcir::dsl::parse(source)

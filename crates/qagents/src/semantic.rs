@@ -125,9 +125,14 @@ mod tests {
     #[test]
     fn removed_symbol_trace_carries_the_code() {
         let agent = SemanticAnalyzerAgent::new();
-        let src = "import qasmlite 2.1;\nqreg q[2];\ncreg c[2];\ncnot q[0], q[1];\nmeasure q -> c;\n";
+        let src =
+            "import qasmlite 2.1;\nqreg q[2];\ncreg c[2];\ncnot q[0], q[1];\nmeasure q -> c;\n";
         let analysis = agent.analyze(src, &TaskSpec::BellPair);
         assert!(analysis.trace_codes.contains(&DiagCode::RemovedSymbol));
-        assert!(analysis.error_trace.contains("cx"), "{}", analysis.error_trace);
+        assert!(
+            analysis.error_trace.contains("cx"),
+            "{}",
+            analysis.error_trace
+        );
     }
 }

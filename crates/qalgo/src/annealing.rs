@@ -18,7 +18,10 @@ pub struct Schedule {
 
 impl Default for Schedule {
     fn default() -> Self {
-        Schedule { steps: 20, dt: 0.35 }
+        Schedule {
+            steps: 20,
+            dt: 0.35,
+        }
     }
 }
 
@@ -76,7 +79,8 @@ mod tests {
     #[test]
     fn fast_anneal_is_worse_than_slow() {
         let fast = Executor::ideal_distribution(&anneal_tfim(4, Schedule { steps: 2, dt: 0.4 }), 0);
-        let slow = Executor::ideal_distribution(&anneal_tfim(4, Schedule { steps: 30, dt: 0.4 }), 0);
+        let slow =
+            Executor::ideal_distribution(&anneal_tfim(4, Schedule { steps: 30, dt: 0.4 }), 0);
         assert!(
             ground_state_mass(&slow, 4) > ground_state_mass(&fast, 4),
             "adiabaticity should matter"

@@ -94,7 +94,8 @@ mod tests {
     #[test]
     fn balanced_never_yields_all_zeros() {
         for mask in [0b001u64, 0b011, 0b111, 0b100] {
-            let d = Executor::ideal_distribution(&deutsch_jozsa(3, DjOracle::BalancedMask(mask)), 0);
+            let d =
+                Executor::ideal_distribution(&deutsch_jozsa(3, DjOracle::BalancedMask(mask)), 0);
             assert!(d.get(0) < 1e-9, "mask {mask:03b}: p(000) = {}", d.get(0));
             // In the parity-oracle family the result is exactly the mask.
             assert!((d.get(mask) - 1.0).abs() < 1e-9);

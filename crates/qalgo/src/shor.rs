@@ -17,7 +17,10 @@ pub const VALID_BASES: [u64; 8] = [2, 4, 7, 8, 11, 13, 14, 1];
 ///
 /// Panics when `gcd(a, 15) != 1`.
 pub fn order_mod_15(a: u64) -> u64 {
-    assert!(!a.is_multiple_of(3) && !a.is_multiple_of(5) && !a.is_multiple_of(15), "a must be coprime to 15");
+    assert!(
+        !a.is_multiple_of(3) && !a.is_multiple_of(5) && !a.is_multiple_of(15),
+        "a must be coprime to 15"
+    );
     let mut x = a % 15;
     let mut r = 1;
     while x != 1 {

@@ -76,7 +76,11 @@ mod tests {
             let d = Executor::ideal_distribution(&simon(2, secret), 0);
             for (word, p) in d.iter() {
                 if p > 1e-9 {
-                    assert_eq!(dot_mod2(word, secret), 0, "secret {secret:02b}, word {word:02b}");
+                    assert_eq!(
+                        dot_mod2(word, secret),
+                        0,
+                        "secret {secret:02b}, word {word:02b}"
+                    );
                 }
             }
         }
@@ -86,7 +90,11 @@ mod tests {
     fn three_bit_secret_constraints() {
         let secret = 0b101u64;
         let d = Executor::ideal_distribution(&simon(3, secret), 0);
-        let valid: Vec<u64> = d.iter().filter(|(_, p)| *p > 1e-9).map(|(w, _)| w).collect();
+        let valid: Vec<u64> = d
+            .iter()
+            .filter(|(_, p)| *p > 1e-9)
+            .map(|(w, _)| w)
+            .collect();
         // Exactly half the words satisfy y.s = 0.
         assert_eq!(valid.len(), 4);
         for w in valid {
@@ -106,7 +114,11 @@ mod tests {
     fn solver_recovers_secret_from_support() {
         let secret = 0b110u64;
         let d = Executor::ideal_distribution(&simon(3, secret), 0);
-        let samples: Vec<u64> = d.iter().filter(|(_, p)| *p > 1e-9).map(|(w, _)| w).collect();
+        let samples: Vec<u64> = d
+            .iter()
+            .filter(|(_, p)| *p > 1e-9)
+            .map(|(w, _)| w)
+            .collect();
         assert_eq!(solve_secret(3, &samples), Some(secret));
     }
 

@@ -15,7 +15,11 @@ use qcir::gate::Gate;
 ///
 /// Panics when `prep` is not a single-qubit gate.
 pub fn teleport(prep: Gate) -> Circuit {
-    assert_eq!(prep.num_qubits(), 1, "preparation gate must be single-qubit");
+    assert_eq!(
+        prep.num_qubits(),
+        1,
+        "preparation gate must be single-qubit"
+    );
     let mut qc = Circuit::new(3, 3);
     // State to teleport.
     qc.push_gate(prep, &[0]);

@@ -60,13 +60,7 @@ pub fn ising_energy(state: &StateVector, h: f64) -> f64 {
 
 /// One coordinate-descent sweep over the parameters (a minimal classical
 /// optimizer so examples can show a full VQE loop without an external dep).
-pub fn optimize_sweep(
-    n: usize,
-    layers: usize,
-    params: &mut [f64],
-    h: f64,
-    step: f64,
-) -> f64 {
+pub fn optimize_sweep(n: usize, layers: usize, params: &mut [f64], h: f64, step: f64) -> f64 {
     let energy_of = |p: &[f64]| {
         let qc = ansatz(n, layers, p);
         let sv = qsim::exec::Executor::statevector(&qc);

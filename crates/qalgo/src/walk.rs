@@ -83,7 +83,10 @@ mod tests {
         for pos in 0..4u64 {
             max_diff = max_diff.max((quantum.get(pos) - classical[pos as usize]).abs());
         }
-        assert!(max_diff > 0.05, "quantum and classical too similar: {max_diff}");
+        assert!(
+            max_diff > 0.05,
+            "quantum and classical too similar: {max_diff}"
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl FromStr for Version {
     type Err = ParseVersionError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (maj, min) = s.split_once('.').ok_or_else(|| ParseVersionError(s.into()))?;
+        let (maj, min) = s
+            .split_once('.')
+            .ok_or_else(|| ParseVersionError(s.into()))?;
         let major = maj.parse().map_err(|_| ParseVersionError(s.into()))?;
         let minor = min.parse().map_err(|_| ParseVersionError(s.into()))?;
         Ok(Version { major, minor })
@@ -141,8 +143,8 @@ impl ApiRegistry {
         };
         // Core gates present since 1.0 and never touched.
         for name in [
-            "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "cy", "cz", "crx",
-            "cry", "crz", "cp",
+            "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "cy", "cz", "crx", "cry",
+            "crz", "cp",
         ] {
             put(name, stable_v10.clone());
         }

@@ -149,9 +149,10 @@ impl<'a> Checker<'a> {
                 }
             }
         }
-        let uses_gates = program.items.iter().any(|i| {
-            matches!(i, Item::Stmt(_)) || matches!(i, Item::GateDef { .. })
-        });
+        let uses_gates = program
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Stmt(_)) || matches!(i, Item::GateDef { .. }));
         if self.version.is_none() && uses_gates {
             self.diags.push(
                 Diagnostic::error(
@@ -218,14 +219,8 @@ impl<'a> Checker<'a> {
                     return;
                 }
                 let offset = self.num_qubits;
-                self.qregs.insert(
-                    name.to_string(),
-                    RegInfo {
-                        offset,
-                        size,
-                        kind,
-                    },
-                );
+                self.qregs
+                    .insert(name.to_string(), RegInfo { offset, size, kind });
                 self.num_qubits += size;
             }
             RegKind::Classical => {
@@ -238,14 +233,8 @@ impl<'a> Checker<'a> {
                     return;
                 }
                 let offset = self.num_clbits;
-                self.cregs.insert(
-                    name.to_string(),
-                    RegInfo {
-                        offset,
-                        size,
-                        kind,
-                    },
-                );
+                self.cregs
+                    .insert(name.to_string(), RegInfo { offset, size, kind });
                 self.num_clbits += size;
             }
         }
@@ -283,9 +272,9 @@ impl<'a> Checker<'a> {
                 }
             }
             for expr in &app.params {
-                if let Err(e) = expr.eval(&|ident| {
-                    params.contains(&ident.to_string()).then_some(0.0)
-                }) {
+                if let Err(e) =
+                    expr.eval(&|ident| params.contains(&ident.to_string()).then_some(0.0))
+                {
                     self.error(
                         DiagCode::ParamCountMismatch,
                         format!("in gate `{name}`: {e}"),
@@ -708,7 +697,8 @@ impl<'a> Checker<'a> {
             if failed {
                 continue;
             }
-            let Some((canon, params)) = self.resolve_gate_name(&body_app.name, &params, body_app.span)
+            let Some((canon, params)) =
+                self.resolve_gate_name(&body_app.name, &params, body_app.span)
             else {
                 continue;
             };
@@ -847,21 +837,26 @@ mod tests {
 
     #[test]
     fn measure_size_mismatch() {
-        let out = check_src("import qasmlite 2.1;\nqreg q[3];\ncreg c[2];\nh q[0];\nmeasure q -> c;\n");
-        assert!(out.errors().any(|d| d.code == DiagCode::MeasureSizeMismatch));
+        let out =
+            check_src("import qasmlite 2.1;\nqreg q[3];\ncreg c[2];\nh q[0];\nmeasure q -> c;\n");
+        assert!(out
+            .errors()
+            .any(|d| d.code == DiagCode::MeasureSizeMismatch));
     }
 
     #[test]
     fn broadcast_single_qubit_gate() {
-        let out = check_src("import qasmlite 2.1;\nqreg q[3];\ncreg c[3];\nh q;\nmeasure q -> c;\n");
+        let out =
+            check_src("import qasmlite 2.1;\nqreg q[3];\ncreg c[3];\nh q;\nmeasure q -> c;\n");
         assert!(out.is_ok());
         assert_eq!(out.circuit.unwrap().count_gate("h"), 3);
     }
 
     #[test]
     fn broadcast_two_qubit_gate_zips() {
-        let out =
-            check_src("import qasmlite 2.1;\nqreg a[2];\nqreg b[2];\ncreg c[2];\ncx a, b;\nmeasure b -> c;\n");
+        let out = check_src(
+            "import qasmlite 2.1;\nqreg a[2];\nqreg b[2];\ncreg c[2];\ncx a, b;\nmeasure b -> c;\n",
+        );
         assert!(out.is_ok(), "diags: {:?}", out.diagnostics);
         assert_eq!(out.circuit.unwrap().count_gate("cx"), 2);
     }
@@ -930,10 +925,7 @@ mod tests {
         let out = check_src(src);
         assert!(out.is_ok(), "diags: {:?}", out.diagnostics);
         let c = out.circuit.unwrap();
-        assert!(c
-            .ops()
-            .iter()
-            .any(|op| matches!(op, Op::CondGate { .. })));
+        assert!(c.ops().iter().any(|op| matches!(op, Op::CondGate { .. })));
     }
 
     #[test]

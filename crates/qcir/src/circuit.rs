@@ -63,10 +63,16 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { index, num_qubits } => {
-                write!(f, "qubit index {index} out of range for {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit index {index} out of range for {num_qubits} qubits"
+                )
             }
             CircuitError::ClbitOutOfRange { index, num_clbits } => {
-                write!(f, "classical bit index {index} out of range for {num_clbits} bits")
+                write!(
+                    f,
+                    "classical bit index {index} out of range for {num_clbits} bits"
+                )
             }
             CircuitError::DuplicateQubit { index } => {
                 write!(f, "qubit {index} used more than once in a single gate")
@@ -375,7 +381,13 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on invalid operands.
-    pub fn cond_gate(&mut self, gate: Gate, qubits: &[usize], clbit: usize, value: bool) -> &mut Self {
+    pub fn cond_gate(
+        &mut self,
+        gate: Gate,
+        qubits: &[usize],
+        clbit: usize,
+        value: bool,
+    ) -> &mut Self {
         self.try_push(Op::CondGate {
             gate,
             qubits: qubits.to_vec(),
@@ -463,11 +475,7 @@ impl Circuit {
                 }
             }
         }
-        qdepth
-            .into_iter()
-            .chain(cdepth)
-            .max()
-            .unwrap_or(0)
+        qdepth.into_iter().chain(cdepth).max().unwrap_or(0)
     }
 
     /// Per-gate-name operation counts (measure/reset/barrier excluded).
@@ -503,7 +511,9 @@ impl Circuit {
     /// `true` when the circuit contains no measurement into classical bits,
     /// i.e. it is a pure unitary (barriers/resets excluded too).
     pub fn is_unitary_only(&self) -> bool {
-        self.ops.iter().all(|op| matches!(op, Op::Gate { .. } | Op::Barrier { .. }))
+        self.ops
+            .iter()
+            .all(|op| matches!(op, Op::Gate { .. } | Op::Barrier { .. }))
     }
 }
 
@@ -584,9 +594,7 @@ mod tests {
     #[test]
     fn try_push_rejects_bad_clbit() {
         let mut qc = Circuit::new(1, 1);
-        let err = qc
-            .try_push(Op::Measure { qubit: 0, clbit: 3 })
-            .unwrap_err();
+        let err = qc.try_push(Op::Measure { qubit: 0, clbit: 3 }).unwrap_err();
         assert_eq!(
             err,
             CircuitError::ClbitOutOfRange {

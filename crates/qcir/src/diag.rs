@@ -208,12 +208,8 @@ mod tests {
 
     #[test]
     fn display_includes_code_and_span() {
-        let d = Diagnostic::error(
-            DiagCode::UnknownGate,
-            "unknown gate `cnot`",
-            Span::at(4, 1),
-        )
-        .with_hint("use `cx` instead");
+        let d = Diagnostic::error(DiagCode::UnknownGate, "unknown gate `cnot`", Span::at(4, 1))
+            .with_hint("use `cx` instead");
         let s = d.to_string();
         assert!(s.contains("E0104"));
         assert!(s.contains("4:1"));
@@ -224,7 +220,11 @@ mod tests {
     fn trace_lists_every_diagnostic() {
         let diags = vec![
             Diagnostic::error(DiagCode::ParseError, "unexpected token", Span::at(1, 1)),
-            Diagnostic::warning(DiagCode::DeprecatedSymbol, "`cnot` is deprecated", Span::at(2, 1)),
+            Diagnostic::warning(
+                DiagCode::DeprecatedSymbol,
+                "`cnot` is deprecated",
+                Span::at(2, 1),
+            ),
         ];
         let trace = render_trace(&diags);
         assert_eq!(trace.lines().count(), 3);

@@ -32,9 +32,9 @@ pub fn draw(circuit: &Circuit) -> String {
     let mut frontier = vec![0usize; n];
 
     let place = |columns: &mut Vec<Column>,
-                     frontier: &mut Vec<usize>,
-                     qubits: &[usize],
-                     glyphs: Vec<(usize, String)>| {
+                 frontier: &mut Vec<usize>,
+                 qubits: &[usize],
+                 glyphs: Vec<(usize, String)>| {
         let lo = *qubits.iter().min().expect("non-empty");
         let hi = *qubits.iter().max().expect("non-empty");
         // The occupied span is the full vertical range (connectors).
@@ -101,7 +101,14 @@ pub fn draw(circuit: &Circuit) -> String {
     // Column widths.
     let widths: Vec<usize> = columns
         .iter()
-        .map(|c| c.cells.iter().map(|s| s.chars().count()).max().unwrap_or(1).max(1))
+        .map(|c| {
+            c.cells
+                .iter()
+                .map(|s| s.chars().count())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+        })
         .collect();
     let mut out = String::new();
     for q in 0..n {

@@ -277,7 +277,10 @@ mod tests {
     #[test]
     fn spans_track_lines() {
         let toks = lex("h q[0];\ncx q[0], q[1];\n").unwrap();
-        let cx = toks.iter().find(|t| t.tok == Tok::Ident("cx".into())).unwrap();
+        let cx = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("cx".into()))
+            .unwrap();
         assert_eq!(cx.span.line, 2);
         assert_eq!(cx.span.col, 1);
     }

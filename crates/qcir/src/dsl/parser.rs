@@ -443,7 +443,12 @@ mod tests {
             .items
             .iter()
             .find_map(|i| match i {
-                Item::GateDef { name, body, operands, .. } => Some((name, body, operands)),
+                Item::GateDef {
+                    name,
+                    body,
+                    operands,
+                    ..
+                } => Some((name, body, operands)),
                 _ => None,
             })
             .unwrap();
@@ -470,9 +475,13 @@ mod tests {
             .items
             .iter()
             .find_map(|i| match i {
-                Item::Stmt(Stmt::If { reg, index, value, app, .. }) => {
-                    Some((reg.clone(), *index, *value, app.name.clone()))
-                }
+                Item::Stmt(Stmt::If {
+                    reg,
+                    index,
+                    value,
+                    app,
+                    ..
+                }) => Some((reg.clone(), *index, *value, app.name.clone())),
                 _ => None,
             })
             .unwrap();

@@ -90,7 +90,8 @@ mod tests {
 
     fn round_trip(circuit: &Circuit) -> Circuit {
         let src = to_qasmlite(circuit);
-        let program = parse(&src).unwrap_or_else(|e| panic!("printer output must parse: {e}\n{src}"));
+        let program =
+            parse(&src).unwrap_or_else(|e| panic!("printer output must parse: {e}\n{src}"));
         lower(&program).unwrap_or_else(|e| panic!("printer output must check: {e:?}\n{src}"))
     }
 

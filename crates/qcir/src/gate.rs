@@ -6,7 +6,7 @@
 //! same class of mistakes an LLM makes against Qiskit (deprecated aliases,
 //! wrong parameter counts, bad arity).
 
-use crate::math::{C64, FRAC_1_SQRT_2, Matrix};
+use crate::math::{Matrix, C64, FRAC_1_SQRT_2};
 use std::fmt;
 
 /// A quantum gate with bound parameters.
@@ -78,8 +78,7 @@ impl Gate {
     pub fn num_qubits(&self) -> usize {
         use Gate::*;
         match self {
-            Id | H | X | Y | Z | S | Sdg | T | Tdg | SX | RX(_) | RY(_) | RZ(_) | P(_)
-            | U(..) => 1,
+            Id | H | X | Y | Z | S | Sdg | T | Tdg | SX | RX(_) | RY(_) | RZ(_) | P(_) | U(..) => 1,
             CX | CY | CZ | CH | SWAP | CRX(_) | CRY(_) | CRZ(_) | CP(_) => 2,
             CCX | CSWAP => 3,
         }
@@ -206,7 +205,10 @@ impl Gate {
     /// `true` when the gate is in the Clifford group (stabilizer-simulable).
     pub fn is_clifford(&self) -> bool {
         use Gate::*;
-        matches!(self, Id | H | X | Y | Z | S | Sdg | SX | CX | CY | CZ | SWAP)
+        matches!(
+            self,
+            Id | H | X | Y | Z | S | Sdg | SX | CX | CY | CZ | SWAP
+        )
     }
 
     /// The gate's unitary as a dense matrix over its own qubits.
@@ -244,10 +246,7 @@ impl Gate {
                 let s = C64::real((t / 2.0).sin());
                 Matrix::from_rows(2, &[c, -s, s, c])
             }
-            RZ(t) => Matrix::from_rows(
-                2,
-                &[C64::cis(-t / 2.0), z, z, C64::cis(t / 2.0)],
-            ),
+            RZ(t) => Matrix::from_rows(2, &[C64::cis(-t / 2.0), z, z, C64::cis(t / 2.0)]),
             P(l) => Matrix::from_rows(2, &[o, z, z, C64::cis(l)]),
             U(t, p, l) => {
                 let ct = C64::real((t / 2.0).cos());

@@ -307,9 +307,10 @@ impl Matrix {
         if a.abs() <= tol {
             return false;
         }
-        // phase = a / b, normalised to unit modulus.
+        // phase = a / b, normalised to unit modulus so only a global phase
+        // (never a magnitude rescale) is factored out.
         let phase = a * b.conj() / (b.abs() * a.abs());
-        let scaled: Vec<C64> = other.data.iter().map(|z| *z * phase * (a.abs() / b.abs())).collect();
+        let scaled: Vec<C64> = other.data.iter().map(|z| *z * phase).collect();
         self.data
             .iter()
             .zip(&scaled)
@@ -401,6 +402,144 @@ mod tests {
         let a = Matrix::identity(2);
         let b = Matrix::identity(4);
         assert_eq!(a.kron(&b).dim(), 8);
+    }
+
+    fn pauli_x() -> Matrix {
+        Matrix::from_rows(2, &[C64::ZERO, C64::ONE, C64::ONE, C64::ZERO])
+    }
+
+    fn pauli_y() -> Matrix {
+        Matrix::from_rows(2, &[C64::ZERO, -C64::I, C64::I, C64::ZERO])
+    }
+
+    fn pauli_z() -> Matrix {
+        Matrix::from_rows(2, &[C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE])
+    }
+
+    #[test]
+    fn complex_division_and_assign_ops() {
+        let a = C64::new(3.0, 4.0);
+        assert!((a / 2.0).approx_eq(C64::new(1.5, 2.0), 1e-12));
+        assert!((a * 0.5).approx_eq(C64::new(1.5, 2.0), 1e-12));
+        let mut b = C64::ONE;
+        b += C64::I;
+        b *= C64::I;
+        assert!(b.approx_eq(C64::new(-1.0, 1.0), 1e-12));
+        assert_eq!(C64::from(2.5), C64::new(2.5, 0.0));
+        assert!((a.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_a_homomorphism() {
+        let a = 0.9;
+        let b = -2.3;
+        assert!((C64::cis(a) * C64::cis(b)).approx_eq(C64::cis(a + b), 1e-12));
+        assert!(C64::cis(a).conj().approx_eq(C64::cis(-a), 1e-12));
+    }
+
+    #[test]
+    fn pauli_algebra_via_matmul() {
+        // XY = iZ and YX = -iZ: matmul is order-sensitive and complex-correct.
+        let xy = pauli_x().matmul(&pauli_y());
+        let yx = pauli_y().matmul(&pauli_x());
+        let mut iz = pauli_z();
+        for i in 0..2 {
+            for j in 0..2 {
+                iz[(i, j)] *= C64::I;
+            }
+        }
+        assert!(xy.approx_eq(&iz, 1e-12));
+        let mut neg_iz = iz.clone();
+        for i in 0..2 {
+            for j in 0..2 {
+                neg_iz[(i, j)] = -neg_iz[(i, j)];
+            }
+        }
+        assert!(yx.approx_eq(&neg_iz, 1e-12));
+    }
+
+    #[test]
+    fn dagger_is_an_involution_and_antihomomorphism() {
+        let y = pauli_y();
+        assert!(y.dagger().dagger().approx_eq(&y, 1e-12));
+        // (AB)^† = B^† A^†
+        let a = pauli_x();
+        let ab = a.matmul(&y);
+        assert!(ab
+            .dagger()
+            .approx_eq(&y.dagger().matmul(&a.dagger()), 1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let c = pauli_z();
+        let d = Matrix::identity(2);
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_entry_layout() {
+        // Z ⊗ X places +X in the top-left block and -X in the bottom-right.
+        let zx = pauli_z().kron(&pauli_x());
+        assert_eq!(zx.dim(), 4);
+        assert_eq!(zx.get(0, 1), C64::ONE);
+        assert_eq!(zx.get(1, 0), C64::ONE);
+        assert_eq!(zx.get(2, 3), -C64::ONE);
+        assert_eq!(zx.get(3, 2), -C64::ONE);
+        assert_eq!(zx.get(0, 0), C64::ZERO);
+    }
+
+    #[test]
+    fn non_unitary_matrices_are_rejected() {
+        let mut scaled = Matrix::identity(2);
+        scaled[(0, 0)] = C64::real(2.0);
+        assert!(!scaled.is_unitary(1e-9));
+        let mut shear = Matrix::identity(2);
+        shear[(0, 1)] = C64::ONE;
+        assert!(!shear.is_unitary(1e-9));
+        assert!(!Matrix::zeros(2).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn phase_comparison_rejects_per_element_phases() {
+        // A relative (non-global) phase must not compare equal.
+        let id = Matrix::identity(2);
+        let mut relative = Matrix::identity(2);
+        relative[(1, 1)] = C64::cis(0.7);
+        assert!(!id.approx_eq_up_to_phase(&relative, 1e-9));
+        // Different dimensions never compare equal.
+        assert!(!id.approx_eq_up_to_phase(&Matrix::identity(4), 1e-9));
+        // Zero matrices compare equal (degenerate phase).
+        assert!(Matrix::zeros(2).approx_eq_up_to_phase(&Matrix::zeros(2), 1e-9));
+    }
+
+    #[test]
+    fn phase_comparison_rejects_magnitude_rescale() {
+        // 2I equals I up to a scalar, but not up to a *phase*: only
+        // unit-modulus factors may be divided out.
+        let id = Matrix::identity(2);
+        let mut doubled = Matrix::identity(2);
+        doubled[(0, 0)] = C64::real(2.0);
+        doubled[(1, 1)] = C64::real(2.0);
+        assert!(!doubled.approx_eq_up_to_phase(&id, 1e-9));
+        assert!(!id.approx_eq_up_to_phase(&doubled, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length mismatch")]
+    fn from_rows_checks_length() {
+        Matrix::from_rows(2, &[C64::ONE; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_checks_dimensions() {
+        Matrix::identity(2).matmul(&Matrix::identity(4));
     }
 
     #[test]

@@ -122,9 +122,7 @@ pub fn decompose_to_basis(circuit: &Circuit) -> Circuit {
     for op in circuit.ops() {
         match op {
             Op::Gate { gate, qubits } => emit_decomposed(&mut out, *gate, qubits),
-            other => out
-                .try_push(other.clone())
-                .expect("same register sizes"),
+            other => out.try_push(other.clone()).expect("same register sizes"),
         }
     }
     out

@@ -22,7 +22,10 @@ impl fmt::Display for SynthesisError {
         match self {
             SynthesisError::Disconnected => write!(f, "device coupling graph is disconnected"),
             SynthesisError::TooSmall { qubits, needed } => {
-                write!(f, "device has {qubits} qubits but the smallest code needs {needed}")
+                write!(
+                    f,
+                    "device has {qubits} qubits but the smallest code needs {needed}"
+                )
             }
         }
     }
@@ -81,7 +84,11 @@ impl fmt::Display for DecoderSpec {
             "{family} + {} on {} ({}; ~{:.1}x lifetime at p={})",
             self.decoder.name(),
             self.device,
-            if self.native_layout { "native" } else { "swap-embedded" },
+            if self.native_layout {
+                "native"
+            } else {
+                "swap-embedded"
+            },
             self.estimated_lifetime_extension,
             self.calibration_rate
         )
@@ -145,11 +152,19 @@ pub fn synthesize(
     }
     // Repetition fallback: needs 2d-1 qubits (data + ancilla).
     let d_rep = device.num_qubits().div_ceil(2).min(7);
-    let d_rep = if d_rep.is_multiple_of(2) { d_rep - 1 } else { d_rep };
+    let d_rep = if d_rep.is_multiple_of(2) {
+        d_rep - 1
+    } else {
+        d_rep
+    };
     if d_rep >= 3 {
         let code = crate::repetition::RepetitionCode::new(d_rep);
         let p_logical = code.analytic_error_rate(p);
-        let extension = if p_logical > 0.0 { p / p_logical } else { f64::INFINITY };
+        let extension = if p_logical > 0.0 {
+            p / p_logical
+        } else {
+            f64::INFINITY
+        };
         return Ok(DecoderSpec {
             device: device.name().to_string(),
             family: CodeFamily::Repetition { distance: d_rep },

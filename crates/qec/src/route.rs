@@ -28,11 +28,17 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::TooFewQubits { circuit, device } => {
-                write!(f, "circuit needs {circuit} qubits but the device has {device}")
+                write!(
+                    f,
+                    "circuit needs {circuit} qubits but the device has {device}"
+                )
             }
             RouteError::Disconnected => write!(f, "device coupling graph is disconnected"),
             RouteError::WideGate { gate } => {
-                write!(f, "gate `{gate}` is wider than two qubits; transpile to the CX basis first")
+                write!(
+                    f,
+                    "gate `{gate}` is wider than two qubits; transpile to the CX basis first"
+                )
             }
         }
     }
@@ -102,30 +108,27 @@ pub fn route(circuit: &Circuit, device: &Topology) -> Result<Routed, RouteError>
     let mut out = Circuit::new(device.num_qubits(), circuit.num_clbits());
     let mut swap_count = 0usize;
 
-    let bring_adjacent = |out: &mut Circuit,
-                              layout: &mut Vec<usize>,
-                              swap_count: &mut usize,
-                              a: usize,
-                              b: usize| {
-        // Move physical(a) along a shortest path toward physical(b).
-        loop {
-            let pa = layout[a];
-            let pb = layout[b];
-            if device.has_edge(pa, pb) {
-                break;
+    let bring_adjacent =
+        |out: &mut Circuit, layout: &mut Vec<usize>, swap_count: &mut usize, a: usize, b: usize| {
+            // Move physical(a) along a shortest path toward physical(b).
+            loop {
+                let pa = layout[a];
+                let pb = layout[b];
+                if device.has_edge(pa, pb) {
+                    break;
+                }
+                let path = shortest_path(device, pa, pb);
+                debug_assert!(path.len() >= 3, "non-adjacent implies a midpoint");
+                let next = path[1];
+                out.swap(pa, next);
+                *swap_count += 1;
+                // Update the layout: whichever logical sits on `next` moves.
+                if let Some(other) = layout.iter().position(|&p| p == next) {
+                    layout[other] = pa;
+                }
+                layout[a] = next;
             }
-            let path = shortest_path(device, pa, pb);
-            debug_assert!(path.len() >= 3, "non-adjacent implies a midpoint");
-            let next = path[1];
-            out.swap(pa, next);
-            *swap_count += 1;
-            // Update the layout: whichever logical sits on `next` moves.
-            if let Some(other) = layout.iter().position(|&p| p == next) {
-                layout[other] = pa;
-            }
-            layout[a] = next;
-        }
-    };
+        };
 
     for op in circuit.ops() {
         match op {

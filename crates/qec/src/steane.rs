@@ -110,11 +110,7 @@ impl SteaneCode {
         // |0>_L = sum over Hamming codewords; prepare via generators.
         qc.h(0).h(1).h(3);
         // Generator rows of the Hamming code (position q in CHECKS[k]).
-        for &(src, targets) in &[
-            (0usize, [2usize, 4, 6]),
-            (1, [2, 5, 6]),
-            (3, [4, 5, 6]),
-        ] {
+        for &(src, targets) in &[(0usize, [2usize, 4, 6]), (1, [2, 5, 6]), (3, [4, 5, 6])] {
             for &t in &targets {
                 qc.cx(src, t);
             }

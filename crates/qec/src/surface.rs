@@ -65,7 +65,11 @@ impl SurfaceCode {
                 if support.len() < 2 {
                     continue; // corners
                 }
-                let kind = if (r + c) % 2 == 0 { StabKind::Z } else { StabKind::X };
+                let kind = if (r + c) % 2 == 0 {
+                    StabKind::Z
+                } else {
+                    StabKind::X
+                };
                 // Boundary rule: weight-2 plaquettes survive only on the
                 // matching boundary (X on top/bottom, Z on left/right).
                 if support.len() == 2 {
@@ -163,14 +167,7 @@ impl SurfaceCode {
     pub fn z_syndrome(&self, x_errors: &[bool]) -> Vec<bool> {
         self.z_stabilizers()
             .iter()
-            .map(|s| {
-                s.support
-                    .iter()
-                    .filter(|&&q| x_errors[q])
-                    .count()
-                    % 2
-                    == 1
-            })
+            .map(|s| s.support.iter().filter(|&&q| x_errors[q]).count() % 2 == 1)
             .collect()
     }
 
@@ -178,36 +175,19 @@ impl SurfaceCode {
     pub fn x_syndrome(&self, z_errors: &[bool]) -> Vec<bool> {
         self.x_stabilizers()
             .iter()
-            .map(|s| {
-                s.support
-                    .iter()
-                    .filter(|&&q| z_errors[q])
-                    .count()
-                    % 2
-                    == 1
-            })
+            .map(|s| s.support.iter().filter(|&&q| z_errors[q]).count() % 2 == 1)
             .collect()
     }
 
     /// Whether an X-error pattern (after correction) implements a logical X
     /// flip: odd overlap with the logical Z support.
     pub fn is_logical_x_flip(&self, x_errors: &[bool]) -> bool {
-        self.logical_z()
-            .iter()
-            .filter(|&&q| x_errors[q])
-            .count()
-            % 2
-            == 1
+        self.logical_z().iter().filter(|&&q| x_errors[q]).count() % 2 == 1
     }
 
     /// Whether a Z-error pattern implements a logical Z flip.
     pub fn is_logical_z_flip(&self, z_errors: &[bool]) -> bool {
-        self.logical_x()
-            .iter()
-            .filter(|&&q| z_errors[q])
-            .count()
-            % 2
-            == 1
+        self.logical_x().iter().filter(|&&q| z_errors[q]).count() % 2 == 1
     }
 
     /// Renders the lattice with an error/correction overlay for terminal
@@ -306,12 +286,22 @@ mod tests {
             let lz: std::collections::BTreeSet<usize> = code.logical_z().into_iter().collect();
             for s in code.x_stabilizers() {
                 let overlap = s.support.iter().filter(|q| lz.contains(q)).count();
-                assert_eq!(overlap % 2, 0, "d={d}: logical Z vs X stabilizer {:?}", s.anchor);
+                assert_eq!(
+                    overlap % 2,
+                    0,
+                    "d={d}: logical Z vs X stabilizer {:?}",
+                    s.anchor
+                );
             }
             let lx: std::collections::BTreeSet<usize> = code.logical_x().into_iter().collect();
             for s in code.z_stabilizers() {
                 let overlap = s.support.iter().filter(|q| lx.contains(q)).count();
-                assert_eq!(overlap % 2, 0, "d={d}: logical X vs Z stabilizer {:?}", s.anchor);
+                assert_eq!(
+                    overlap % 2,
+                    0,
+                    "d={d}: logical X vs Z stabilizer {:?}",
+                    s.anchor
+                );
             }
         }
     }
@@ -344,13 +334,19 @@ mod tests {
         // stabilizer action and must be syndrome-free AND not logical.
         let code = SurfaceCode::new(3);
         let xs = code.x_stabilizers();
-        let s = xs.iter().find(|s| s.support.len() == 4).expect("bulk X stab");
+        let s = xs
+            .iter()
+            .find(|s| s.support.len() == 4)
+            .expect("bulk X stab");
         let mut errors = vec![false; code.num_data()];
         for &q in &s.support {
             errors[q] = true;
         }
         let syndrome = code.z_syndrome(&errors);
-        assert!(syndrome.iter().all(|&b| !b), "stabilizer has trivial syndrome");
+        assert!(
+            syndrome.iter().all(|&b| !b),
+            "stabilizer has trivial syndrome"
+        );
         assert!(!code.is_logical_x_flip(&errors));
     }
 

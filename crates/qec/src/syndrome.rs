@@ -170,10 +170,7 @@ mod tests {
                 let events = h.detection_events();
                 // A single bulk error flags 2 stabilizers -> 2 events;
                 // a boundary-adjacent error flags 1 -> 1 event.
-                assert!(
-                    events.len() == 1 || events.len() == 2,
-                    "events {events:?}"
-                );
+                assert!(events.len() == 1 || events.len() == 2, "events {events:?}");
             }
         }
         assert!(hit, "no single-error trial found");

@@ -100,7 +100,11 @@ impl Topology {
             for b in 0..=cols {
                 let bridge = row_base(r) + row_len + b;
                 // Alternate attachment columns per row parity.
-                let col = if r % 2 == 0 { 2 * b } else { (2 * b + 1).min(row_len - 1) };
+                let col = if r % 2 == 0 {
+                    2 * b
+                } else {
+                    (2 * b + 1).min(row_len - 1)
+                };
                 edges.push((row_base(r) + col, bridge));
                 edges.push((bridge, row_base(r + 1) + col));
                 total = bridge + 1;
@@ -164,7 +168,10 @@ impl Topology {
 
     /// Maximum degree across the device.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_qubits).map(|q| self.degree(q)).max().unwrap_or(0)
+        (0..self.num_qubits)
+            .map(|q| self.degree(q))
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` when the coupling graph is connected.

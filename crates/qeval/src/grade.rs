@@ -97,8 +97,8 @@ pub fn grade_source(source: &str, spec: &TaskSpec) -> GradeDetail {
         };
     }
 
-    let exact = qsim::exec::measures_only_at_end(&circuit)
-        && qsim::exec::measures_only_at_end(&reference);
+    let exact =
+        qsim::exec::measures_only_at_end(&circuit) && qsim::exec::measures_only_at_end(&reference);
     let (candidate_dist, reference_dist, tolerance) = if exact {
         (
             Executor::ideal_distribution(&circuit, GRADING_SEED),

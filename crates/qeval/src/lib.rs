@@ -27,8 +27,8 @@ pub mod grade;
 pub mod passk;
 pub mod qhe;
 pub mod report;
-pub mod taxonomy;
 pub mod suite;
+pub mod taxonomy;
 
 pub use grade::{grade_source, GradeDetail};
 pub use suite::{test_suite, Task};

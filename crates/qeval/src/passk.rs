@@ -30,7 +30,11 @@ pub fn mean_pass_at_k(results: &[(usize, usize)], k: usize) -> f64 {
     if results.is_empty() {
         return 0.0;
     }
-    results.iter().map(|&(n, c)| pass_at_k(n, c, k)).sum::<f64>() / results.len() as f64
+    results
+        .iter()
+        .map(|&(n, c)| pass_at_k(n, c, k))
+        .sum::<f64>()
+        / results.len() as f64
 }
 
 #[cfg(test)]

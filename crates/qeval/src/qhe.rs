@@ -19,44 +19,146 @@ pub const QHE_API_DIFFICULTY: f64 = 1.40;
 /// The QHE-like task list: 30 library-flavoured tasks, skewed basic.
 pub fn qhe_tasks() -> Vec<Task> {
     let mut tasks = vec![
-        Task { id: "qhe/bell", spec: TaskSpec::BellPair },
-        Task { id: "qhe/ghz3", spec: TaskSpec::Ghz { n: 3 } },
-        Task { id: "qhe/ghz4", spec: TaskSpec::Ghz { n: 4 } },
-        Task { id: "qhe/ghz6", spec: TaskSpec::Ghz { n: 6 } },
-        Task { id: "qhe/super1", spec: TaskSpec::Superposition { n: 1 } },
-        Task { id: "qhe/super2", spec: TaskSpec::Superposition { n: 2 } },
-        Task { id: "qhe/super5", spec: TaskSpec::Superposition { n: 5 } },
-        Task { id: "qhe/basis-1", spec: TaskSpec::BasisState { n: 2, value: 2 } },
-        Task { id: "qhe/basis-2", spec: TaskSpec::BasisState { n: 3, value: 7 } },
-        Task { id: "qhe/basis-3", spec: TaskSpec::BasisState { n: 4, value: 9 } },
-        Task { id: "qhe/basis-4", spec: TaskSpec::BasisState { n: 5, value: 17 } },
-        Task { id: "qhe/parity2", spec: TaskSpec::ParityCheck { n: 2 } },
-        Task { id: "qhe/parity3", spec: TaskSpec::ParityCheck { n: 3 } },
-        Task { id: "qhe/parity5", spec: TaskSpec::ParityCheck { n: 5 } },
-        Task { id: "qhe/superdense-00", spec: TaskSpec::Superdense { b1: false, b0: false } },
-        Task { id: "qhe/superdense-10", spec: TaskSpec::Superdense { b1: true, b0: false } },
-        Task { id: "qhe/bv-2", spec: TaskSpec::BernsteinVazirani { n: 2, secret: 0b10 } },
-        Task { id: "qhe/bv-3", spec: TaskSpec::BernsteinVazirani { n: 3, secret: 0b110 } },
-        Task { id: "qhe/bv-5", spec: TaskSpec::BernsteinVazirani { n: 5, secret: 0b10101 } },
+        Task {
+            id: "qhe/bell",
+            spec: TaskSpec::BellPair,
+        },
+        Task {
+            id: "qhe/ghz3",
+            spec: TaskSpec::Ghz { n: 3 },
+        },
+        Task {
+            id: "qhe/ghz4",
+            spec: TaskSpec::Ghz { n: 4 },
+        },
+        Task {
+            id: "qhe/ghz6",
+            spec: TaskSpec::Ghz { n: 6 },
+        },
+        Task {
+            id: "qhe/super1",
+            spec: TaskSpec::Superposition { n: 1 },
+        },
+        Task {
+            id: "qhe/super2",
+            spec: TaskSpec::Superposition { n: 2 },
+        },
+        Task {
+            id: "qhe/super5",
+            spec: TaskSpec::Superposition { n: 5 },
+        },
+        Task {
+            id: "qhe/basis-1",
+            spec: TaskSpec::BasisState { n: 2, value: 2 },
+        },
+        Task {
+            id: "qhe/basis-2",
+            spec: TaskSpec::BasisState { n: 3, value: 7 },
+        },
+        Task {
+            id: "qhe/basis-3",
+            spec: TaskSpec::BasisState { n: 4, value: 9 },
+        },
+        Task {
+            id: "qhe/basis-4",
+            spec: TaskSpec::BasisState { n: 5, value: 17 },
+        },
+        Task {
+            id: "qhe/parity2",
+            spec: TaskSpec::ParityCheck { n: 2 },
+        },
+        Task {
+            id: "qhe/parity3",
+            spec: TaskSpec::ParityCheck { n: 3 },
+        },
+        Task {
+            id: "qhe/parity5",
+            spec: TaskSpec::ParityCheck { n: 5 },
+        },
+        Task {
+            id: "qhe/superdense-00",
+            spec: TaskSpec::Superdense {
+                b1: false,
+                b0: false,
+            },
+        },
+        Task {
+            id: "qhe/superdense-10",
+            spec: TaskSpec::Superdense {
+                b1: true,
+                b0: false,
+            },
+        },
+        Task {
+            id: "qhe/bv-2",
+            spec: TaskSpec::BernsteinVazirani { n: 2, secret: 0b10 },
+        },
+        Task {
+            id: "qhe/bv-3",
+            spec: TaskSpec::BernsteinVazirani {
+                n: 3,
+                secret: 0b110,
+            },
+        },
+        Task {
+            id: "qhe/bv-5",
+            spec: TaskSpec::BernsteinVazirani {
+                n: 5,
+                secret: 0b10101,
+            },
+        },
     ];
     tasks.extend([
         Task {
             id: "qhe/dj-const1",
-            spec: TaskSpec::DeutschJozsa { n: 2, oracle: DjOracle::ConstantOne },
+            spec: TaskSpec::DeutschJozsa {
+                n: 2,
+                oracle: DjOracle::ConstantOne,
+            },
         },
         Task {
             id: "qhe/dj-bal",
-            spec: TaskSpec::DeutschJozsa { n: 2, oracle: DjOracle::BalancedMask(0b01) },
+            spec: TaskSpec::DeutschJozsa {
+                n: 2,
+                oracle: DjOracle::BalancedMask(0b01),
+            },
         },
-        Task { id: "qhe/grover2a", spec: TaskSpec::Grover { n: 2, marked: 0 } },
-        Task { id: "qhe/grover2b", spec: TaskSpec::Grover { n: 2, marked: 2 } },
-        Task { id: "qhe/grover3", spec: TaskSpec::Grover { n: 3, marked: 6 } },
-        Task { id: "qhe/qft2", spec: TaskSpec::QftBasis { n: 2, input: 0 } },
-        Task { id: "qhe/qft3", spec: TaskSpec::QftBasis { n: 3, input: 0 } },
-        Task { id: "qhe/qft-rt2", spec: TaskSpec::QftRoundTrip { n: 2, input: 1 } },
-        Task { id: "qhe/qft-rt4", spec: TaskSpec::QftRoundTrip { n: 4, input: 9 } },
-        Task { id: "qhe/simon2", spec: TaskSpec::Simon { n: 2, secret: 0b01 } },
-        Task { id: "qhe/qpe2", spec: TaskSpec::Qpe { t: 2, phi: 0.25 } },
+        Task {
+            id: "qhe/grover2a",
+            spec: TaskSpec::Grover { n: 2, marked: 0 },
+        },
+        Task {
+            id: "qhe/grover2b",
+            spec: TaskSpec::Grover { n: 2, marked: 2 },
+        },
+        Task {
+            id: "qhe/grover3",
+            spec: TaskSpec::Grover { n: 3, marked: 6 },
+        },
+        Task {
+            id: "qhe/qft2",
+            spec: TaskSpec::QftBasis { n: 2, input: 0 },
+        },
+        Task {
+            id: "qhe/qft3",
+            spec: TaskSpec::QftBasis { n: 3, input: 0 },
+        },
+        Task {
+            id: "qhe/qft-rt2",
+            spec: TaskSpec::QftRoundTrip { n: 2, input: 1 },
+        },
+        Task {
+            id: "qhe/qft-rt4",
+            spec: TaskSpec::QftRoundTrip { n: 4, input: 9 },
+        },
+        Task {
+            id: "qhe/simon2",
+            spec: TaskSpec::Simon { n: 2, secret: 0b01 },
+        },
+        Task {
+            id: "qhe/qpe2",
+            spec: TaskSpec::Qpe { t: 2, phi: 0.25 },
+        },
     ]);
     tasks
 }
@@ -77,7 +179,12 @@ pub fn granite_proxy_config() -> GenConfig {
 }
 
 /// Scores one configuration on the QHE-like benchmark.
-pub fn qhe_score(llm: &CodeLlm, config: &GenConfig, samples_per_task: usize, seed: u64) -> EvalOutcome {
+pub fn qhe_score(
+    llm: &CodeLlm,
+    config: &GenConfig,
+    samples_per_task: usize,
+    seed: u64,
+) -> EvalOutcome {
     evaluate(llm, &qhe_tasks(), config, samples_per_task, seed)
 }
 
@@ -124,13 +231,8 @@ mod tests {
         // The API-heavy benchmark must be harder syntactically.
         let llm = CodeLlm::new();
         let config = GenConfig::fine_tuned();
-        let suite_outcome = crate::report::evaluate(
-            &llm,
-            &crate::suite::test_suite(),
-            &config,
-            3,
-            11,
-        );
+        let suite_outcome =
+            crate::report::evaluate(&llm, &crate::suite::test_suite(), &config, 3, 11);
         let qhe_outcome = qhe_score(&llm, &qhe_config(config), 3, 11);
         assert!(
             qhe_outcome.syntactic_rate() < suite_outcome.syntactic_rate(),

@@ -28,51 +28,165 @@ impl Task {
 pub fn test_suite() -> Vec<Task> {
     vec![
         // --- Basic (16 tasks, 47%) ---------------------------------------
-        Task { id: "basic/bell", spec: TaskSpec::BellPair },
-        Task { id: "basic/ghz3", spec: TaskSpec::Ghz { n: 3 } },
-        Task { id: "basic/ghz4", spec: TaskSpec::Ghz { n: 4 } },
-        Task { id: "basic/ghz5", spec: TaskSpec::Ghz { n: 5 } },
-        Task { id: "basic/super2", spec: TaskSpec::Superposition { n: 2 } },
-        Task { id: "basic/super3", spec: TaskSpec::Superposition { n: 3 } },
-        Task { id: "basic/super4", spec: TaskSpec::Superposition { n: 4 } },
-        Task { id: "basic/basis-3-5", spec: TaskSpec::BasisState { n: 3, value: 5 } },
-        Task { id: "basic/basis-4-10", spec: TaskSpec::BasisState { n: 4, value: 10 } },
-        Task { id: "basic/basis-2-1", spec: TaskSpec::BasisState { n: 2, value: 1 } },
-        Task { id: "basic/bv-3", spec: TaskSpec::BernsteinVazirani { n: 3, secret: 0b101 } },
-        Task { id: "basic/bv-4", spec: TaskSpec::BernsteinVazirani { n: 4, secret: 0b1011 } },
-        Task { id: "basic/superdense-01", spec: TaskSpec::Superdense { b1: false, b0: true } },
-        Task { id: "basic/superdense-11", spec: TaskSpec::Superdense { b1: true, b0: true } },
-        Task { id: "basic/parity3", spec: TaskSpec::ParityCheck { n: 3 } },
-        Task { id: "basic/parity4", spec: TaskSpec::ParityCheck { n: 4 } },
+        Task {
+            id: "basic/bell",
+            spec: TaskSpec::BellPair,
+        },
+        Task {
+            id: "basic/ghz3",
+            spec: TaskSpec::Ghz { n: 3 },
+        },
+        Task {
+            id: "basic/ghz4",
+            spec: TaskSpec::Ghz { n: 4 },
+        },
+        Task {
+            id: "basic/ghz5",
+            spec: TaskSpec::Ghz { n: 5 },
+        },
+        Task {
+            id: "basic/super2",
+            spec: TaskSpec::Superposition { n: 2 },
+        },
+        Task {
+            id: "basic/super3",
+            spec: TaskSpec::Superposition { n: 3 },
+        },
+        Task {
+            id: "basic/super4",
+            spec: TaskSpec::Superposition { n: 4 },
+        },
+        Task {
+            id: "basic/basis-3-5",
+            spec: TaskSpec::BasisState { n: 3, value: 5 },
+        },
+        Task {
+            id: "basic/basis-4-10",
+            spec: TaskSpec::BasisState { n: 4, value: 10 },
+        },
+        Task {
+            id: "basic/basis-2-1",
+            spec: TaskSpec::BasisState { n: 2, value: 1 },
+        },
+        Task {
+            id: "basic/bv-3",
+            spec: TaskSpec::BernsteinVazirani {
+                n: 3,
+                secret: 0b101,
+            },
+        },
+        Task {
+            id: "basic/bv-4",
+            spec: TaskSpec::BernsteinVazirani {
+                n: 4,
+                secret: 0b1011,
+            },
+        },
+        Task {
+            id: "basic/superdense-01",
+            spec: TaskSpec::Superdense {
+                b1: false,
+                b0: true,
+            },
+        },
+        Task {
+            id: "basic/superdense-11",
+            spec: TaskSpec::Superdense { b1: true, b0: true },
+        },
+        Task {
+            id: "basic/parity3",
+            spec: TaskSpec::ParityCheck { n: 3 },
+        },
+        Task {
+            id: "basic/parity4",
+            spec: TaskSpec::ParityCheck { n: 4 },
+        },
         // --- Intermediate (8 tasks, 24%) ----------------------------------
         Task {
             id: "mid/dj-const",
-            spec: TaskSpec::DeutschJozsa { n: 3, oracle: DjOracle::ConstantZero },
+            spec: TaskSpec::DeutschJozsa {
+                n: 3,
+                oracle: DjOracle::ConstantZero,
+            },
         },
         Task {
             id: "mid/dj-balanced",
-            spec: TaskSpec::DeutschJozsa { n: 3, oracle: DjOracle::BalancedMask(0b101) },
+            spec: TaskSpec::DeutschJozsa {
+                n: 3,
+                oracle: DjOracle::BalancedMask(0b101),
+            },
         },
-        Task { id: "mid/grover2", spec: TaskSpec::Grover { n: 2, marked: 3 } },
-        Task { id: "mid/grover3", spec: TaskSpec::Grover { n: 3, marked: 5 } },
-        Task { id: "mid/qft-rt", spec: TaskSpec::QftRoundTrip { n: 3, input: 5 } },
-        Task { id: "mid/qft-basis", spec: TaskSpec::QftBasis { n: 3, input: 0 } },
-        Task { id: "mid/shor15", spec: TaskSpec::Shor },
-        Task { id: "mid/simon2", spec: TaskSpec::Simon { n: 2, secret: 0b11 } },
+        Task {
+            id: "mid/grover2",
+            spec: TaskSpec::Grover { n: 2, marked: 3 },
+        },
+        Task {
+            id: "mid/grover3",
+            spec: TaskSpec::Grover { n: 3, marked: 5 },
+        },
+        Task {
+            id: "mid/qft-rt",
+            spec: TaskSpec::QftRoundTrip { n: 3, input: 5 },
+        },
+        Task {
+            id: "mid/qft-basis",
+            spec: TaskSpec::QftBasis { n: 3, input: 0 },
+        },
+        Task {
+            id: "mid/shor15",
+            spec: TaskSpec::Shor,
+        },
+        Task {
+            id: "mid/simon2",
+            spec: TaskSpec::Simon { n: 2, secret: 0b11 },
+        },
         // --- Advanced (10 tasks, 29%) --------------------------------------
-        Task { id: "adv/qpe-3", spec: TaskSpec::Qpe { t: 3, phi: 0.125 } },
-        Task { id: "adv/qpe-4", spec: TaskSpec::Qpe { t: 4, phi: 0.3125 } },
-        Task { id: "adv/teleport-one", spec: TaskSpec::Teleport { prep: TeleportPrep::One } },
-        Task { id: "adv/teleport-plus", spec: TaskSpec::Teleport { prep: TeleportPrep::Plus } },
+        Task {
+            id: "adv/qpe-3",
+            spec: TaskSpec::Qpe { t: 3, phi: 0.125 },
+        },
+        Task {
+            id: "adv/qpe-4",
+            spec: TaskSpec::Qpe { t: 4, phi: 0.3125 },
+        },
+        Task {
+            id: "adv/teleport-one",
+            spec: TaskSpec::Teleport {
+                prep: TeleportPrep::One,
+            },
+        },
+        Task {
+            id: "adv/teleport-plus",
+            spec: TaskSpec::Teleport {
+                prep: TeleportPrep::Plus,
+            },
+        },
         Task {
             id: "adv/teleport-ry",
-            spec: TaskSpec::Teleport { prep: TeleportPrep::Ry(1.234) },
+            spec: TaskSpec::Teleport {
+                prep: TeleportPrep::Ry(1.234),
+            },
         },
-        Task { id: "adv/walk1", spec: TaskSpec::Walk { steps: 1 } },
-        Task { id: "adv/walk3", spec: TaskSpec::Walk { steps: 3 } },
-        Task { id: "adv/walk2", spec: TaskSpec::Walk { steps: 2 } },
-        Task { id: "adv/anneal3", spec: TaskSpec::Annealing { n: 3 } },
-        Task { id: "adv/anneal4", spec: TaskSpec::Annealing { n: 4 } },
+        Task {
+            id: "adv/walk1",
+            spec: TaskSpec::Walk { steps: 1 },
+        },
+        Task {
+            id: "adv/walk3",
+            spec: TaskSpec::Walk { steps: 3 },
+        },
+        Task {
+            id: "adv/walk2",
+            spec: TaskSpec::Walk { steps: 2 },
+        },
+        Task {
+            id: "adv/anneal3",
+            spec: TaskSpec::Annealing { n: 3 },
+        },
+        Task {
+            id: "adv/anneal4",
+            spec: TaskSpec::Annealing { n: 4 },
+        },
     ]
 }
 
@@ -111,7 +225,12 @@ mod tests {
     fn every_reference_circuit_simulates() {
         for task in test_suite() {
             let c = task.spec.reference_circuit();
-            assert!(c.num_qubits() <= 12, "{}: {} qubits", task.id, c.num_qubits());
+            assert!(
+                c.num_qubits() <= 12,
+                "{}: {} qubits",
+                task.id,
+                c.num_qubits()
+            );
             assert!(c.num_measurements() > 0, "{}", task.id);
         }
     }

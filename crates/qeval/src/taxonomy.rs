@@ -224,8 +224,7 @@ mod tests {
         let ft = measure(&llm, &tasks, &GenConfig::fine_tuned(), 6, 5);
         let base_fail = 1.0 - t.fraction(FailureClass::None);
         let ft_fail = 1.0 - ft.fraction(FailureClass::None);
-        let ft_drift =
-            ft.fraction(FailureClass::ImportVersion) + ft.fraction(FailureClass::Api);
+        let ft_drift = ft.fraction(FailureClass::ImportVersion) + ft.fraction(FailureClass::Api);
         assert!(
             ft_drift / ft_fail.max(1e-9) > drift / base_fail.max(1e-9),
             "drift share must grow: ft {ft_drift}/{ft_fail} vs base {drift}/{base_fail}"

@@ -256,10 +256,7 @@ pub fn apply(channel: Channel, source: &str, rng: &mut impl Rng) -> String {
                 return source.to_string();
             }
             let keep = rng.gen_range(lines.len() / 2..lines.len() - 1);
-            lines[..keep]
-                .iter()
-                .map(|l| format!("{l}\n"))
-                .collect()
+            lines[..keep].iter().map(|l| format!("{l}\n")).collect()
         }
         Channel::WrongStructure => {
             // Handled by the model via `template::confabulated_source`.

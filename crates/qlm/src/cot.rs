@@ -82,8 +82,18 @@ pub fn synthesize_plan(spec: &TaskSpec, kind: CotKind, rng: &mut impl Rng) -> Pl
 /// The correct high-level plan skeleton per topic.
 fn skeleton_steps(spec: &TaskSpec) -> Vec<String> {
     let steps: &[&str] = match spec.topic() {
-        "bell" => &["allocate 2 qubits", "hadamard qubit 0", "cx 0 -> 1", "measure all"],
-        "ghz" => &["allocate n qubits", "hadamard qubit 0", "cx chain", "measure all"],
+        "bell" => &[
+            "allocate 2 qubits",
+            "hadamard qubit 0",
+            "cx 0 -> 1",
+            "measure all",
+        ],
+        "ghz" => &[
+            "allocate n qubits",
+            "hadamard qubit 0",
+            "cx chain",
+            "measure all",
+        ],
         "superposition" => &["allocate n qubits", "hadamard every qubit", "measure all"],
         "basis-state" => &["allocate n qubits", "x gates on set bits", "measure all"],
         "bernstein-vazirani" => &[
@@ -93,8 +103,17 @@ fn skeleton_steps(spec: &TaskSpec) -> Vec<String> {
             "hadamard inputs",
             "measure inputs",
         ],
-        "superdense" => &["share bell pair", "encode bits with x/z", "decode with cx and h", "measure"],
-        "parity" => &["hadamard data", "cx every data qubit to ancilla", "measure ancilla"],
+        "superdense" => &[
+            "share bell pair",
+            "encode bits with x/z",
+            "decode with cx and h",
+            "measure",
+        ],
+        "parity" => &[
+            "hadamard data",
+            "cx every data qubit to ancilla",
+            "measure ancilla",
+        ],
         "deutsch-jozsa" => &[
             "prepare ancilla in minus state",
             "hadamard inputs",
@@ -109,7 +128,11 @@ fn skeleton_steps(spec: &TaskSpec) -> Vec<String> {
             "repeat optimal number of iterations",
             "measure",
         ],
-        "qft" => &["hadamard + controlled phases per target", "swap for bit reversal", "measure"],
+        "qft" => &[
+            "hadamard + controlled phases per target",
+            "swap for bit reversal",
+            "measure",
+        ],
         "phase-estimation" => &[
             "prepare eigenstate on target",
             "hadamard counting register",

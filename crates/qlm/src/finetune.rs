@@ -55,8 +55,8 @@ impl DatasetDescriptor {
     /// paper's FIM rate of 0.1 (their reported optimum) and grows
     /// logarithmically in token count.
     pub fn effectiveness(&self) -> f64 {
-        let token_factor =
-            ((self.upsampled_tokens as f64).log10() / 7.0).clamp(0.0, 1.0); // 10M tokens -> 1.0
+        // 10M tokens -> 1.0
+        let token_factor = ((self.upsampled_tokens as f64).log10() / 7.0).clamp(0.0, 1.0);
         // Quadratic penalty away from the optimal FIM rate 0.1.
         let fim_penalty = ((self.fim_rate - 0.1) * 2.5).powi(2);
         (token_factor * (1.0 - fim_penalty)).clamp(0.0, 1.0)

@@ -79,7 +79,10 @@ mod tests {
     fn advanced_topics_are_nearly_unknown_to_base() {
         let kb = KnowledgeBase::new();
         let walk = kb.familiarity(&TaskSpec::Walk { steps: 2 }, TrainingLevel::Base);
-        assert!(walk < 0.15, "base model should not know quantum walks: {walk}");
+        assert!(
+            walk < 0.15,
+            "base model should not know quantum walks: {walk}"
+        );
         let bell = kb.familiarity(&TaskSpec::BellPair, TrainingLevel::Base);
         assert!(bell > 0.8, "bell pairs are everywhere: {bell}");
     }
@@ -103,7 +106,11 @@ mod tests {
     fn familiarity_is_a_probability() {
         let kb = KnowledgeBase::new();
         for training in [TrainingLevel::Base, TrainingLevel::FineTuned] {
-            for spec in [TaskSpec::BellPair, TaskSpec::Shor, TaskSpec::Annealing { n: 4 }] {
+            for spec in [
+                TaskSpec::BellPair,
+                TaskSpec::Shor,
+                TaskSpec::Annealing { n: 4 },
+            ] {
                 let f = kb.familiarity(&spec, training);
                 assert!((0.0..=1.0).contains(&f));
             }

@@ -158,9 +158,9 @@ impl CodeLlm {
         };
         let mut structure_prob = self.knowledge.familiarity(spec, config.training);
 
-        let retrieval = config.rag_top_k.map(|k| {
-            rag::retrieval_effect(&self.store, &spec.prompt_text(), spec.topic(), k)
-        });
+        let retrieval = config
+            .rag_top_k
+            .map(|k| rag::retrieval_effect(&self.store, &spec.prompt_text(), spec.topic(), k));
         if let Some(effect) = &retrieval {
             let cf = effect.current_api_fraction;
             rates.scale(Channel::StaleImport, 1.0 - 0.80 * cf);
@@ -218,8 +218,7 @@ impl CodeLlm {
     /// `seed`.
     pub fn generate(&self, spec: &TaskSpec, config: &GenConfig, seed: u64) -> Generation {
         let mut rng = StdRng::seed_from_u64(mix(seed, spec.topic()));
-        let (rates, structure_prob, plan, retrieval) =
-            self.effective_rates(spec, config, &mut rng);
+        let (rates, structure_prob, plan, retrieval) = self.effective_rates(spec, config, &mut rng);
         let structure_known = rng.gen_bool(structure_prob.clamp(0.0, 1.0));
         let applied = rates.sample(&mut rng);
         let corruption_seed = rng.r#gen();
@@ -349,7 +348,12 @@ pub fn repair_success_probability(channel: Channel) -> f64 {
 
 /// Deterministic render of a generation: gold or confabulated body, then
 /// the corruption operators in canonical channel order.
-fn render(spec: &TaskSpec, structure_known: bool, applied: &[Channel], corruption_seed: u64) -> String {
+fn render(
+    spec: &TaskSpec,
+    structure_known: bool,
+    applied: &[Channel],
+    corruption_seed: u64,
+) -> String {
     let mut rng = StdRng::seed_from_u64(corruption_seed);
     let mut source = if structure_known {
         template::gold_source(spec)
@@ -401,7 +405,10 @@ mod tests {
         assert_eq!(a, b);
         // Over many seeds the corruption realizations must vary.
         let distinct: std::collections::BTreeSet<String> = (0..50)
-            .map(|s| llm.generate(&TaskSpec::BellPair, &GenConfig::fine_tuned(), s).source)
+            .map(|s| {
+                llm.generate(&TaskSpec::BellPair, &GenConfig::fine_tuned(), s)
+                    .source
+            })
             .collect();
         assert!(distinct.len() > 1, "seeds should vary the generation");
     }
@@ -435,10 +442,16 @@ mod tests {
         let mut known_ft = 0;
         let mut known_cot = 0;
         for seed in 0..400 {
-            if llm.generate(&spec, &GenConfig::fine_tuned(), seed).structure_known {
+            if llm
+                .generate(&spec, &GenConfig::fine_tuned(), seed)
+                .structure_known
+            {
                 known_ft += 1;
             }
-            if llm.generate(&spec, &GenConfig::with_scot(), seed).structure_known {
+            if llm
+                .generate(&spec, &GenConfig::with_scot(), seed)
+                .structure_known
+            {
                 known_cot += 1;
             }
         }
@@ -502,13 +515,23 @@ mod tests {
             }
             if g.applied.contains(&Channel::DeprecatedApi) {
                 api_total += 1;
-                let r = llm.repair(&spec, &config, &g, &[DiagCode::RemovedSymbol], false, seed + 1);
+                let r = llm.repair(
+                    &spec,
+                    &config,
+                    &g,
+                    &[DiagCode::RemovedSymbol],
+                    false,
+                    seed + 1,
+                );
                 if !r.applied.contains(&Channel::DeprecatedApi) {
                     api_fixed += 1;
                 }
             }
         }
-        assert!(syntax_total > 20 && api_total > 20, "{syntax_total}/{api_total}");
+        assert!(
+            syntax_total > 20 && api_total > 20,
+            "{syntax_total}/{api_total}"
+        );
         let syntax_rate = syntax_fixed as f64 / syntax_total as f64;
         let api_rate = api_fixed as f64 / api_total as f64;
         assert!(

@@ -182,7 +182,11 @@ impl VectorStore {
                         dot += tfidf * qw * self.idf(term);
                     }
                 }
-                let score = if d_norm > 0.0 { dot / d_norm.sqrt() } else { 0.0 };
+                let score = if d_norm > 0.0 {
+                    dot / d_norm.sqrt()
+                } else {
+                    0.0
+                };
                 (score, i)
             })
             .collect();
@@ -235,7 +239,12 @@ impl VectorStore {
 /// contributes freshness (its corpus share of current pages — version
 /// freshness is invisible to content queries), and the guide dataset is
 /// queried with the actual prompt via TF-IDF.
-pub fn retrieval_effect(store: &VectorStore, prompt: &str, topic: &str, k: usize) -> RetrievalEffect {
+pub fn retrieval_effect(
+    store: &VectorStore,
+    prompt: &str,
+    topic: &str,
+    k: usize,
+) -> RetrievalEffect {
     let query = format!("{prompt} guide algorithm structure {topic}");
     let retrieved = store.retrieve(&query, k);
     let matched_guide = retrieved
@@ -293,7 +302,11 @@ mod tests {
             "grover",
             8,
         );
-        assert!(effect.matched_guide, "grover guide should be retrieved: {:?}", effect.chunk_ids);
+        assert!(
+            effect.matched_guide,
+            "grover guide should be retrieved: {:?}",
+            effect.chunk_ids
+        );
     }
 
     #[test]

@@ -92,8 +92,12 @@ impl TaskSpec {
             | BernsteinVazirani { .. }
             | Superdense { .. }
             | ParityCheck { .. } => Difficulty::Basic,
-            DeutschJozsa { .. } | Grover { .. } | QftBasis { .. } | QftRoundTrip { .. }
-            | Shor | Simon { .. } => Difficulty::Intermediate,
+            DeutschJozsa { .. }
+            | Grover { .. }
+            | QftBasis { .. }
+            | QftRoundTrip { .. }
+            | Shor
+            | Simon { .. } => Difficulty::Intermediate,
             Qpe { .. } | Teleport { .. } | Walk { .. } | Annealing { .. } => Difficulty::Advanced,
         }
     }
@@ -176,7 +180,9 @@ impl TaskSpec {
             Walk { steps } => qalgo::walk::quantum_walk(*steps),
             Shor => qalgo::shor::shor_15_standard(),
             Simon { n, secret } => qalgo::simon::simon(*n, *secret),
-            Annealing { n } => qalgo::annealing::anneal_tfim(*n, qalgo::annealing::Schedule::default()),
+            Annealing { n } => {
+                qalgo::annealing::anneal_tfim(*n, qalgo::annealing::Schedule::default())
+            }
         }
     }
 }

@@ -129,7 +129,11 @@ impl FromIterator<u64> for Counts {
             shots += 1;
             max = max.max(outcome);
         }
-        let num_clbits = if max == 0 { 1 } else { (64 - max.leading_zeros()) as usize };
+        let num_clbits = if max == 0 {
+            1
+        } else {
+            (64 - max.leading_zeros()) as usize
+        };
         Counts {
             num_clbits,
             shots,

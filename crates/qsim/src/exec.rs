@@ -266,7 +266,9 @@ mod tests {
         let mut zero = NoiseModel::uniform_depolarizing(0.0);
         zero.idle_error = 0.0;
         zero.readout_error = 1e-300; // non-zero flag, negligible effect
-        let slow = Executor::with_noise(zero).run(&qc, 4000, 1).to_distribution();
+        let slow = Executor::with_noise(zero)
+            .run(&qc, 4000, 1)
+            .to_distribution();
         assert!(fast.tvd(&slow) < 0.05);
     }
 

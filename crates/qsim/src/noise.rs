@@ -159,7 +159,11 @@ impl NoiseModel {
         for q in 0..num_qubits {
             if rng.gen_bool(self.idle_error) {
                 // Idle noise is dephasing-dominated on hardware: bias to Z.
-                let pauli = if rng.gen_bool(0.75) { Pauli::Z } else { Pauli::X };
+                let pauli = if rng.gen_bool(0.75) {
+                    Pauli::Z
+                } else {
+                    Pauli::X
+                };
                 errors.push((q, pauli));
             }
         }
@@ -178,9 +182,7 @@ mod tests {
         let nm = NoiseModel::ideal();
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..100 {
-            assert!(nm
-                .sample_gate_errors(&Gate::H, &[0], &mut rng)
-                .is_empty());
+            assert!(nm.sample_gate_errors(&Gate::H, &[0], &mut rng).is_empty());
             assert!(nm.sample_readout(true, &mut rng));
             assert!(nm.sample_idle_errors(5, &mut rng).is_empty());
         }

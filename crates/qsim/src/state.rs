@@ -7,7 +7,7 @@
 //! two conventions.
 
 use qcir::gate::Gate;
-use qcir::math::{C64, Matrix};
+use qcir::math::{Matrix, C64};
 use rand::Rng;
 
 /// A pure quantum state over `n` qubits.
@@ -393,6 +393,176 @@ mod tests {
         // Column 0 (input |00>) is the Bell state.
         assert!((u.get(0b00, 0).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
         assert!((u.get(0b11, 0).abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_gate_roundtrips_with_its_inverse() {
+        // Start from a non-trivial product state so phases matter, apply each
+        // gate followed by its inverse, and require the state back exactly.
+        let gates: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::H, vec![0]),
+            (Gate::X, vec![1]),
+            (Gate::Y, vec![2]),
+            (Gate::Z, vec![0]),
+            (Gate::S, vec![1]),
+            (Gate::Sdg, vec![2]),
+            (Gate::T, vec![0]),
+            (Gate::Tdg, vec![1]),
+            (Gate::SX, vec![2]),
+            (Gate::RX(0.83), vec![0]),
+            (Gate::RY(-1.2), vec![1]),
+            (Gate::RZ(2.9), vec![2]),
+            (Gate::P(0.4), vec![0]),
+            (Gate::U(0.3, -0.8, 1.7), vec![1]),
+            (Gate::CX, vec![0, 2]),
+            (Gate::CY, vec![2, 1]),
+            (Gate::CZ, vec![1, 0]),
+            (Gate::CH, vec![0, 1]),
+            (Gate::SWAP, vec![1, 2]),
+            (Gate::CRZ(0.6), vec![2, 0]),
+            (Gate::CP(-0.9), vec![0, 1]),
+            (Gate::CCX, vec![0, 1, 2]),
+            (Gate::CSWAP, vec![2, 0, 1]),
+        ];
+        for (gate, qubits) in gates {
+            let mut sv = StateVector::zero(3);
+            for q in 0..3 {
+                sv.apply_gate(Gate::H, &[q]);
+                sv.apply_gate(Gate::T, &[q]);
+            }
+            let before = sv.clone();
+            sv.apply_gate(gate, &qubits);
+            sv.apply_gate(gate.inverse(), &qubits);
+            assert!(
+                (sv.fidelity(&before) - 1.0).abs() < 1e-10,
+                "{gate:?} on {qubits:?} did not roundtrip"
+            );
+            assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn apply_matrix_is_big_endian_over_operands() {
+        // X ⊗ I applied to qubits [0, 1]: operand 0 is the matrix MSB, so
+        // the X must act on qubit 0 (bit 0 of the little-endian state index).
+        let x = Gate::X.matrix();
+        let id = qcir::math::Matrix::identity(2);
+        let xi = x.kron(&id);
+        let mut sv = StateVector::zero(2);
+        sv.apply_matrix(&xi, &[0, 1]);
+        assert!(sv.amplitudes()[0b01].approx_eq(C64::ONE, 1e-12));
+        // Same matrix on reversed operands flips qubit 1 instead.
+        let mut sv = StateVector::zero(2);
+        sv.apply_matrix(&xi, &[1, 0]);
+        assert!(sv.amplitudes()[0b10].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn apply_gate_agrees_with_dense_unitary() {
+        // Evolving |basis> through the circuit must match the column of the
+        // extracted dense unitary for every basis state.
+        let mut qc = Circuit::new(3, 0);
+        qc.h(0).cx(0, 1).t(1).swap(1, 2).cz(0, 2);
+        let u = circuit_unitary(&qc);
+        for col in 0..8 {
+            let mut sv = StateVector::basis(3, col);
+            for op in qc.ops() {
+                if let qcir::circuit::Op::Gate { gate, qubits } = op {
+                    sv.apply_gate(*gate, qubits);
+                }
+            }
+            for row in 0..8 {
+                assert!(
+                    sv.amplitudes()[row].approx_eq(u.get(row, col), 1e-10),
+                    "mismatch at ({row}, {col})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_random_gate_sequence_preserves_norm() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut sv = StateVector::zero(5);
+        for _ in 0..200 {
+            match rng.gen_range(0..6) {
+                0 => sv.apply_gate(Gate::H, &[rng.gen_range(0..5)]),
+                1 => sv.apply_gate(Gate::T, &[rng.gen_range(0..5)]),
+                2 => sv.apply_gate(Gate::RY(rng.gen_range(-3.0..3.0)), &[rng.gen_range(0..5)]),
+                3 => {
+                    let a = rng.gen_range(0..5);
+                    let b = (a + rng.gen_range(1..5)) % 5;
+                    sv.apply_gate(Gate::CX, &[a, b]);
+                }
+                4 => {
+                    let a = rng.gen_range(0..5);
+                    let b = (a + rng.gen_range(1..5)) % 5;
+                    sv.apply_gate(Gate::CP(rng.gen_range(-3.0..3.0)), &[a, b]);
+                }
+                _ => sv.apply_gate(Gate::SX, &[rng.gen_range(0..5)]),
+            }
+        }
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_phase_does_not_change_fidelity() {
+        let mut a = StateVector::zero(1);
+        a.apply_gate(Gate::X, &[0]);
+        let mut b = a.clone();
+        b.apply_gate(Gate::P(1.3), &[0]); // phases the |1> component only
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_respects_support() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sv = StateVector::zero(2);
+        sv.apply_gate(Gate::H, &[0]);
+        sv.apply_gate(Gate::CX, &[0, 1]);
+        let mut seen = [0usize; 4];
+        for _ in 0..2000 {
+            seen[sv.sample(&mut rng)] += 1;
+        }
+        assert_eq!(seen[0b01], 0);
+        assert_eq!(seen[0b10], 0);
+        let frac = seen[0b00] as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.05, "bell sampling skewed: {frac}");
+    }
+
+    #[test]
+    fn measurement_statistics_on_plus_state() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut sv = StateVector::zero(1);
+            sv.apply_gate(Gate::H, &[0]);
+            if sv.measure(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / 2000.0;
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "plus-state measurement skewed: {frac}"
+        );
+    }
+
+    #[test]
+    fn collapse_renormalizes_partial_superposition() {
+        let mut sv = StateVector::zero(2);
+        sv.apply_gate(Gate::H, &[0]);
+        sv.apply_gate(Gate::H, &[1]);
+        sv.collapse(0, true);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+        assert!((sv.prob_one(0) - 1.0).abs() < 1e-12);
+        assert!((sv.prob_one(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "basis index out of range")]
+    fn basis_checks_range() {
+        StateVector::basis(2, 4);
     }
 
     #[test]

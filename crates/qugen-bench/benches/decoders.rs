@@ -1,7 +1,9 @@
 //! Criterion microbenches: decoder throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qec::decoder::{Decoder, DecodingGraph, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder};
+use qec::decoder::{
+    Decoder, DecodingGraph, GreedyMatchingDecoder, LookupDecoder, UnionFindDecoder,
+};
 use qec::surface::SurfaceCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,11 +84,7 @@ fn bench_spacetime(c: &mut Criterion) {
     let decoder = GreedyMatchingDecoder::new(graph);
     let mut rng = StdRng::seed_from_u64(3);
     let events: Vec<Vec<usize>> = (0..16)
-        .map(|_| {
-            (0..24usize)
-                .filter(|_| rng.gen_bool(0.15))
-                .collect()
-        })
+        .map(|_| (0..24usize).filter(|_| rng.gen_bool(0.15)).collect())
         .collect();
     c.bench_function("spacetime_d3_r6_batch16", |b| {
         b.iter(|| {
@@ -97,5 +95,10 @@ fn bench_spacetime(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decoders_d3, bench_decoders_scaling, bench_spacetime);
+criterion_group!(
+    benches,
+    bench_decoders_d3,
+    bench_decoders_scaling,
+    bench_spacetime
+);
 criterion_main!(benches);

@@ -24,7 +24,10 @@ fn bench_parse_and_check(c: &mut Criterion) {
         })
     });
 
-    let programs: Vec<_> = sources.iter().map(|s| qcir::dsl::parse(s).unwrap()).collect();
+    let programs: Vec<_> = sources
+        .iter()
+        .map(|s| qcir::dsl::parse(s).unwrap())
+        .collect();
     c.bench_function("check_5_programs", |b| {
         b.iter(|| {
             for p in &programs {

@@ -39,5 +39,10 @@ fn bench_qec_synthesis(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generation, bench_pipeline, bench_qec_synthesis);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_pipeline,
+    bench_qec_synthesis
+);
 criterion_main!(benches);

@@ -64,10 +64,17 @@ fn main() {
         config.cot = cot;
         config.label = "cot-ablation";
         let outcome = evaluate(&llm, &tasks, &config, SAMPLES_PER_TASK, SEED + 1);
-        println!("{label:>12} {} {}", bar(outcome.pass_rate(), 40), pct(outcome.pass_rate()));
+        println!(
+            "{label:>12} {} {}",
+            bar(outcome.pass_rate(), 40),
+            pct(outcome.pass_rate())
+        );
         rates.push(outcome.pass_rate());
     }
-    check("structured > manual > none", rates[3] > rates[2] && rates[2] > rates[0]);
+    check(
+        "structured > manual > none",
+        rates[3] > rates[2] && rates[2] > rates[0],
+    );
 
     banner("ablation 3: FIM rate (dataset effectiveness model)");
     println!("| fim rate | effectiveness |");
@@ -82,7 +89,10 @@ fn main() {
             best = (fim, e);
         }
     }
-    check("effectiveness peaks at the paper's 0.1", (best.0 - 0.1).abs() < 1e-9);
+    check(
+        "effectiveness peaks at the paper's 0.1",
+        (best.0 - 0.1).abs() < 1e-9,
+    );
 
     banner("ablation 5: routing overhead per device topology (paper §IV-B)");
     {

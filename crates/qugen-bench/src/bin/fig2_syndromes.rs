@@ -23,9 +23,7 @@ const SEED: u64 = 0xF162;
 fn main() {
     let code = SurfaceCode::new(DISTANCE);
     banner("Figure 2: qubit evolution during QEC (|1> memory)");
-    println!(
-        "{code}, {ROUNDS} noisy rounds, p_data={P_DATA}, p_meas={P_MEAS}\n"
-    );
+    println!("{code}, {ROUNDS} noisy rounds, p_data={P_DATA}, p_meas={P_MEAS}\n");
 
     // Find a seed whose history contains both error species (the paper's
     // figure shows data errors *and* a measurement error) and where the
@@ -68,14 +66,21 @@ fn main() {
             round.measurement_flips
         );
     }
-    println!("final (perfect) round: {}", render_syndrome(&history.rounds.last().unwrap().true_syndrome));
+    println!(
+        "final (perfect) round: {}",
+        render_syndrome(&history.rounds.last().unwrap().true_syndrome)
+    );
 
     banner("(c) decoder output");
     let events = history.detection_events();
-    println!("detection events (stab, round): {:?}",
+    println!(
+        "detection events (stab, round): {:?}",
         events
             .iter()
-            .map(|&e| (e % code.z_stabilizers().len(), e / code.z_stabilizers().len()))
+            .map(|&e| (
+                e % code.z_stabilizers().len(),
+                e / code.z_stabilizers().len()
+            ))
             .collect::<Vec<_>>()
     );
     let correction = decoder.decode(&events);

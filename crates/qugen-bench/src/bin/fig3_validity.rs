@@ -83,7 +83,12 @@ fn main() {
     println!("{}", render_markdown(&rows));
     banner("bar view (pass rate)");
     for r in &rows {
-        println!("{:>26} {} {}", r.label, bar(r.pass_rate(), 40), pct(r.pass_rate()));
+        println!(
+            "{:>26} {} {}",
+            r.label,
+            bar(r.pass_rate(), 40),
+            pct(r.pass_rate())
+        );
     }
     banner("csv");
     print!("{}", render_csv(&rows));

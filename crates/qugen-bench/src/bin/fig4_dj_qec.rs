@@ -44,7 +44,10 @@ fn main() {
         .collect();
     println!("injected X errors on data qubits: {injected:?}");
     let correction = decode_once(&code, DecoderKind::Lookup, &errors);
-    println!("decoder corrections:              {:?}", correction.qubit_flips);
+    println!(
+        "decoder corrections:              {:?}",
+        correction.qubit_flips
+    );
     let mut marks = vec![None; code.num_data()];
     for &q in &injected {
         marks[q] = Some('X');
@@ -93,7 +96,10 @@ fn main() {
         }
     }
     check("lower probability of error outcomes", each_error_lower);
-    check("TVD from ideal shrinks", cmp.corrected_tvd() < cmp.noisy_tvd());
+    check(
+        "TVD from ideal shrinks",
+        cmp.corrected_tvd() < cmp.noisy_tvd(),
+    );
     check(
         "decoder extends qubit lifetime (> 1x)",
         cmp.spec.estimated_lifetime_extension > 1.0,

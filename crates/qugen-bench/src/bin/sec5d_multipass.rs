@@ -52,7 +52,9 @@ fn main() {
                     *surviving_channels.entry(ch).or_insert(0) += 1;
                 }
                 if !result.last().generation.structure_known {
-                    *surviving_channels.entry(Channel::WrongStructure).or_insert(0) += 1;
+                    *surviving_channels
+                        .entry(Channel::WrongStructure)
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -97,12 +99,22 @@ fn main() {
     );
     let api_survivors = classes
         .iter()
-        .filter(|(ch, _)| matches!(ch, Channel::StaleImport | Channel::DeprecatedApi | Channel::ImportOmission))
+        .filter(|(ch, _)| {
+            matches!(
+                ch,
+                Channel::StaleImport | Channel::DeprecatedApi | Channel::ImportOmission
+            )
+        })
         .map(|&(_, n)| n)
         .sum::<usize>();
     let other_survivors = classes
         .iter()
-        .filter(|(ch, _)| matches!(ch, Channel::SyntaxError | Channel::Truncation | Channel::MissingMeasure))
+        .filter(|(ch, _)| {
+            matches!(
+                ch,
+                Channel::SyntaxError | Channel::Truncation | Channel::MissingMeasure
+            )
+        })
         .map(|&(_, n)| n)
         .sum::<usize>();
     check(

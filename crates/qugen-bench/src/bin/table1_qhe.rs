@@ -16,11 +16,17 @@ const SEED: u64 = 0x7AB1E1;
 fn main() {
     let llm = CodeLlm::new();
     banner("Table I: QHE-like benchmark");
-    println!("{} tasks x {SAMPLES_PER_TASK} samples, pass@1\n", qhe_tasks().len());
+    println!(
+        "{} tasks x {SAMPLES_PER_TASK} samples, pass@1\n",
+        qhe_tasks().len()
+    );
 
     let rows = [
         ("Starcoder2-QL (base)", qhe_config(GenConfig::base())),
-        ("Starcoder2-QL-QK (fine-tuned)", qhe_config(GenConfig::fine_tuned())),
+        (
+            "Starcoder2-QL-QK (fine-tuned)",
+            qhe_config(GenConfig::fine_tuned()),
+        ),
         ("Starcoder2-QL-QKRAG", qhe_config(GenConfig::with_rag())),
         ("Starcoder2-QL-QKCoT", qhe_config(GenConfig::with_cot())),
         ("Granite-20B-proxy-QK", granite_proxy_config()),
@@ -51,8 +57,16 @@ fn main() {
     banner("§V-C: syntactic vs semantic accuracy");
     let (rag_syn, rag_sem) = splits[2];
     let (cot_syn, cot_sem) = splits[3];
-    println!("RAG: syntactic {} / semantic {}", pct(rag_syn), pct(rag_sem));
-    println!("CoT: syntactic {} / semantic {}", pct(cot_syn), pct(cot_sem));
+    println!(
+        "RAG: syntactic {} / semantic {}",
+        pct(rag_syn),
+        pct(rag_sem)
+    );
+    println!(
+        "CoT: syntactic {} / semantic {}",
+        pct(cot_syn),
+        pct(cot_sem)
+    );
     println!(
         "semantic share of syntactically-valid: RAG {} vs CoT {}",
         pct(rag_sem / rag_syn.max(1e-9)),

@@ -17,7 +17,7 @@ use qugen::qec::topology::Topology;
 use qugen::qsim::exec::Executor;
 use qugen::qsim::observable::Hamiltonian;
 
-fn main() {
+pub fn main() {
     let n = 4;
     let layers = 2;
     let h = 0.4;

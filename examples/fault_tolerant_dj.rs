@@ -14,7 +14,7 @@ use qugen::qec::topology::Topology;
 use qugen::qeval::suite::test_suite;
 use qugen::qlm::model::GenConfig;
 
-fn main() {
+pub fn main() {
     let config = PipelineConfig {
         gen: GenConfig::with_scot(),
         max_passes: 3,
@@ -38,12 +38,21 @@ fn main() {
         let report = orchestrator.run_task(&task, seed);
         let Some(qec) = &report.qec else { continue };
         println!("{}", report.summary());
-        println!("\nfinal program:\n{}", report.multipass.last().generation.source);
+        println!(
+            "\nfinal program:\n{}",
+            report.multipass.last().generation.source
+        );
         println!("decoder: {}", qec.spec);
-        println!("\nwithout QEC: p(|000>) = {:.3}, TVD from ideal = {:.4}",
-            qec.noisy.probability(0), qec.noisy_tvd());
-        println!("with QEC:    p(|000>) = {:.3}, TVD from ideal = {:.4}",
-            qec.corrected.probability(0), qec.corrected_tvd());
+        println!(
+            "\nwithout QEC: p(|000>) = {:.3}, TVD from ideal = {:.4}",
+            qec.noisy.probability(0),
+            qec.noisy_tvd()
+        );
+        println!(
+            "with QEC:    p(|000>) = {:.3}, TVD from ideal = {:.4}",
+            qec.corrected.probability(0),
+            qec.corrected_tvd()
+        );
         println!("\nimprovement: {:.4} TVD reduction", qec.improvement());
         return;
     }

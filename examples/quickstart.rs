@@ -11,7 +11,7 @@
 use qugen::qagents::orchestrator::{Orchestrator, PipelineConfig};
 use qugen::qeval::suite::test_suite;
 
-fn main() {
+pub fn main() {
     let orchestrator = Orchestrator::new(PipelineConfig::default());
     let tasks = test_suite();
     let bell = &tasks[0];

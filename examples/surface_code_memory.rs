@@ -12,7 +12,7 @@
 
 use qugen::qec::memory::{code_capacity_experiment, DecoderKind};
 
-fn main() {
+pub fn main() {
     println!("| d | p | p_logical | lifetime extension |");
     println!("|---|---|---|---|");
     for &d in &[3usize, 5] {

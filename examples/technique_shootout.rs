@@ -14,7 +14,7 @@ use qugen::qeval::report::{evaluate, render_markdown};
 use qugen::qeval::suite::test_suite;
 use qugen::qlm::model::{CodeLlm, GenConfig};
 
-fn main() {
+pub fn main() {
     let llm = CodeLlm::new();
     let tasks = test_suite();
     let configs = [
@@ -35,7 +35,11 @@ fn main() {
     println!("- CoT/SCoT move the *advanced* column most (structure supplied by the plan);");
     println!("- pass@5 shows how much sampling more candidates helps:");
     for row in &rows {
-        println!("  {:>18}: pass@1 {:.1}% -> pass@5 {:.1}%",
-            row.label, 100.0 * row.pass_at_k(1), 100.0 * row.pass_at_k(5));
+        println!(
+            "  {:>18}: pass@1 {:.1}% -> pass@5 {:.1}%",
+            row.label,
+            100.0 * row.pass_at_k(1),
+            100.0 * row.pass_at_k(5)
+        );
     }
 }

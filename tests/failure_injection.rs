@@ -133,10 +133,10 @@ fn index_error_is_caught_or_changes_semantics() {
         assert!(!analysis.passed(), "{spec}");
         if !analysis.detail.syntactic_ok {
             assert!(
-                analysis.trace_codes.iter().any(|c| matches!(
-                    c,
-                    DiagCode::QubitOutOfRange | DiagCode::DuplicateQubit
-                )),
+                analysis
+                    .trace_codes
+                    .iter()
+                    .any(|c| matches!(c, DiagCode::QubitOutOfRange | DiagCode::DuplicateQubit)),
                 "{spec}: {:?}",
                 analysis.trace_codes
             );

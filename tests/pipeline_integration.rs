@@ -85,8 +85,7 @@ fn qec_stage_improves_fidelity_on_dj() {
 #[test]
 fn multipass_repairs_recover_some_failures() {
     let llm = CodeLlm::new();
-    let codegen =
-        qugen::qagents::codegen::CodeGenAgent::new(llm, GenConfig::fine_tuned());
+    let codegen = qugen::qagents::codegen::CodeGenAgent::new(llm, GenConfig::fine_tuned());
     let analyzer = qugen::qagents::semantic::SemanticAnalyzerAgent::new();
     let tasks = test_suite();
     let mut first_pass = 0usize;

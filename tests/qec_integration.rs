@@ -90,7 +90,10 @@ fn decoders_correct_random_low_weight_errors_d5() {
         }
     }
     assert_eq!(greedy_fail, 0, "exact matching fails weight-2 errors");
-    assert!(uf_fail * 10 <= trials, "UF failure rate too high: {uf_fail}/{trials}");
+    assert!(
+        uf_fail * 10 <= trials,
+        "UF failure rate too high: {uf_fail}/{trials}"
+    );
 }
 
 #[test]

@@ -1,0 +1,151 @@
+//! Offline stand-in for the slice of [`criterion` 0.5](https://docs.rs/criterion)
+//! used by this workspace: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, finish}`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing model: each benchmark warms up briefly, then runs batches until
+//! ~`MEASURE_MS` of wall-clock time has accumulated, and reports the mean
+//! iteration time. A smoke-bench, not a statistics engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP_MS: u64 = 50;
+const MEASURE_MS: u64 = 300;
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.name.fmt(f)
+    }
+}
+
+/// Drives the timed closure passed to `bench_function`-style entry points.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            mean: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup_until = Instant::now() + Duration::from_millis(WARMUP_MS);
+        while Instant::now() < warmup_until {
+            black_box(routine());
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget = Duration::from_millis(MEASURE_MS);
+        while total < budget {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.mean = total / iters.max(1) as u32;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    println!(
+        "bench: {name:<48} mean {:>12.3?} ({} iters)",
+        b.mean, b.iters
+    );
+}
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
