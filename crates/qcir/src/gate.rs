@@ -303,6 +303,161 @@ impl Gate {
     }
 }
 
+/// Structural classification of a gate's unitary, used by simulators to
+/// dispatch to specialized kernels instead of dense matrix multiplication.
+///
+/// The variants mirror how the amplitudes actually move: diagonal gates are
+/// pure phase multiplies, `FlipX`-shaped gates are index permutations, and
+/// only genuinely dense 2x2 blocks need a butterfly update. Operand roles
+/// follow the gate's own operand order: for controlled variants operand 0 is
+/// the control, and for [`GateKind::ControlledSwap`] operands 1 and 2 are
+/// exchanged.
+///
+/// ```
+/// use qcir::gate::{Gate, GateKind};
+/// assert!(matches!(Gate::CX.kind(), GateKind::ControlledFlipX));
+/// assert!(matches!(Gate::Z.kind(), GateKind::Diagonal1 { .. }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateKind {
+    /// The identity: nothing to do.
+    Identity,
+    /// `diag(d0, d1)` on one qubit (Z, S, T, P, RZ and their inverses).
+    Diagonal1 {
+        /// Phase on the |0> component.
+        d0: C64,
+        /// Phase on the |1> component.
+        d1: C64,
+    },
+    /// Pauli-X: swaps the |0> and |1> amplitudes of one qubit.
+    FlipX,
+    /// A dense single-qubit unitary, row-major `[m00, m01, m10, m11]`.
+    Dense1 {
+        /// Row-major 2x2 matrix entries.
+        m: [C64; 4],
+    },
+    /// `diag(d0, d1)` on operand 1, applied when operand 0 is set
+    /// (CZ, CP, CRZ).
+    ControlledDiagonal1 {
+        /// Phase on the target's |0> component within the control subspace.
+        d0: C64,
+        /// Phase on the target's |1> component within the control subspace.
+        d1: C64,
+    },
+    /// CX: flips operand 1 when operand 0 is set.
+    ControlledFlipX,
+    /// A dense single-qubit unitary on operand 1 when operand 0 is set
+    /// (CY, CH, CRX, CRY).
+    ControlledDense1 {
+        /// Row-major 2x2 matrix entries of the target unitary.
+        m: [C64; 4],
+    },
+    /// Exchanges the amplitudes of operands 0 and 1.
+    Swap,
+    /// Toffoli: flips operand 2 when operands 0 and 1 are both set.
+    DoublyControlledFlipX,
+    /// Fredkin: exchanges operands 1 and 2 when operand 0 is set.
+    ControlledSwap,
+    /// No exploitable structure; simulators should fall back to the dense
+    /// [`Gate::matrix`] path. Unused by the built-in gate set but kept so
+    /// downstream matches stay total when gates are added.
+    General,
+}
+
+impl Gate {
+    /// Classifies the gate's unitary structure for kernel dispatch.
+    ///
+    /// Allocation-free (returns matrix entries inline), so simulators can
+    /// call it per gate application. The returned entries agree exactly with
+    /// [`Gate::matrix`].
+    pub fn kind(&self) -> GateKind {
+        use Gate::*;
+        let o = C64::ONE;
+        let i = C64::I;
+        let h = C64::real(FRAC_1_SQRT_2);
+        match *self {
+            Id => GateKind::Identity,
+            X => GateKind::FlipX,
+            Z => GateKind::Diagonal1 { d0: o, d1: -o },
+            S => GateKind::Diagonal1 { d0: o, d1: i },
+            Sdg => GateKind::Diagonal1 { d0: o, d1: -i },
+            T => GateKind::Diagonal1 {
+                d0: o,
+                d1: C64::cis(std::f64::consts::FRAC_PI_4),
+            },
+            Tdg => GateKind::Diagonal1 {
+                d0: o,
+                d1: C64::cis(-std::f64::consts::FRAC_PI_4),
+            },
+            P(l) => GateKind::Diagonal1 {
+                d0: o,
+                d1: C64::cis(l),
+            },
+            RZ(t) => GateKind::Diagonal1 {
+                d0: C64::cis(-t / 2.0),
+                d1: C64::cis(t / 2.0),
+            },
+            H => GateKind::Dense1 { m: [h, h, h, -h] },
+            Y => GateKind::Dense1 {
+                m: [C64::ZERO, -i, i, C64::ZERO],
+            },
+            SX => {
+                let a = C64::new(0.5, 0.5);
+                let b = C64::new(0.5, -0.5);
+                GateKind::Dense1 { m: [a, b, b, a] }
+            }
+            RX(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::new(0.0, -(t / 2.0).sin());
+                GateKind::Dense1 { m: [c, s, s, c] }
+            }
+            RY(t) => {
+                let c = C64::real((t / 2.0).cos());
+                let s = C64::real((t / 2.0).sin());
+                GateKind::Dense1 { m: [c, -s, s, c] }
+            }
+            U(t, p, l) => {
+                let ct = C64::real((t / 2.0).cos());
+                let st = (t / 2.0).sin();
+                GateKind::Dense1 {
+                    m: [
+                        ct,
+                        C64::cis(l) * (-st),
+                        C64::cis(p) * st,
+                        C64::cis(p + l) * ct,
+                    ],
+                }
+            }
+            CX => GateKind::ControlledFlipX,
+            CZ => GateKind::ControlledDiagonal1 { d0: o, d1: -o },
+            CP(l) => GateKind::ControlledDiagonal1 {
+                d0: o,
+                d1: C64::cis(l),
+            },
+            CRZ(t) => GateKind::ControlledDiagonal1 {
+                d0: C64::cis(-t / 2.0),
+                d1: C64::cis(t / 2.0),
+            },
+            CY | CH | CRX(_) | CRY(_) => {
+                let target = match *self {
+                    CY => Y,
+                    CH => H,
+                    CRX(a) => RX(a),
+                    CRY(a) => RY(a),
+                    _ => unreachable!(),
+                };
+                match target.kind() {
+                    GateKind::Dense1 { m } => GateKind::ControlledDense1 { m },
+                    _ => unreachable!("controlled targets above are all dense"),
+                }
+            }
+            SWAP => GateKind::Swap,
+            CCX => GateKind::DoublyControlledFlipX,
+            CSWAP => GateKind::ControlledSwap,
+        }
+    }
+}
+
 /// Embeds a single-qubit unitary as a controlled two-qubit unitary, control
 /// on the first (most significant) qubit.
 fn controlled(u: &Matrix) -> Matrix {
@@ -420,6 +575,74 @@ mod tests {
         assert!(m.get(7, 6).approx_eq(C64::ONE, 1e-12));
         // |100> unchanged
         assert!(m.get(4, 4).approx_eq(C64::ONE, 1e-12));
+    }
+
+    /// Rebuilds the dense unitary a [`GateKind`] describes, for checking the
+    /// classification against [`Gate::matrix`].
+    fn kind_matrix(gate: Gate) -> Matrix {
+        let o = C64::ONE;
+        let z = C64::ZERO;
+        let embed_controlled = |m: [C64; 4]| {
+            let mut u = Matrix::identity(4);
+            u[(2, 2)] = m[0];
+            u[(2, 3)] = m[1];
+            u[(3, 2)] = m[2];
+            u[(3, 3)] = m[3];
+            u
+        };
+        match gate.kind() {
+            GateKind::Identity => Matrix::identity(2),
+            GateKind::Diagonal1 { d0, d1 } => Matrix::from_rows(2, &[d0, z, z, d1]),
+            GateKind::FlipX => Matrix::from_rows(2, &[z, o, o, z]),
+            GateKind::Dense1 { m } => Matrix::from_rows(2, &m),
+            GateKind::ControlledDiagonal1 { d0, d1 } => embed_controlled([d0, z, z, d1]),
+            GateKind::ControlledFlipX => embed_controlled([z, o, o, z]),
+            GateKind::ControlledDense1 { m } => embed_controlled(m),
+            GateKind::Swap
+            | GateKind::DoublyControlledFlipX
+            | GateKind::ControlledSwap
+            | GateKind::General => gate.matrix(),
+        }
+    }
+
+    #[test]
+    fn kind_agrees_with_matrix_for_every_gate() {
+        let mut gates = all_parameterless();
+        gates.extend([
+            Gate::RX(0.3),
+            Gate::RY(1.1),
+            Gate::RZ(-0.7),
+            Gate::P(2.2),
+            Gate::U(0.4, 1.3, -0.9),
+            Gate::CRX(0.3),
+            Gate::CRY(0.5),
+            Gate::CRZ(-1.3),
+            Gate::CP(0.8),
+        ]);
+        for g in gates {
+            assert!(
+                kind_matrix(g).approx_eq(&g.matrix(), 0.0),
+                "{g} kind disagrees with matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_structural_buckets() {
+        assert_eq!(Gate::Id.kind(), GateKind::Identity);
+        assert!(matches!(Gate::T.kind(), GateKind::Diagonal1 { .. }));
+        assert!(matches!(Gate::RZ(0.5).kind(), GateKind::Diagonal1 { .. }));
+        assert_eq!(Gate::X.kind(), GateKind::FlipX);
+        assert!(matches!(Gate::H.kind(), GateKind::Dense1 { .. }));
+        assert!(matches!(
+            Gate::CZ.kind(),
+            GateKind::ControlledDiagonal1 { .. }
+        ));
+        assert_eq!(Gate::CX.kind(), GateKind::ControlledFlipX);
+        assert!(matches!(Gate::CH.kind(), GateKind::ControlledDense1 { .. }));
+        assert_eq!(Gate::SWAP.kind(), GateKind::Swap);
+        assert_eq!(Gate::CCX.kind(), GateKind::DoublyControlledFlipX);
+        assert_eq!(Gate::CSWAP.kind(), GateKind::ControlledSwap);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! instead of pulling in an external linear-algebra dependency.
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` components.
 ///
@@ -104,6 +104,14 @@ impl Sub for C64 {
     #[inline]
     fn sub(self, rhs: C64) -> C64 {
         C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
     }
 }
 

@@ -1,7 +1,7 @@
-//! The Steane [[7,1,3]] code (Steane 1996), cited by the paper as the
+//! The Steane \[\[7,1,3\]\] code (Steane 1996), cited by the paper as the
 //! classic example of a QEC code predating surface codes.
 //!
-//! A CSS code built from the [7,4,3] Hamming code: the same three parity
+//! A CSS code built from the \[7,4,3\] Hamming code: the same three parity
 //! checks serve as X-type and Z-type stabilizers, so single X and Z errors
 //! are independently correctable via Hamming syndrome lookup — the
 //! textbook contrast to the topology-dependent surface code the paper's

@@ -89,7 +89,7 @@ impl Executor {
                 Op::Gate { gate, qubits } => {
                     sv.apply_gate(*gate, qubits);
                     for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
-                        sv.apply_gate(pauli.gate(), &[q]);
+                        pauli.apply(&mut sv, q);
                     }
                 }
                 Op::CondGate {
@@ -102,7 +102,7 @@ impl Executor {
                     if bit == *value {
                         sv.apply_gate(*gate, qubits);
                         for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
-                            sv.apply_gate(pauli.gate(), &[q]);
+                            pauli.apply(&mut sv, q);
                         }
                     }
                 }
@@ -120,7 +120,7 @@ impl Executor {
                 }
                 Op::Barrier { .. } => {
                     for (q, pauli) in self.noise.sample_idle_errors(sv.num_qubits(), rng) {
-                        sv.apply_gate(pauli.gate(), &[q]);
+                        pauli.apply(&mut sv, q);
                     }
                 }
             }

@@ -1,0 +1,422 @@
+//! Specialized gate-application kernels for the dense state vector.
+//!
+//! Every kernel here enumerates only the `2^(n-k)` base indices it actually
+//! touches — via [`insert_zero_bit`] stride expansion — instead of filtering
+//! all `2^n` basis states, and updates amplitudes in place:
+//!
+//! * **Diagonal tier** ([`apply_diag1`], [`apply_controlled_diag1`]) — pure
+//!   phase multiplies, no gather/scatter at all; phase-only gates (Z, S, T,
+//!   P, CZ, CP) touch just the set-bit half/quarter of the vector.
+//! * **Permutation tier** ([`apply_x`], [`apply_cx`], [`apply_swap`],
+//!   [`apply_ccx`], [`apply_cswap`]) — index swaps, no arithmetic.
+//! * **Butterfly tier** ([`apply_1q`], [`apply_controlled_1q`],
+//!   [`apply_y`]) — closed-form 2x2 updates over index pairs, no matrix
+//!   lookup in the inner loop.
+//! * **General tier** ([`apply_dense`]) — arbitrary `2^k x 2^k` unitaries
+//!   with the scatter-index table hoisted out of the row loop and all
+//!   scratch storage reused across calls through [`DenseScratch`].
+//!
+//! [`crate::state::StateVector::apply_gate`] picks the tier from
+//! [`qcir::gate::Gate::kind`]; these functions are also public so other hot
+//! paths (noise injection, observables) can call them directly.
+//!
+//! All kernels require the bit positions to be in range for the amplitude
+//! slice (whose length must be a power of two) and mutually distinct; the
+//! state-vector wrapper validates once per gate application.
+
+use qcir::math::{Matrix, C64};
+
+/// Returns `x` with a zero bit inserted at position `bit`: bits below `bit`
+/// stay, bits at or above shift up by one. Iterating `x` over `0..2^(n-1)`
+/// therefore enumerates exactly the indices with bit `bit` clear, in order.
+#[inline(always)]
+pub fn insert_zero_bit(x: usize, bit: usize) -> usize {
+    let low = x & ((1 << bit) - 1);
+    low | ((x ^ low) << 1)
+}
+
+/// Applies a dense single-qubit unitary `m = [m00, m01, m10, m11]`
+/// (row-major) to `qubit` via a butterfly update over index pairs.
+pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
+    let step = 1usize << qubit;
+    for block in amps.chunks_exact_mut(step << 1) {
+        let (lo, hi) = block.split_at_mut(step);
+        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *a0;
+            let y = *a1;
+            *a0 = m[0] * x + m[1] * y;
+            *a1 = m[2] * x + m[3] * y;
+        }
+    }
+}
+
+/// Multiplies the `|0>` / `|1>` components of `qubit` by `d0` / `d1`.
+///
+/// When `d0 == 1` (Z, S, T, P, ...) only the set-bit half of the vector is
+/// touched.
+pub fn apply_diag1(amps: &mut [C64], qubit: usize, d0: C64, d1: C64) {
+    let step = 1usize << qubit;
+    let phase_only = d0 == C64::ONE;
+    for block in amps.chunks_exact_mut(step << 1) {
+        let (lo, hi) = block.split_at_mut(step);
+        if !phase_only {
+            for a in lo.iter_mut() {
+                *a *= d0;
+            }
+        }
+        for a in hi.iter_mut() {
+            *a *= d1;
+        }
+    }
+}
+
+/// Pauli-X on `qubit`: swaps paired amplitudes (a pure index permutation).
+pub fn apply_x(amps: &mut [C64], qubit: usize) {
+    let step = 1usize << qubit;
+    for block in amps.chunks_exact_mut(step << 1) {
+        let (lo, hi) = block.split_at_mut(step);
+        lo.swap_with_slice(hi);
+    }
+}
+
+/// Pauli-Y on `qubit`: the X swap fused with the `±i` phases, written as
+/// component shuffles so the inner loop has no complex multiplies.
+pub fn apply_y(amps: &mut [C64], qubit: usize) {
+    let step = 1usize << qubit;
+    for block in amps.chunks_exact_mut(step << 1) {
+        let (lo, hi) = block.split_at_mut(step);
+        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x = *a0;
+            let y = *a1;
+            *a0 = C64::new(y.im, -y.re); // -i * y
+            *a1 = C64::new(-x.im, x.re); // i * x
+        }
+    }
+}
+
+/// Applies a dense single-qubit unitary to `target` on the subspace where
+/// `control` is set.
+pub fn apply_controlled_1q(amps: &mut [C64], control: usize, target: usize, m: &[C64; 4]) {
+    let cbit = 1usize << control;
+    let tbit = 1usize << target;
+    let (lo, hi) = sort2(control, target);
+    for c in 0..amps.len() >> 2 {
+        let base = insert_zero_bit(insert_zero_bit(c, lo), hi);
+        let i0 = base | cbit;
+        let i1 = i0 | tbit;
+        let x = amps[i0];
+        let y = amps[i1];
+        amps[i0] = m[0] * x + m[1] * y;
+        amps[i1] = m[2] * x + m[3] * y;
+    }
+}
+
+/// Multiplies the target's `|0>` / `|1>` components by `d0` / `d1` where
+/// `control` is set. When `d0 == 1` (CZ, CP) only indices with both bits set
+/// are touched — a quarter of the vector.
+pub fn apply_controlled_diag1(amps: &mut [C64], control: usize, target: usize, d0: C64, d1: C64) {
+    let cbit = 1usize << control;
+    let tbit = 1usize << target;
+    let (lo, hi) = sort2(control, target);
+    let phase_only = d0 == C64::ONE;
+    for c in 0..amps.len() >> 2 {
+        let base = insert_zero_bit(insert_zero_bit(c, lo), hi);
+        if !phase_only {
+            amps[base | cbit] *= d0;
+        }
+        amps[base | cbit | tbit] *= d1;
+    }
+}
+
+/// CX: swaps the target pair where `control` is set (index permutation).
+pub fn apply_cx(amps: &mut [C64], control: usize, target: usize) {
+    let cbit = 1usize << control;
+    let tbit = 1usize << target;
+    let (lo, hi) = sort2(control, target);
+    for c in 0..amps.len() >> 2 {
+        let base = insert_zero_bit(insert_zero_bit(c, lo), hi);
+        amps.swap(base | cbit, base | cbit | tbit);
+    }
+}
+
+/// SWAP: exchanges the amplitudes of `a` and `b` (index permutation over the
+/// `01`/`10` pairs).
+pub fn apply_swap(amps: &mut [C64], a: usize, b: usize) {
+    let abit = 1usize << a;
+    let bbit = 1usize << b;
+    let (lo, hi) = sort2(a, b);
+    for c in 0..amps.len() >> 2 {
+        let base = insert_zero_bit(insert_zero_bit(c, lo), hi);
+        amps.swap(base | abit, base | bbit);
+    }
+}
+
+/// Toffoli: flips `target` where both controls are set.
+pub fn apply_ccx(amps: &mut [C64], control1: usize, control2: usize, target: usize) {
+    let c1bit = 1usize << control1;
+    let c2bit = 1usize << control2;
+    let tbit = 1usize << target;
+    let [b0, b1, b2] = sort3(control1, control2, target);
+    for c in 0..amps.len() >> 3 {
+        let base = insert_zero_bit(insert_zero_bit(insert_zero_bit(c, b0), b1), b2);
+        amps.swap(base | c1bit | c2bit, base | c1bit | c2bit | tbit);
+    }
+}
+
+/// Fredkin: exchanges `a` and `b` where `control` is set.
+pub fn apply_cswap(amps: &mut [C64], control: usize, a: usize, b: usize) {
+    let cbit = 1usize << control;
+    let abit = 1usize << a;
+    let bbit = 1usize << b;
+    let [b0, b1, b2] = sort3(control, a, b);
+    for c in 0..amps.len() >> 3 {
+        let base = insert_zero_bit(insert_zero_bit(insert_zero_bit(c, b0), b1), b2);
+        amps.swap(base | cbit | abit, base | cbit | bbit);
+    }
+}
+
+/// Reusable scratch storage for [`apply_dense`], held by the state vector so
+/// repeated gate applications allocate nothing after the buffers first grow
+/// to the needed size.
+#[derive(Debug, Clone, Default)]
+pub struct DenseScratch {
+    /// Gathered amplitude block (`2^k` entries).
+    amps: Vec<C64>,
+    /// Per-row scatter offsets (`2^k` entries), hoisted out of the base loop.
+    offsets: Vec<usize>,
+    /// Target bit positions in ascending order, for stride expansion.
+    bits: Vec<usize>,
+}
+
+/// Applies an arbitrary `2^k x 2^k` unitary to `qubits` (big-endian:
+/// `qubits[0]` is the most significant matrix bit).
+///
+/// The scatter-index table is computed once per call — not once per base
+/// index as the naive formulation does — and base indices are enumerated
+/// directly by stride expansion, so the cost is `O(2^n * 2^k)` complex
+/// multiply-adds with no per-row bit fiddling.
+///
+/// # Panics
+///
+/// Panics when the matrix dimension is not `2^k` for `k = qubits.len()`.
+pub fn apply_dense(
+    amps: &mut [C64],
+    matrix: &Matrix,
+    qubits: &[usize],
+    scratch: &mut DenseScratch,
+) {
+    let k = qubits.len();
+    let dim = 1usize << k;
+    assert_eq!(matrix.dim(), dim, "matrix dimension mismatch");
+
+    scratch.bits.clear();
+    scratch.bits.extend_from_slice(qubits);
+    scratch.bits.sort_unstable();
+
+    scratch.offsets.clear();
+    for row in 0..dim {
+        let mut off = 0usize;
+        for (j, &q) in qubits.iter().enumerate() {
+            if (row >> (k - 1 - j)) & 1 == 1 {
+                off |= 1 << q;
+            }
+        }
+        scratch.offsets.push(off);
+    }
+
+    scratch.amps.clear();
+    scratch.amps.resize(dim, C64::ZERO);
+
+    for c in 0..amps.len() >> k {
+        let mut base = c;
+        for &b in &scratch.bits {
+            base = insert_zero_bit(base, b);
+        }
+        for (gathered, &off) in scratch.amps.iter_mut().zip(&scratch.offsets) {
+            *gathered = amps[base | off];
+        }
+        for (row, &off) in scratch.offsets.iter().enumerate() {
+            let mut acc = C64::ZERO;
+            for (col, &amp) in scratch.amps.iter().enumerate() {
+                let m = matrix.get(row, col);
+                if m != C64::ZERO {
+                    acc += m * amp;
+                }
+            }
+            amps[base | off] = acc;
+        }
+    }
+}
+
+#[inline(always)]
+fn sort2(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[inline(always)]
+fn sort3(a: usize, b: usize, c: usize) -> [usize; 3] {
+    let mut v = [a, b, c];
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::gate::Gate;
+
+    /// Random-ish but deterministic normalized amplitudes.
+    fn test_amps(n: usize) -> Vec<C64> {
+        let len = 1usize << n;
+        let mut amps: Vec<C64> = (0..len)
+            .map(|i| {
+                let x = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                let y = ((i * 40503 + 7) % 1000) as f64 / 1000.0 - 0.5;
+                C64::new(x, y)
+            })
+            .collect();
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
+        for a in &mut amps {
+            *a = *a / norm;
+        }
+        amps
+    }
+
+    /// Oracle: run the same update through the full-scan reference path.
+    fn reference(amps: &[C64], matrix: &Matrix, qubits: &[usize]) -> Vec<C64> {
+        let mut sv = crate::state::StateVector::from_amplitudes(amps.to_vec());
+        sv.apply_matrix_reference(matrix, qubits);
+        sv.amplitudes().to_vec()
+    }
+
+    fn assert_close(a: &[C64], b: &[C64]) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(x.approx_eq(*y, 1e-12), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn insert_zero_bit_enumerates_cleared_indices() {
+        // Inserting at bit 1 over 0..4 must yield exactly {0,1,4,5}.
+        let got: Vec<usize> = (0..4).map(|x| insert_zero_bit(x, 1)).collect();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+        // Bit 0: evens.
+        let got: Vec<usize> = (0..4).map(|x| insert_zero_bit(x, 0)).collect();
+        assert_eq!(got, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn butterfly_matches_reference_on_each_qubit() {
+        for q in 0..4 {
+            for gate in [Gate::H, Gate::SX, Gate::U(0.3, -0.8, 1.7)] {
+                let mut a = test_amps(4);
+                let b = reference(&a, &gate.matrix(), &[q]);
+                let m = match gate.kind() {
+                    qcir::gate::GateKind::Dense1 { m } => m,
+                    _ => unreachable!(),
+                };
+                apply_1q(&mut a, q, &m);
+                assert_close(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_and_permutation_kernels_match_reference() {
+        for q in 0..4 {
+            let mut a = test_amps(4);
+            let b = reference(&a, &Gate::P(0.9).matrix(), &[q]);
+            apply_diag1(&mut a, q, C64::ONE, C64::cis(0.9));
+            assert_close(&a, &b);
+
+            let mut a = test_amps(4);
+            let b = reference(&a, &Gate::X.matrix(), &[q]);
+            apply_x(&mut a, q);
+            assert_close(&a, &b);
+
+            let mut a = test_amps(4);
+            let b = reference(&a, &Gate::Y.matrix(), &[q]);
+            apply_y(&mut a, q);
+            assert_close(&a, &b);
+        }
+    }
+
+    #[test]
+    fn two_qubit_kernels_match_reference_on_all_operand_orders() {
+        for c in 0..4 {
+            for t in 0..4 {
+                if c == t {
+                    continue;
+                }
+                let mut a = test_amps(4);
+                let b = reference(&a, &Gate::CX.matrix(), &[c, t]);
+                apply_cx(&mut a, c, t);
+                assert_close(&a, &b);
+
+                let mut a = test_amps(4);
+                let b = reference(&a, &Gate::SWAP.matrix(), &[c, t]);
+                apply_swap(&mut a, c, t);
+                assert_close(&a, &b);
+
+                let mut a = test_amps(4);
+                let b = reference(&a, &Gate::CRZ(0.7).matrix(), &[c, t]);
+                apply_controlled_diag1(&mut a, c, t, C64::cis(-0.35), C64::cis(0.35));
+                assert_close(&a, &b);
+
+                let mut a = test_amps(4);
+                let b = reference(&a, &Gate::CH.matrix(), &[c, t]);
+                let m = match Gate::CH.kind() {
+                    qcir::gate::GateKind::ControlledDense1 { m } => m,
+                    _ => unreachable!(),
+                };
+                apply_controlled_1q(&mut a, c, t, &m);
+                assert_close(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn three_qubit_kernels_match_reference_on_all_operand_orders() {
+        for q0 in 0..4 {
+            for q1 in 0..4 {
+                for q2 in 0..4 {
+                    if q0 == q1 || q0 == q2 || q1 == q2 {
+                        continue;
+                    }
+                    let mut a = test_amps(4);
+                    let b = reference(&a, &Gate::CCX.matrix(), &[q0, q1, q2]);
+                    apply_ccx(&mut a, q0, q1, q2);
+                    assert_close(&a, &b);
+
+                    let mut a = test_amps(4);
+                    let b = reference(&a, &Gate::CSWAP.matrix(), &[q0, q1, q2]);
+                    apply_cswap(&mut a, q0, q1, q2);
+                    assert_close(&a, &b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_matches_reference_for_k_up_to_3() {
+        let cases: Vec<(Matrix, Vec<usize>)> = vec![
+            (Gate::H.matrix(), vec![2]),
+            (Gate::CX.matrix(), vec![3, 1]),
+            (Gate::SWAP.matrix(), vec![0, 3]),
+            (Gate::CCX.matrix(), vec![3, 0, 2]),
+            (Gate::CSWAP.matrix(), vec![1, 3, 0]),
+            (Gate::H.matrix().kron(&Gate::SX.matrix()), vec![2, 0]),
+        ];
+        let mut scratch = DenseScratch::default();
+        for (matrix, qubits) in cases {
+            let mut a = test_amps(4);
+            let b = reference(&a, &matrix, &qubits);
+            apply_dense(&mut a, &matrix, &qubits, &mut scratch);
+            assert_close(&a, &b);
+        }
+    }
+}

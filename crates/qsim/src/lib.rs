@@ -5,6 +5,10 @@
 //!
 //! * [`state`] — a dense state-vector simulator (practical to ~20 qubits)
 //!   used for semantic grading and the Deutsch–Jozsa noise experiments.
+//! * [`kernels`] — the specialized gate-application kernels behind
+//!   [`state::StateVector::apply_gate`]: strided base-index enumeration,
+//!   diagonal/permutation fast paths, butterfly single-qubit updates, and a
+//!   scratch-reusing general dense fallback.
 //! * [`stabilizer`] — an Aaronson–Gottesman CHP tableau simulator for
 //!   Clifford circuits, used for surface-code syndrome extraction at
 //!   distances where the dense simulator is infeasible.
@@ -32,6 +36,7 @@
 
 pub mod dist;
 pub mod exec;
+pub mod kernels;
 pub mod noise;
 pub mod observable;
 pub mod profiles;

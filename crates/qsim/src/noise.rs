@@ -34,6 +34,13 @@ impl Pauli {
         }
     }
 
+    /// Applies this Pauli to `qubit` of `state` through the specialized
+    /// kernels (X/Y are index swaps, Z a phase multiply) — the error
+    /// injection hot path in the trajectory executor.
+    pub fn apply(self, state: &mut crate::state::StateVector, qubit: usize) {
+        state.apply_pauli(qubit, self);
+    }
+
     /// Samples a uniformly random non-identity Pauli.
     pub fn random(rng: &mut impl Rng) -> Pauli {
         Pauli::ALL[rng.gen_range(0..3)]

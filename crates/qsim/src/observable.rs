@@ -92,40 +92,44 @@ impl PauliString {
             "observable wider than state"
         );
         let amps = state.amplitudes();
-        let mut acc = C64::ZERO;
-        // <psi|P|psi> = sum_i conj(psi_i) * (P psi)_i, computed by mapping
-        // each basis index through the X-part and phase of P.
+        // <psi|P|psi> = sum_i conj(psi_(i^x_mask)) * phase(i) * psi_i. The
+        // per-index phase collapses to bit arithmetic (kernel style): each Y
+        // contributes i*(-1)^bit and each Z contributes (-1)^bit, so
+        // phase(i) = i^{#Y} * (-1)^{popcount(i & (y_mask | z_mask))}.
         let mut x_mask = 0usize;
+        let mut sign_mask = 0usize;
+        let mut y_count = 0u32;
         for (q, &f) in self.factors.iter().enumerate() {
-            if matches!(f, PauliOp::X | PauliOp::Y) {
-                x_mask |= 1 << q;
+            match f {
+                PauliOp::I => {}
+                PauliOp::X => x_mask |= 1 << q,
+                PauliOp::Y => {
+                    x_mask |= 1 << q;
+                    sign_mask |= 1 << q;
+                    y_count += 1;
+                }
+                PauliOp::Z => sign_mask |= 1 << q,
             }
         }
+        let y_phase = match y_count % 4 {
+            0 => C64::ONE,
+            1 => C64::I,
+            2 => -C64::ONE,
+            _ => -C64::I,
+        };
+        let mut acc = C64::ZERO;
         for (i, amp) in amps.iter().enumerate() {
             if *amp == C64::ZERO {
                 continue;
             }
-            let j = i ^ x_mask;
-            // Phase from Y and Z factors acting on |i>.
-            let mut phase = C64::ONE;
-            for (q, &f) in self.factors.iter().enumerate() {
-                let bit = (i >> q) & 1;
-                match f {
-                    PauliOp::I | PauliOp::X => {}
-                    PauliOp::Z => {
-                        if bit == 1 {
-                            phase = -phase;
-                        }
-                    }
-                    PauliOp::Y => {
-                        // Y|0> = i|1>, Y|1> = -i|0>.
-                        phase *= if bit == 0 { C64::I } else { -C64::I };
-                    }
-                }
+            let term = amps[i ^ x_mask].conj() * *amp;
+            if (i & sign_mask).count_ones() & 1 == 1 {
+                acc -= term;
+            } else {
+                acc += term;
             }
-            // (P psi)_j accumulates phase * psi_i; contribute conj(psi_j)*...
-            acc += amps[j].conj() * phase * *amp;
         }
+        acc *= y_phase;
         debug_assert!(acc.im.abs() < 1e-9, "expectation must be real: {acc}");
         acc.re
     }

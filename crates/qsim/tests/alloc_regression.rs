@@ -1,0 +1,111 @@
+//! Regression test: gate application performs zero heap allocations after
+//! the first call, via a counting global allocator.
+//!
+//! The specialized kernels never allocate (gate classification returns
+//! matrix entries inline), and the general dense path reuses scratch
+//! buffers held by the `StateVector` once they have grown to size. This
+//! test pins both properties so a future refactor cannot quietly
+//! reintroduce a per-gate allocation on the simulator hot path.
+//!
+//! Kept as its own integration binary (single test) so no concurrent test
+//! thread can allocate while the counter is being read.
+
+use qcir::gate::Gate;
+use qcir::math::Matrix;
+use qsim::noise::Pauli;
+use qsim::state::StateVector;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wraps the system allocator and counts allocation calls.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn apply_gate_allocates_nothing_after_first_call() {
+    let n = 10;
+    let gates: Vec<(Gate, Vec<usize>)> = vec![
+        (Gate::Id, vec![0]),
+        (Gate::H, vec![1]),
+        (Gate::X, vec![2]),
+        (Gate::Y, vec![3]),
+        (Gate::Z, vec![4]),
+        (Gate::S, vec![5]),
+        (Gate::T, vec![6]),
+        (Gate::SX, vec![7]),
+        (Gate::RX(0.3), vec![8]),
+        (Gate::RY(-1.2), vec![9]),
+        (Gate::RZ(2.2), vec![0]),
+        (Gate::P(0.7), vec![1]),
+        (Gate::U(0.3, 1.1, -0.4), vec![2]),
+        (Gate::CX, vec![3, 7]),
+        (Gate::CY, vec![8, 2]),
+        (Gate::CZ, vec![1, 6]),
+        (Gate::CH, vec![5, 0]),
+        (Gate::SWAP, vec![4, 9]),
+        (Gate::CRX(0.5), vec![0, 3]),
+        (Gate::CRY(-0.8), vec![6, 1]),
+        (Gate::CRZ(1.4), vec![2, 8]),
+        (Gate::CP(-0.6), vec![9, 5]),
+        (Gate::CCX, vec![0, 4, 8]),
+        (Gate::CSWAP, vec![7, 1, 5]),
+    ];
+    let matrix: Matrix = Gate::H.matrix().kron(&Gate::SX.matrix());
+    let matrix_qubits = [2usize, 6];
+
+    let mut sv = StateVector::zero(n);
+    // Warm up: first calls may grow the dense-path scratch buffers.
+    for (g, qs) in &gates {
+        sv.apply_gate(*g, qs);
+    }
+    sv.apply_matrix(&matrix, &matrix_qubits);
+    sv.apply_pauli(0, Pauli::X);
+    sv.apply_pauli(1, Pauli::Y);
+    sv.apply_pauli(2, Pauli::Z);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        for (g, qs) in &gates {
+            sv.apply_gate(*g, qs);
+        }
+        sv.apply_matrix(&matrix, &matrix_qubits);
+        sv.apply_pauli(0, Pauli::X);
+        sv.apply_pauli(1, Pauli::Y);
+        sv.apply_pauli(2, Pauli::Z);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "gate application allocated {} time(s) on the warm path",
+        after - before
+    );
+    // Sanity: the state is still normalized after all that churn.
+    assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+}

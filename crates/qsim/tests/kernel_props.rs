@@ -1,0 +1,148 @@
+//! Property tests: every specialized kernel agrees with the generic dense
+//! reference path on random states, gates, and operand orders, to 1e-12.
+
+use proptest::prelude::*;
+use qcir::gate::Gate;
+use qcir::math::C64;
+use qsim::state::StateVector;
+
+const N: usize = 5;
+
+/// Strategy: an arbitrary gate covering every dispatch tier (identity,
+/// diagonal, permutation, butterfly, controlled, three-qubit).
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::Id),
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        Just(Gate::SX),
+        (-6.3f64..6.3).prop_map(Gate::RX),
+        (-6.3f64..6.3).prop_map(Gate::RY),
+        (-6.3f64..6.3).prop_map(Gate::RZ),
+        (-6.3f64..6.3).prop_map(Gate::P),
+        (-3.2f64..3.2, -3.2f64..3.2, -3.2f64..3.2).prop_map(|(t, p, l)| Gate::U(t, p, l)),
+        Just(Gate::CX),
+        Just(Gate::CY),
+        Just(Gate::CZ),
+        Just(Gate::CH),
+        Just(Gate::SWAP),
+        (-6.3f64..6.3).prop_map(Gate::CRX),
+        (-6.3f64..6.3).prop_map(Gate::CRY),
+        (-6.3f64..6.3).prop_map(Gate::CRZ),
+        (-6.3f64..6.3).prop_map(Gate::CP),
+        Just(Gate::CCX),
+        Just(Gate::CSWAP),
+    ]
+}
+
+/// Strategy: a random (unnormalized) amplitude vector over `N` qubits; the
+/// `StateVector` constructor normalizes it.
+fn arb_amps() -> impl Strategy<Value = Vec<C64>> {
+    prop::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(re, im)| C64::new(re, im)),
+        1 << N,
+    )
+}
+
+/// Strategy: a permutation seed used to pick distinct operand qubits.
+fn arb_operands() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..N, 3)
+}
+
+/// Builds distinct operand qubits from the raw draw, wrapping duplicates to
+/// the next free qubit so every draw yields a valid operand list.
+fn distinct_operands(raw: &[usize], arity: usize) -> Vec<usize> {
+    let mut qubits: Vec<usize> = Vec::with_capacity(arity);
+    for &r in raw.iter().take(arity) {
+        let mut q = r;
+        while qubits.contains(&q) {
+            q = (q + 1) % N;
+        }
+        qubits.push(q);
+    }
+    qubits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The tentpole invariant: kernel dispatch and the full-scan dense
+    /// oracle produce identical amplitudes (1e-12) for every gate, state,
+    /// and operand order.
+    #[test]
+    fn kernels_agree_with_dense_reference(
+        gate in arb_gate(),
+        amps in arb_amps(),
+        raw_ops in arb_operands(),
+    ) {
+        let norm_sqr: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        prop_assume!(norm_sqr > 1e-6);
+        let qubits = distinct_operands(&raw_ops, gate.num_qubits());
+
+        let mut fast = StateVector::from_amplitudes(amps.clone());
+        fast.apply_gate(gate, &qubits);
+
+        let mut oracle = StateVector::from_amplitudes(amps);
+        oracle.apply_matrix_reference(&gate.matrix(), &qubits);
+
+        for (i, (a, b)) in fast
+            .amplitudes()
+            .iter()
+            .zip(oracle.amplitudes())
+            .enumerate()
+        {
+            prop_assert!(
+                a.approx_eq(*b, 1e-12),
+                "{gate:?} on {qubits:?}: amplitude {i} diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    /// `apply_matrix` (general kernel) agrees with the reference on dense
+    /// multi-qubit matrices built from gate products.
+    #[test]
+    fn general_kernel_agrees_with_dense_reference(
+        g1 in arb_gate(),
+        g2 in arb_gate(),
+        amps in arb_amps(),
+        raw_ops in arb_operands(),
+    ) {
+        prop_assume!(g1.num_qubits() == 1 && g2.num_qubits() == 1);
+        let norm_sqr: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        prop_assume!(norm_sqr > 1e-6);
+        let matrix = g1.matrix().kron(&g2.matrix());
+        let qubits = distinct_operands(&raw_ops, 2);
+
+        let mut fast = StateVector::from_amplitudes(amps.clone());
+        fast.apply_matrix(&matrix, &qubits);
+
+        let mut oracle = StateVector::from_amplitudes(amps);
+        oracle.apply_matrix_reference(&matrix, &qubits);
+
+        for (a, b) in fast.amplitudes().iter().zip(oracle.amplitudes()) {
+            prop_assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    /// prob_one's strided sum matches a naive full-vector filter.
+    #[test]
+    fn prob_one_matches_naive_filter(amps in arb_amps(), qubit in 0..N) {
+        let norm_sqr: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        prop_assume!(norm_sqr > 1e-6);
+        let sv = StateVector::from_amplitudes(amps);
+        let naive: f64 = sv
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & (1 << qubit) != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        prop_assert!((sv.prob_one(qubit) - naive).abs() < 1e-12);
+    }
+}

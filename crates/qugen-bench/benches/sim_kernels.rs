@@ -7,7 +7,58 @@ use qsim::exec::Executor;
 use qsim::stabilizer::StabilizerSim;
 use qsim::state::StateVector;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random circuit mixing diagonal, permutation, butterfly
+/// and controlled gates (the mix the kernel dispatch tiers were built for).
+fn random_gates(n: usize, count: usize, seed: u64) -> Vec<(Gate, Vec<usize>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gates = Vec::with_capacity(count);
+    for _ in 0..count {
+        let q = rng.gen_range(0..n);
+        let p = (q + rng.gen_range(1..n)) % n;
+        let gate: (Gate, Vec<usize>) = match rng.gen_range(0..8) {
+            0 => (Gate::H, vec![q]),
+            1 => (Gate::T, vec![q]),
+            2 => (Gate::RZ(rng.gen_range(-3.0..3.0)), vec![q]),
+            3 => (Gate::U(0.3, 1.1, -0.4), vec![q]),
+            4 => (Gate::X, vec![q]),
+            5 => (Gate::CX, vec![q, p]),
+            6 => (Gate::CZ, vec![q, p]),
+            _ => (Gate::SWAP, vec![q, p]),
+        };
+        gates.push(gate);
+    }
+    gates
+}
+
+/// The headline bench: a 20-qubit random circuit through the specialized
+/// kernel dispatch vs. the full-scan dense reference path. The ratio between
+/// the two rows is the speedup CI tracks.
+fn bench_random_circuit_20q(c: &mut Criterion) {
+    let n = 20;
+    let gates = random_gates(n, 40, 99);
+    let mut group = c.benchmark_group("random_circuit_20q");
+    group.bench_function("kernels", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::zero(n);
+            for (g, qs) in &gates {
+                sv.apply_gate(*g, qs);
+            }
+            std::hint::black_box(sv.norm_sqr())
+        })
+    });
+    group.bench_function("dense_reference", |b| {
+        b.iter(|| {
+            let mut sv = StateVector::zero(n);
+            for (g, qs) in &gates {
+                sv.apply_matrix_reference(&g.matrix(), qs);
+            }
+            std::hint::black_box(sv.norm_sqr())
+        })
+    });
+    group.finish();
+}
 
 fn bench_gate_application(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector_gates");
@@ -71,6 +122,7 @@ fn bench_stabilizer(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_random_circuit_20q,
     bench_gate_application,
     bench_shot_sampling,
     bench_stabilizer

@@ -7,14 +7,32 @@
 //! Timing model: each benchmark warms up briefly, then runs batches until
 //! ~`MEASURE_MS` of wall-clock time has accumulated, and reports the mean
 //! iteration time. A smoke-bench, not a statistics engine.
+//!
+//! Two environment variables support the CI bench-smoke job:
+//!
+//! * `QUGEN_BENCH_QUICK` — when set (to anything), skip the time-budgeted
+//!   loop and run a fixed small iteration count (1 warmup + 3 measured), so
+//!   a full bench binary finishes in seconds.
+//! * `QUGEN_BENCH_JSON=<path>` — when set, write every result as a JSON
+//!   document (`{"quick": bool, "results": [{"name", "mean_ns", "iters"}]}`)
+//!   to `<path>` when `criterion_main!`'s generated `main` finishes.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const WARMUP_MS: u64 = 50;
 const MEASURE_MS: u64 = 300;
+const QUICK_ITERS: u64 = 3;
 
 pub use std::hint::black_box;
+
+/// Collected results, flushed to JSON by [`finalize`].
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+fn quick_mode() -> bool {
+    std::env::var_os("QUGEN_BENCH_QUICK").is_some()
+}
 
 /// Identifier for a parameterized benchmark (`group/function/parameter`).
 #[derive(Debug, Clone)]
@@ -57,6 +75,20 @@ impl Bencher {
     }
 
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if quick_mode() {
+            // Fixed small iteration count for the CI smoke job.
+            black_box(routine());
+            let mut total = Duration::ZERO;
+            for _ in 0..QUICK_ITERS {
+                let start = Instant::now();
+                black_box(routine());
+                total += start.elapsed();
+            }
+            self.iters = QUICK_ITERS;
+            self.mean = total / QUICK_ITERS as u32;
+            return;
+        }
+
         let warmup_until = Instant::now() + Duration::from_millis(WARMUP_MS);
         while Instant::now() < warmup_until {
             black_box(routine());
@@ -81,6 +113,42 @@ fn report(name: &str, b: &Bencher) {
         "bench: {name:<48} mean {:>12.3?} ({} iters)",
         b.mean, b.iters
     );
+    RESULTS.lock().expect("bench results poisoned").push((
+        name.to_string(),
+        b.mean.as_nanos() as f64,
+        b.iters,
+    ));
+}
+
+/// Writes collected results to the `QUGEN_BENCH_JSON` path, if set. Called
+/// by the `main` that `criterion_main!` generates; harmless to call twice.
+pub fn finalize() {
+    let Ok(path) = std::env::var("QUGEN_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results poisoned");
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    out.push_str("  \"results\": [\n");
+    for (i, (name, mean_ns, iters)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    } else {
+        println!("bench: wrote JSON results to {path}");
+    }
 }
 
 /// Top-level benchmark driver, handed to each `criterion_group!` target.
@@ -146,6 +214,19 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finalize();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_mean_and_iters() {
+        let mut b = Bencher::new();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+    }
 }
