@@ -10,15 +10,51 @@
 use qcir::circuit::Circuit;
 use qec::agent_iface::{synthesize, DecoderSpec, SynthesisError};
 use qec::topology::Topology;
+use qsim::backend::SimError;
 use qsim::dist::Counts;
 use qsim::exec::Executor;
 use qsim::noise::NoiseModel;
+use std::fmt;
 
 /// The QEC agent: holds the target device.
 #[derive(Debug, Clone)]
 pub struct QecAgent {
     topology: Topology,
     physical_rate: f64,
+}
+
+/// Why a QEC comparison could not be produced: either the decoder could
+/// not be synthesized for the device, or the circuit is not simulable
+/// (backend capacity / classical-register caps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QecAgentError {
+    /// Decoder synthesis failed.
+    Synthesis(SynthesisError),
+    /// The before/after simulation failed with a typed backend error.
+    Sim(SimError),
+}
+
+impl fmt::Display for QecAgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QecAgentError::Synthesis(e) => write!(f, "decoder synthesis failed: {e}"),
+            QecAgentError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QecAgentError {}
+
+impl From<SynthesisError> for QecAgentError {
+    fn from(e: SynthesisError) -> Self {
+        QecAgentError::Synthesis(e)
+    }
+}
+
+impl From<SimError> for QecAgentError {
+    fn from(e: SimError) -> Self {
+        QecAgentError::Sim(e)
+    }
 }
 
 /// Before/after comparison for one circuit (the Figure 4 artifact).
@@ -76,21 +112,32 @@ impl QecAgent {
 
     /// Runs `circuit` with and without the decoder's noise reduction.
     ///
+    /// Simulation goes through the fallible backend-dispatch API: Clifford
+    /// circuits past the dense cap run on the tableau, shots fan out over
+    /// the host's cores (deterministically — results do not depend on the
+    /// thread count), and unsimulable circuits surface as
+    /// [`QecAgentError::Sim`] instead of a panic.
+    ///
     /// # Errors
     ///
-    /// Propagates decoder-synthesis failures.
+    /// Propagates decoder-synthesis failures and backend [`SimError`]s.
     pub fn compare(
         &self,
         circuit: &Circuit,
         noise: &NoiseModel,
         shots: u64,
         seed: u64,
-    ) -> Result<QecComparison, SynthesisError> {
+    ) -> Result<QecComparison, QecAgentError> {
         let spec = self.synthesize_decoder(seed)?;
-        let ideal = Executor::ideal_distribution(circuit, seed);
-        let noisy = Executor::with_noise(noise.clone()).run(circuit, shots, seed);
+        let threads = qsim::exec::recommended_threads();
+        let ideal = Executor::try_ideal_distribution_threaded(circuit, seed, threads)?;
+        let noisy = Executor::with_noise(noise.clone())
+            .with_threads(threads)
+            .try_run(circuit, shots, seed)?;
         let corrected_noise = noise.scaled(spec.noise_reduction_factor());
-        let corrected = Executor::with_noise(corrected_noise).run(circuit, shots, seed ^ 0xC0DE);
+        let corrected = Executor::with_noise(corrected_noise)
+            .with_threads(threads)
+            .try_run(circuit, shots, seed ^ 0xC0DE)?;
         Ok(QecComparison {
             spec,
             ideal,
@@ -139,6 +186,41 @@ mod tests {
         let t = Topology::new("split", 4, &[(0, 1), (2, 3)]);
         let agent = QecAgent::new(t, 0.02);
         assert!(agent.synthesize_decoder(0).is_err());
+    }
+
+    #[test]
+    fn compare_handles_large_clifford_circuits_via_tableau() {
+        // A 30-qubit GHZ circuit: far past the dense cap, fine under the
+        // backend layer's tableau dispatch. Pre-backend-layer this panicked.
+        let mut ghz = Circuit::new(30, 30);
+        ghz.h(0);
+        for q in 0..29 {
+            ghz.cx(q, q + 1);
+        }
+        ghz.measure_all();
+        let agent = QecAgent::new(Topology::grid(7, 7), 0.02);
+        let cmp = agent
+            .compare(
+                &ghz,
+                &qsim::noise::NoiseModel::uniform_depolarizing(0.002),
+                512,
+                17,
+            )
+            .expect("tableau-backed comparison");
+        assert_eq!(cmp.noisy.shots(), 512);
+        assert!(cmp.corrected_tvd() <= cmp.noisy_tvd() + 0.1);
+    }
+
+    #[test]
+    fn compare_surfaces_sim_errors_instead_of_panicking() {
+        // Non-Clifford past the dense cap: no admissible backend.
+        let mut big = Circuit::new(30, 30);
+        big.h(0).t(0).measure_all();
+        let agent = QecAgent::new(Topology::grid(7, 7), 0.02);
+        match agent.compare(&big, &profiles::noisy_nisq(), 64, 3) {
+            Err(QecAgentError::Sim(SimError::QubitCapExceeded { .. })) => {}
+            other => panic!("expected a Sim capacity error, got {other:?}"),
+        }
     }
 
     #[test]

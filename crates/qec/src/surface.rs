@@ -4,7 +4,14 @@
 //! plaquettes (yellow in the paper's Figure 2) detect Z errors; Z-type
 //! plaquettes (blue) detect X errors. Weight-2 boundary stabilizers sit on
 //! the top/bottom rows (X-type) and left/right columns (Z-type).
+//!
+//! [`SurfaceCode::memory_circuit`] lowers the code to an executable
+//! Clifford [`Circuit`] (one ancilla per stabilizer, repeated
+//! syndrome-extraction rounds, transversal data readout) so logical-memory
+//! experiments can run through `qsim`'s tableau backend at distances where
+//! dense simulation is impossible.
 
+use qcir::circuit::Circuit;
 use std::fmt;
 
 /// Which Pauli type a stabilizer measures.
@@ -190,6 +197,74 @@ impl SurfaceCode {
         self.logical_x().iter().filter(|&&q| z_errors[q]).count() % 2 == 1
     }
 
+    /// Lowers the code to an executable syndrome-extraction memory circuit
+    /// over `num_data + num_stabilizers` qubits (data qubits first, one
+    /// ancilla per stabilizer): `rounds` rounds of stabilizer measurement
+    /// followed by a transversal Z-basis data readout.
+    ///
+    /// Per round, every Z-type ancilla is reset, accumulates its support's
+    /// X-error parity through data→ancilla CNOTs and is measured into a
+    /// classical bit; every X-type ancilla runs the Hadamard-conjugated
+    /// extraction and is projected by an unrecorded reset (this experiment
+    /// decodes X errors only, but the X-type extraction still participates
+    /// so circuit-level noise propagates realistically). The circuit is
+    /// Clifford throughout, so the tableau backend simulates it in
+    /// polynomial time — a distance-5 circuit needs 49 qubits, far past any
+    /// dense cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rounds == 0` or the classical register would not fit a
+    /// 64-bit outcome word (`rounds * |Z stabilizers| + d^2 > 64`).
+    pub fn memory_circuit(&self, rounds: usize) -> MemoryCircuit {
+        assert!(rounds >= 1, "need at least one extraction round");
+        let num_data = self.num_data();
+        let num_z = self.z_stabilizers().len();
+        let num_clbits = rounds * num_z + num_data;
+        assert!(
+            num_clbits <= 64,
+            "memory circuit needs {num_clbits} classical bits, but outcomes \
+             are 64-bit words; reduce `rounds`"
+        );
+        let mut qc = Circuit::new(num_data + self.num_stabilizers(), num_clbits);
+        for t in 0..rounds {
+            qc.barrier_all();
+            let mut z_idx = 0usize;
+            for (i, s) in self.stabilizers.iter().enumerate() {
+                let anc = num_data + i;
+                match s.kind {
+                    StabKind::Z => {
+                        qc.reset(anc);
+                        for &q in &s.support {
+                            qc.cx(q, anc);
+                        }
+                        qc.measure(anc, t * num_z + z_idx);
+                        z_idx += 1;
+                    }
+                    StabKind::X => {
+                        qc.reset(anc);
+                        qc.h(anc);
+                        for &q in &s.support {
+                            qc.cx(anc, q);
+                        }
+                        qc.h(anc);
+                        // Project the X parity without recording it.
+                        qc.reset(anc);
+                    }
+                }
+            }
+        }
+        for q in 0..num_data {
+            qc.measure(q, rounds * num_z + q);
+        }
+        MemoryCircuit {
+            circuit: qc,
+            rounds,
+            num_z,
+            num_data,
+        }
+    }
+
     /// Renders the lattice with an error/correction overlay for terminal
     /// output (the Figure 2 illustration). `marks[q]`, when set, draws the
     /// given character at data qubit `q`.
@@ -216,6 +291,78 @@ impl SurfaceCode {
             }
         }
         out
+    }
+}
+
+/// An executable memory circuit plus its classical-bit layout.
+///
+/// Outcome words pack, low bits first, the per-round Z-stabilizer readouts
+/// (`rounds * num_z` bits, in [`SurfaceCode::z_stabilizers`] order) and
+/// then the transversal data readout (`d^2` bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryCircuit {
+    /// The lowered Clifford circuit.
+    pub circuit: Circuit,
+    /// Syndrome-extraction rounds.
+    pub rounds: usize,
+    num_z: usize,
+    num_data: usize,
+}
+
+impl MemoryCircuit {
+    /// Classical bit holding round `t`'s readout of Z stabilizer `s`.
+    pub fn z_syndrome_bit(&self, round: usize, stab: usize) -> usize {
+        assert!(round < self.rounds && stab < self.num_z);
+        round * self.num_z + stab
+    }
+
+    /// Classical bit holding data qubit `q`'s final readout.
+    pub fn data_bit(&self, q: usize) -> usize {
+        assert!(q < self.num_data);
+        self.rounds * self.num_z + q
+    }
+
+    /// Unpacks the per-round measured Z syndromes from an outcome word.
+    pub fn z_syndromes(&self, word: u64) -> Vec<Vec<bool>> {
+        (0..self.rounds)
+            .map(|t| {
+                (0..self.num_z)
+                    .map(|s| (word >> self.z_syndrome_bit(t, s)) & 1 == 1)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Unpacks the final transversal data readout from an outcome word.
+    pub fn data_readout(&self, word: u64) -> Vec<bool> {
+        (0..self.num_data)
+            .map(|q| (word >> self.data_bit(q)) & 1 == 1)
+            .collect()
+    }
+
+    /// Detection events for space-time decoding of one outcome word:
+    /// round-over-round Z-syndrome differences, with a final layer computed
+    /// from the data readout's syndrome (node flattening matches
+    /// [`crate::decoder::DecodingGraph::spacetime_x`] over `rounds + 1`
+    /// layers).
+    pub fn detection_events(&self, code: &SurfaceCode, word: u64) -> Vec<usize> {
+        let final_syndrome = code.z_syndrome(&self.data_readout(word));
+        let mut events = Vec::new();
+        let mut prev = vec![false; self.num_z];
+        for (t, cur) in self
+            .z_syndromes(word)
+            .iter()
+            .chain(std::iter::once(&final_syndrome))
+            .enumerate()
+        {
+            for (s, &bit) in cur.iter().enumerate() {
+                if bit != prev[s] {
+                    events.push(t * self.num_z + s);
+                }
+            }
+            prev.clone_from_slice(cur);
+        }
+        events
     }
 }
 
@@ -393,5 +540,70 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn rejects_even_distance() {
         SurfaceCode::new(4);
+    }
+
+    #[test]
+    fn memory_circuit_layout_is_consistent() {
+        for d in [3usize, 5] {
+            let code = SurfaceCode::new(d);
+            let rounds = 2;
+            let mem = code.memory_circuit(rounds);
+            assert_eq!(
+                mem.circuit.num_qubits(),
+                code.num_data() + code.num_stabilizers(),
+                "d = {d}: data + one ancilla per stabilizer"
+            );
+            let num_z = code.z_stabilizers().len();
+            assert_eq!(
+                mem.circuit.num_clbits(),
+                rounds * num_z + code.num_data(),
+                "d = {d}"
+            );
+            assert_eq!(mem.data_bit(0), rounds * num_z);
+            assert_eq!(mem.z_syndrome_bit(1, 0), num_z);
+            // Clifford throughout: tableau-simulable at any distance.
+            assert!(qsim::backend::classify(&mem.circuit).is_clifford());
+        }
+        // Distance 5 is the headline: 49 qubits in one Clifford circuit.
+        assert_eq!(
+            SurfaceCode::new(5).memory_circuit(2).circuit.num_qubits(),
+            49
+        );
+    }
+
+    #[test]
+    fn memory_circuit_word_unpacking_round_trips() {
+        let code = SurfaceCode::new(3);
+        let mem = code.memory_circuit(2);
+        let num_z = code.z_stabilizers().len();
+        // Set round-1 syndrome bit 2 and data bit 4.
+        let word = (1u64 << (num_z + 2)) | (1u64 << mem.data_bit(4));
+        let syndromes = mem.z_syndromes(word);
+        assert!(!syndromes[0].iter().any(|&b| b));
+        assert!(syndromes[1][2]);
+        assert_eq!(syndromes[1].iter().filter(|&&b| b).count(), 1);
+        let data = mem.data_readout(word);
+        assert!(data[4]);
+        assert_eq!(data.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn memory_circuit_detection_events_flag_syndrome_changes() {
+        let code = SurfaceCode::new(3);
+        let mem = code.memory_circuit(2);
+        let num_z = code.z_stabilizers().len();
+        // Clean word: no events.
+        assert!(mem.detection_events(&code, 0).is_empty());
+        // A measurement flip in round 0 only: events in layers 0 and 1
+        // (appears, then disappears).
+        let word = 1u64 << mem.z_syndrome_bit(0, 1);
+        assert_eq!(mem.detection_events(&code, word), vec![1, num_z + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "classical bits")]
+    fn memory_circuit_rejects_registers_past_the_word_cap() {
+        // d=5: 12 Z stabilizers per round + 25 data bits; 4 rounds needs 73.
+        SurfaceCode::new(5).memory_circuit(4);
     }
 }

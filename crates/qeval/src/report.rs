@@ -1,11 +1,18 @@
-//! Evaluation runner and result rendering.
+//! Evaluation runner (serial and parallel) and result rendering.
+//!
+//! [`evaluate_parallel`] fans the task×sample grid out over worker threads:
+//! per-sample seeds depend only on `(seed, task index, sample index)` and
+//! per-task partial results are folded in task order, so the outcome is
+//! bit-identical to [`evaluate`] for every thread count.
 
-use crate::grade::grade_source;
+use crate::grade::grade_source_with_threads;
 use crate::suite::Task;
 use qlm::model::{CodeLlm, GenConfig};
 use qlm::spec::Difficulty;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Aggregated evaluation outcome for one technique configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,8 +56,77 @@ impl EvalOutcome {
     }
 }
 
+/// One task's graded slice of the evaluation grid.
+#[derive(Debug, Clone)]
+struct TaskEval {
+    difficulty: Difficulty,
+    samples: usize,
+    syntactic_ok: usize,
+    passed: usize,
+}
+
+/// Grades every sample of one task (the unit of parallel work).
+fn evaluate_task(
+    llm: &CodeLlm,
+    task: &Task,
+    t_idx: usize,
+    config: &GenConfig,
+    samples_per_task: usize,
+    seed: u64,
+    sim_threads: usize,
+) -> TaskEval {
+    let mut syntactic_ok = 0usize;
+    let mut passed = 0usize;
+    for s in 0..samples_per_task {
+        let sample_seed = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((t_idx * 1000 + s) as u64);
+        let generation = llm.generate(&task.spec, config, sample_seed);
+        let detail = grade_source_with_threads(&generation.source, &task.spec, sim_threads);
+        if detail.syntactic_ok {
+            syntactic_ok += 1;
+        }
+        if detail.passed() {
+            passed += 1;
+        }
+    }
+    TaskEval {
+        difficulty: task.difficulty(),
+        samples: samples_per_task,
+        syntactic_ok,
+        passed,
+    }
+}
+
+/// Folds per-task partial results (in task order) into an [`EvalOutcome`].
+fn fold_outcome(label: &str, task_evals: Vec<TaskEval>) -> EvalOutcome {
+    let mut syntactic_ok = 0usize;
+    let mut passed = 0usize;
+    let mut samples = 0usize;
+    let mut per_difficulty: BTreeMap<Difficulty, (usize, usize)> = BTreeMap::new();
+    let mut per_task = Vec::with_capacity(task_evals.len());
+    for te in task_evals {
+        syntactic_ok += te.syntactic_ok;
+        passed += te.passed;
+        samples += te.samples;
+        let entry = per_difficulty.entry(te.difficulty).or_insert((0, 0));
+        entry.0 += te.passed;
+        entry.1 += te.samples;
+        per_task.push((te.samples, te.passed));
+    }
+    EvalOutcome {
+        label: label.to_string(),
+        samples,
+        syntactic_ok,
+        passed,
+        per_difficulty,
+        per_task,
+    }
+}
+
 /// Evaluates a configuration over a task list, `samples_per_task` samples
-/// each (seeded deterministically).
+/// each (seeded deterministically). Equivalent to
+/// [`evaluate_parallel`] with one thread.
 pub fn evaluate(
     llm: &CodeLlm,
     tasks: &[Task],
@@ -58,39 +134,68 @@ pub fn evaluate(
     samples_per_task: usize,
     seed: u64,
 ) -> EvalOutcome {
-    let mut syntactic_ok = 0usize;
-    let mut passed = 0usize;
-    let mut per_difficulty: BTreeMap<Difficulty, (usize, usize)> = BTreeMap::new();
-    let mut per_task = Vec::with_capacity(tasks.len());
-    for (t_idx, task) in tasks.iter().enumerate() {
-        let mut task_passed = 0usize;
-        for s in 0..samples_per_task {
-            let sample_seed = seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add((t_idx * 1000 + s) as u64);
-            let generation = llm.generate(&task.spec, config, sample_seed);
-            let detail = grade_source(&generation.source, &task.spec);
-            if detail.syntactic_ok {
-                syntactic_ok += 1;
-            }
-            let entry = per_difficulty.entry(task.difficulty()).or_insert((0, 0));
-            entry.1 += 1;
-            if detail.passed() {
-                passed += 1;
-                task_passed += 1;
-                entry.0 += 1;
-            }
+    evaluate_parallel(llm, tasks, config, samples_per_task, seed, 1)
+}
+
+/// Parallel task×sample evaluation driver: grades tasks on up to `threads`
+/// workers. Per-sample seeds and the fold order depend only on the inputs,
+/// so the outcome is bit-identical to the serial [`evaluate`] for every
+/// thread count.
+pub fn evaluate_parallel(
+    llm: &CodeLlm,
+    tasks: &[Task],
+    config: &GenConfig,
+    samples_per_task: usize,
+    seed: u64,
+    threads: usize,
+) -> EvalOutcome {
+    let threads = threads.max(1).min(tasks.len().max(1));
+    if threads <= 1 {
+        // A single eval worker may use the host's full width inside the
+        // simulator; parallel eval workers grade single-threaded so the
+        // pools do not nest multiplicatively.
+        let sim_threads = qsim::exec::recommended_threads();
+        let evals = tasks
+            .iter()
+            .enumerate()
+            .map(|(t_idx, task)| {
+                evaluate_task(
+                    llm,
+                    task,
+                    t_idx,
+                    config,
+                    samples_per_task,
+                    seed,
+                    sim_threads,
+                )
+            })
+            .collect();
+        return fold_outcome(config.label, evals);
+    }
+    let slots: Vec<Mutex<Option<TaskEval>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let t_idx = next.fetch_add(1, Ordering::Relaxed);
+                if t_idx >= tasks.len() {
+                    break;
+                }
+                let eval =
+                    evaluate_task(llm, &tasks[t_idx], t_idx, config, samples_per_task, seed, 1);
+                *slots[t_idx].lock().expect("task slot poisoned") = Some(eval);
+            });
         }
-        per_task.push((samples_per_task, task_passed));
-    }
-    EvalOutcome {
-        label: config.label.to_string(),
-        samples: tasks.len() * samples_per_task,
-        syntactic_ok,
-        passed,
-        per_difficulty,
-        per_task,
-    }
+    });
+    let evals = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("task slot poisoned")
+                .expect("every task index was claimed by a worker")
+        })
+        .collect();
+    fold_outcome(config.label, evals)
 }
 
 /// Renders outcomes as a markdown table (the Figure 3 artifact).
@@ -160,6 +265,18 @@ mod tests {
         assert_eq!(sum, outcome.samples);
         let task_sum: usize = outcome.per_task.iter().map(|&(_, c)| c).sum();
         assert_eq!(task_sum, outcome.passed);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_bit_for_bit() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(6).collect();
+        let serial = evaluate(&llm, &tasks, &GenConfig::fine_tuned(), 2, 11);
+        for threads in [2usize, 4, 16] {
+            let parallel =
+                evaluate_parallel(&llm, &tasks, &GenConfig::fine_tuned(), 2, 11, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! The unified simulation-backend layer.
+//!
+//! Every way of executing a circuit in this workspace goes through one of
+//! two engines: the dense state vector ([`crate::state::StateVector`],
+//! exponential in qubit count, exact for arbitrary gates) or the
+//! Aaronson–Gottesman tableau ([`crate::stabilizer::StabilizerSim`],
+//! polynomial, Clifford-only). This module gives them a common face:
+//!
+//! * [`classify`] — a circuit-analysis pass that buckets a [`Circuit`] into
+//!   a [`CircuitClass`] (Clifford unitary / Clifford with measurement and
+//!   classical control / general) by walking its ops.
+//! * [`BackendChoice`] — the caller-facing selector: [`BackendChoice::Auto`]
+//!   (the default) picks the tableau for Clifford circuits too large for a
+//!   comfortable dense run and the dense engine otherwise; `Dense` and
+//!   `Tableau` force an engine and fail loudly when it cannot run the
+//!   circuit.
+//! * [`resolve`] — the dispatch rule itself, returning a [`BackendKind`] or
+//!   a typed [`SimError`] instead of panicking at a capacity cap.
+//! * [`Backend`] / [`BackendState`] — the object-safe traits the executor
+//!   drives: gate application, Pauli error injection, measurement, reset
+//!   and reinitialisation, implemented by [`DenseBackend`] and
+//!   [`TableauBackend`].
+//!
+//! # Dispatch rules (`BackendChoice::Auto`)
+//!
+//! | circuit | qubits | engine |
+//! |---|---|---|
+//! | Clifford (incl. measure/reset/conditionals) | ≤ [`AUTO_DENSE_MAX_QUBITS`] | dense |
+//! | Clifford | > [`AUTO_DENSE_MAX_QUBITS`] | tableau |
+//! | general | ≤ [`DENSE_QUBIT_CAP`] | dense |
+//! | general | > [`DENSE_QUBIT_CAP`] | [`SimError::QubitCapExceeded`] |
+//!
+//! All engines share the [`MAX_CLBITS`] classical-register cap: outcomes
+//! travel as packed `u64` words through [`crate::dist::Counts`], so a
+//! circuit with more than 64 classical bits is rejected up front instead of
+//! silently truncating high bits.
+//!
+//! Pauli noise channels ([`crate::noise::NoiseModel`]) are
+//! backend-agnostic: both states implement
+//! [`BackendState::apply_pauli`], so depolarizing/idle errors and classical
+//! readout flips work identically on either engine.
+
+use crate::noise::Pauli;
+use crate::stabilizer::StabilizerSim;
+use crate::state::StateVector;
+use qcir::circuit::{Circuit, Op};
+use qcir::gate::Gate;
+use rand::RngCore;
+use std::fmt;
+
+/// Hard cap on dense simulation (the amplitude vector would exceed a
+/// gigabyte past this). Mirrors the assertion in [`StateVector::zero`].
+pub const DENSE_QUBIT_CAP: usize = 26;
+
+/// Sanity cap on tableau simulation (quadratic memory in qubits; 4096
+/// qubits is a 4 MB tableau and far beyond every workload here).
+pub const TABLEAU_QUBIT_CAP: usize = 4096;
+
+/// Under [`BackendChoice::Auto`], Clifford circuits at or below this many
+/// qubits still run densely: at small sizes the state vector fits in cache
+/// and beats the tableau's per-op row scans, and the dense engine keeps its
+/// exact-sampling fast path for noiseless end-measured circuits.
+pub const AUTO_DENSE_MAX_QUBITS: usize = 12;
+
+/// Classical-register cap: outcomes are packed `u64` words in
+/// [`crate::dist::Counts`], so at most 64 classical bits per circuit.
+pub const MAX_CLBITS: usize = 64;
+
+/// A typed simulation failure, returned by the fallible execution entry
+/// points ([`crate::exec::Executor::try_run`] and friends) instead of the
+/// panics the pre-backend-layer API used.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The circuit needs more qubits than the chosen engine can represent.
+    QubitCapExceeded {
+        /// Engine that refused (`"dense"` / `"tableau"` / a caller label).
+        backend: &'static str,
+        /// Qubits the circuit declares.
+        num_qubits: usize,
+        /// The engine's cap.
+        cap: usize,
+    },
+    /// The tableau engine was chosen (or forced) for a circuit containing a
+    /// non-Clifford gate.
+    NonCliffordGate {
+        /// The first offending gate.
+        gate: Gate,
+    },
+    /// The circuit declares more classical bits than fit one outcome word.
+    TooManyClbits {
+        /// Classical bits the circuit declares.
+        num_clbits: usize,
+        /// The representation cap ([`MAX_CLBITS`]).
+        cap: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::QubitCapExceeded {
+                backend,
+                num_qubits,
+                cap,
+            } => write!(
+                f,
+                "{backend} backend capped at {cap} qubits, circuit needs {num_qubits}"
+            ),
+            SimError::NonCliffordGate { gate } => {
+                write!(f, "tableau backend cannot apply non-Clifford gate `{gate}`")
+            }
+            SimError::TooManyClbits { num_clbits, cap } => write!(
+                f,
+                "classical register of {num_clbits} bits exceeds the {cap}-bit outcome word"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The result of the circuit-analysis pass: how much simulator structure a
+/// circuit exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitClass {
+    /// Clifford gates only; no measurement, reset or classical control.
+    /// Stabilizer-simulable end to end, and the final state is a pure
+    /// stabilizer state.
+    CliffordUnitary,
+    /// Clifford gates plus measurement / reset / classically-conditioned
+    /// Clifford gates. Still polynomial on the tableau (measurements are
+    /// `O(n^2)`).
+    CliffordDynamic,
+    /// Contains at least one non-Clifford gate; only the dense engine can
+    /// run it.
+    General,
+}
+
+impl CircuitClass {
+    /// `true` when the tableau engine can simulate this class.
+    pub fn is_clifford(&self) -> bool {
+        !matches!(self, CircuitClass::General)
+    }
+}
+
+/// Walks the op list and classifies the circuit for backend dispatch.
+///
+/// Conditionally-applied gates count like unconditional ones (the tableau
+/// engine evaluates the classical condition per trajectory); barriers are
+/// ignored.
+pub fn classify(circuit: &Circuit) -> CircuitClass {
+    let mut dynamic = false;
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, .. } => {
+                if !gate.is_clifford() {
+                    return CircuitClass::General;
+                }
+            }
+            Op::CondGate { gate, .. } => {
+                if !gate.is_clifford() {
+                    return CircuitClass::General;
+                }
+                dynamic = true;
+            }
+            Op::Measure { .. } | Op::Reset { .. } => dynamic = true,
+            Op::Barrier { .. } => {}
+        }
+    }
+    if dynamic {
+        CircuitClass::CliffordDynamic
+    } else {
+        CircuitClass::CliffordUnitary
+    }
+}
+
+/// The first non-Clifford gate in program order, if any (for error
+/// reporting).
+pub fn first_non_clifford(circuit: &Circuit) -> Option<Gate> {
+    circuit.ops().iter().find_map(|op| match op {
+        Op::Gate { gate, .. } | Op::CondGate { gate, .. } if !gate.is_clifford() => Some(*gate),
+        _ => None,
+    })
+}
+
+/// Caller-facing backend selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Pick automatically from the circuit class and size (see the module
+    /// docs for the dispatch table).
+    #[default]
+    Auto,
+    /// Force the dense state-vector engine.
+    Dense,
+    /// Force the stabilizer-tableau engine (Clifford circuits only).
+    Tableau,
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Dense => "dense",
+            BackendChoice::Tableau => "tableau",
+        })
+    }
+}
+
+/// A concrete engine, after [`resolve`] has applied the dispatch rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Dense state-vector simulation.
+    Dense,
+    /// Stabilizer-tableau simulation.
+    Tableau,
+}
+
+impl BackendKind {
+    /// The engine's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Tableau => "tableau",
+        }
+    }
+
+    /// Instantiates the engine behind the [`Backend`] trait.
+    pub fn build(&self) -> Box<dyn Backend> {
+        match self {
+            BackendKind::Dense => Box::new(DenseBackend),
+            BackendKind::Tableau => Box::new(TableauBackend),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies the dispatch rules: which engine runs `circuit` under `choice`?
+///
+/// # Errors
+///
+/// [`SimError::TooManyClbits`] for >64-bit classical registers,
+/// [`SimError::NonCliffordGate`] when the tableau is forced on a general
+/// circuit, and [`SimError::QubitCapExceeded`] when the circuit fits no
+/// admissible engine.
+pub fn resolve(choice: BackendChoice, circuit: &Circuit) -> Result<BackendKind, SimError> {
+    if circuit.num_clbits() > MAX_CLBITS {
+        return Err(SimError::TooManyClbits {
+            num_clbits: circuit.num_clbits(),
+            cap: MAX_CLBITS,
+        });
+    }
+    let n = circuit.num_qubits();
+    let dense_ok = |label| {
+        if n <= DENSE_QUBIT_CAP {
+            Ok(BackendKind::Dense)
+        } else {
+            Err(SimError::QubitCapExceeded {
+                backend: label,
+                num_qubits: n,
+                cap: DENSE_QUBIT_CAP,
+            })
+        }
+    };
+    let tableau_ok = || {
+        if let Some(gate) = first_non_clifford(circuit) {
+            return Err(SimError::NonCliffordGate { gate });
+        }
+        if n <= TABLEAU_QUBIT_CAP {
+            Ok(BackendKind::Tableau)
+        } else {
+            Err(SimError::QubitCapExceeded {
+                backend: "tableau",
+                num_qubits: n,
+                cap: TABLEAU_QUBIT_CAP,
+            })
+        }
+    };
+    match choice {
+        BackendChoice::Dense => dense_ok("dense"),
+        BackendChoice::Tableau => tableau_ok(),
+        BackendChoice::Auto => {
+            if classify(circuit).is_clifford() && n > AUTO_DENSE_MAX_QUBITS {
+                tableau_ok()
+            } else {
+                dense_ok("dense")
+            }
+        }
+    }
+}
+
+/// A simulation engine: validates circuits and mints fresh states.
+///
+/// Object-safe so the executor can hold `Box<dyn Backend>`; `Send + Sync`
+/// so resolved backends can be shared across shot-execution threads.
+pub trait Backend: Send + Sync {
+    /// Display name (`"dense"` / `"tableau"`).
+    fn name(&self) -> &'static str;
+
+    /// The engine's qubit capacity.
+    fn qubit_cap(&self) -> usize;
+
+    /// Checks that this engine can run `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// The same [`SimError`] conditions as [`resolve`] for this engine.
+    fn supports(&self, circuit: &Circuit) -> Result<(), SimError>;
+
+    /// Creates the |0…0> state on `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::QubitCapExceeded`] past [`Backend::qubit_cap`].
+    fn init(&self, num_qubits: usize) -> Result<Box<dyn BackendState>, SimError>;
+}
+
+/// One simulated register mid-trajectory: the operations the executor's
+/// shot loop needs, shared by both engines.
+///
+/// Gate application is infallible here by contract: the executor validates
+/// the whole circuit against the backend ([`Backend::supports`] /
+/// [`resolve`]) before the first shot, so per-op `Result` plumbing would
+/// only re-check what is already known.
+pub trait BackendState: Send {
+    /// Number of qubits.
+    fn num_qubits(&self) -> usize;
+
+    /// Resets the register to |0…0> in place (so trajectory loops reuse the
+    /// allocation instead of re-creating the state per shot).
+    fn reinit(&mut self);
+
+    /// Applies a gate in gate-operand order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on operand errors or (tableau) non-Clifford gates; both are
+    /// excluded by the pre-run validation contract above.
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]);
+
+    /// Injects a single-qubit Pauli error (the noise-channel hot path).
+    fn apply_pauli(&mut self, qubit: usize, pauli: Pauli);
+
+    /// Measures `qubit` in the computational basis, collapsing the state.
+    fn measure(&mut self, qubit: usize, rng: &mut dyn RngCore) -> bool;
+
+    /// Resets `qubit` to |0>.
+    fn reset(&mut self, qubit: usize, rng: &mut dyn RngCore);
+}
+
+/// The dense state-vector engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseBackend;
+
+impl Backend for DenseBackend {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn qubit_cap(&self) -> usize {
+        DENSE_QUBIT_CAP
+    }
+
+    fn supports(&self, circuit: &Circuit) -> Result<(), SimError> {
+        resolve(BackendChoice::Dense, circuit).map(|_| ())
+    }
+
+    fn init(&self, num_qubits: usize) -> Result<Box<dyn BackendState>, SimError> {
+        if num_qubits > DENSE_QUBIT_CAP {
+            return Err(SimError::QubitCapExceeded {
+                backend: "dense",
+                num_qubits,
+                cap: DENSE_QUBIT_CAP,
+            });
+        }
+        Ok(Box::new(DenseState(StateVector::zero(num_qubits))))
+    }
+}
+
+/// [`BackendState`] over a [`StateVector`].
+#[derive(Debug, Clone)]
+struct DenseState(StateVector);
+
+impl BackendState for DenseState {
+    fn num_qubits(&self) -> usize {
+        self.0.num_qubits()
+    }
+
+    fn reinit(&mut self) {
+        self.0.reinit();
+    }
+
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.0.apply_gate(gate, qubits);
+    }
+
+    fn apply_pauli(&mut self, qubit: usize, pauli: Pauli) {
+        self.0.apply_pauli(qubit, pauli);
+    }
+
+    fn measure(&mut self, qubit: usize, mut rng: &mut dyn RngCore) -> bool {
+        self.0.measure(qubit, &mut rng)
+    }
+
+    fn reset(&mut self, qubit: usize, mut rng: &mut dyn RngCore) {
+        self.0.reset(qubit, &mut rng);
+    }
+}
+
+/// The stabilizer-tableau engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TableauBackend;
+
+impl Backend for TableauBackend {
+    fn name(&self) -> &'static str {
+        "tableau"
+    }
+
+    fn qubit_cap(&self) -> usize {
+        TABLEAU_QUBIT_CAP
+    }
+
+    fn supports(&self, circuit: &Circuit) -> Result<(), SimError> {
+        resolve(BackendChoice::Tableau, circuit).map(|_| ())
+    }
+
+    fn init(&self, num_qubits: usize) -> Result<Box<dyn BackendState>, SimError> {
+        if num_qubits > TABLEAU_QUBIT_CAP {
+            return Err(SimError::QubitCapExceeded {
+                backend: "tableau",
+                num_qubits,
+                cap: TABLEAU_QUBIT_CAP,
+            });
+        }
+        Ok(Box::new(TableauState(StabilizerSim::new(num_qubits))))
+    }
+}
+
+/// [`BackendState`] over a [`StabilizerSim`].
+#[derive(Debug, Clone)]
+struct TableauState(StabilizerSim);
+
+impl BackendState for TableauState {
+    fn num_qubits(&self) -> usize {
+        self.0.num_qubits()
+    }
+
+    fn reinit(&mut self) {
+        self.0.reinit();
+    }
+
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.0.apply_gate(gate, qubits);
+    }
+
+    fn apply_pauli(&mut self, qubit: usize, pauli: Pauli) {
+        match pauli {
+            Pauli::X => self.0.x_gate(qubit),
+            Pauli::Y => self.0.y_gate(qubit),
+            Pauli::Z => self.0.z_gate(qubit),
+        }
+    }
+
+    fn measure(&mut self, qubit: usize, mut rng: &mut dyn RngCore) -> bool {
+        self.0.measure(qubit, &mut rng)
+    }
+
+    fn reset(&mut self, qubit: usize, mut rng: &mut dyn RngCore) {
+        self.0.reset(qubit, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n, n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        qc
+    }
+
+    #[test]
+    fn classify_buckets() {
+        let mut unitary = Circuit::new(2, 0);
+        unitary.h(0).cx(0, 1);
+        assert_eq!(classify(&unitary), CircuitClass::CliffordUnitary);
+        assert!(classify(&unitary).is_clifford());
+
+        assert_eq!(classify(&ghz(3)), CircuitClass::CliffordDynamic);
+
+        let mut general = Circuit::new(2, 2);
+        general.h(0).t(0).cx(0, 1);
+        assert_eq!(classify(&general), CircuitClass::General);
+        assert!(!classify(&general).is_clifford());
+        assert_eq!(first_non_clifford(&general), Some(Gate::T));
+
+        let mut cond = Circuit::new(1, 1);
+        cond.measure(0, 0);
+        cond.cond_gate(Gate::T, &[0], 0, true);
+        assert_eq!(classify(&cond), CircuitClass::General);
+    }
+
+    #[test]
+    fn auto_dispatch_follows_size_and_class() {
+        assert_eq!(
+            resolve(BackendChoice::Auto, &ghz(4)).unwrap(),
+            BackendKind::Dense
+        );
+        assert_eq!(
+            resolve(BackendChoice::Auto, &ghz(AUTO_DENSE_MAX_QUBITS + 1)).unwrap(),
+            BackendKind::Tableau
+        );
+        let mut big_general = Circuit::new(30, 30);
+        big_general.h(0).t(0);
+        assert_eq!(
+            resolve(BackendChoice::Auto, &big_general),
+            Err(SimError::QubitCapExceeded {
+                backend: "dense",
+                num_qubits: 30,
+                cap: DENSE_QUBIT_CAP,
+            })
+        );
+    }
+
+    #[test]
+    fn forced_backends_validate() {
+        let mut t = Circuit::new(1, 1);
+        t.t(0).measure(0, 0);
+        assert_eq!(
+            resolve(BackendChoice::Tableau, &t),
+            Err(SimError::NonCliffordGate { gate: Gate::T })
+        );
+        let big = ghz(49);
+        assert_eq!(
+            resolve(BackendChoice::Tableau, &big).unwrap(),
+            BackendKind::Tableau
+        );
+        assert!(matches!(
+            resolve(BackendChoice::Dense, &big),
+            Err(SimError::QubitCapExceeded {
+                backend: "dense",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn clbit_cap_is_enforced() {
+        let wide = Circuit::new(2, 65);
+        assert_eq!(
+            resolve(BackendChoice::Auto, &wide),
+            Err(SimError::TooManyClbits {
+                num_clbits: 65,
+                cap: MAX_CLBITS,
+            })
+        );
+    }
+
+    #[test]
+    fn both_states_agree_on_a_deterministic_trajectory() {
+        // |11> via X on both qubits, measured: identical on either engine.
+        for kind in [BackendKind::Dense, BackendKind::Tableau] {
+            let backend = kind.build();
+            let mut state = backend.init(2).unwrap();
+            let mut rng = StdRng::seed_from_u64(7);
+            state.apply_gate(Gate::X, &[0]);
+            state.apply_gate(Gate::X, &[1]);
+            assert!(state.measure(0, &mut rng), "{kind}");
+            state.apply_pauli(0, Pauli::X);
+            assert!(!state.measure(0, &mut rng), "{kind}");
+            assert!(state.measure(1, &mut rng), "{kind}");
+            state.reset(1, &mut rng);
+            assert!(!state.measure(1, &mut rng), "{kind}");
+            state.reinit();
+            assert!(!state.measure(0, &mut rng), "{kind} after reinit");
+        }
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = SimError::NonCliffordGate { gate: Gate::T };
+        assert!(e.to_string().contains("non-Clifford"));
+        let e = SimError::TooManyClbits {
+            num_clbits: 70,
+            cap: 64,
+        };
+        assert!(e.to_string().contains("64-bit"));
+    }
+}

@@ -88,6 +88,27 @@ impl Counts {
         self.table.iter().map(|(&o, &c)| (o, c))
     }
 
+    /// Merges another counts table into this one (outcome-wise addition).
+    ///
+    /// Merging is commutative and associative, which is what lets the
+    /// parallel executor's workers accumulate seed-derived chunks in any
+    /// order and still produce results bit-identical to a single-threaded
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the classical-register widths differ.
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(
+            self.num_clbits, other.num_clbits,
+            "cannot merge counts over different classical registers"
+        );
+        for (outcome, count) in other.iter() {
+            *self.table.entry(outcome).or_insert(0) += count;
+        }
+        self.shots += other.shots;
+    }
+
     /// Converts to a normalized probability map.
     pub fn to_distribution(&self) -> Distribution {
         let mut d = Distribution::new(self.num_clbits);
@@ -266,6 +287,27 @@ mod tests {
         assert_eq!(c.count(0b11), 2);
         assert_eq!(c.most_likely(), Some(0b11));
         assert!((c.probability(0b00) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_outcome_wise() {
+        let mut a = Counts::new(2);
+        a.record(0b00);
+        a.record(0b11);
+        let mut b = Counts::new(2);
+        b.record(0b11);
+        b.record(0b01);
+        a.merge(&b);
+        assert_eq!(a.shots(), 4);
+        assert_eq!(a.count(0b11), 2);
+        assert_eq!(a.count(0b01), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different classical registers")]
+    fn merge_checks_widths() {
+        let mut a = Counts::new(2);
+        a.merge(&Counts::new(3));
     }
 
     #[test]

@@ -1,34 +1,93 @@
-//! Circuit execution: shots, trajectories, conditionals.
+//! Circuit execution: shots, trajectories, conditionals, backend dispatch
+//! and multi-threaded shot batching.
+//!
+//! # Shot chunking and determinism
+//!
+//! Shots are partitioned into fixed [`SHOT_CHUNK`]-sized chunks; chunk `i`
+//! draws from its own RNG seeded with [`derive_seed`]`(seed, i)`, and the
+//! per-chunk [`Counts`] are merged by commutative outcome-wise addition.
+//! Because the partition and the seeds depend only on `(shots, seed)` —
+//! never on thread scheduling or merge order — a run with
+//! [`Executor::with_threads`]`(n)` is bit-identical to the single-threaded
+//! run for every `n`.
 
+use crate::backend::{self, BackendChoice, BackendKind, BackendState, SimError};
 use crate::dist::{Counts, Distribution};
 use crate::noise::NoiseModel;
 use crate::state::StateVector;
 use qcir::circuit::{Circuit, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Executes circuits against a noise model.
+/// Shots per RNG chunk (see the module docs on determinism).
+pub const SHOT_CHUNK: u64 = 1024;
+
+/// Shots used by the sampled [`Executor::ideal_distribution`] fallback.
+const DISTRIBUTION_SHOTS: u64 = 16_384;
+
+/// A reasonable worker count for parallel shot execution on this host.
 ///
-/// For noiseless circuits whose measurements all come last, the executor
-/// evolves the state once and samples outcomes from the exact distribution;
-/// otherwise it runs one Monte-Carlo trajectory per shot (required for
-/// mid-circuit measurement, conditionals, resets and noise).
-#[derive(Debug, Clone, Default)]
+/// Results never depend on the thread count (see the module docs), so this
+/// is purely a throughput knob.
+pub fn recommended_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Executes circuits against a noise model on an automatically or
+/// explicitly chosen simulation backend.
+///
+/// For noiseless circuits whose measurements all come last on the dense
+/// backend, the executor evolves the state once and samples outcomes from
+/// the exact distribution; otherwise it runs one Monte-Carlo trajectory per
+/// shot (required for mid-circuit measurement, conditionals, resets and
+/// noise). Clifford circuits dispatch to the stabilizer tableau per the
+/// rules in [`crate::backend`], which keeps large QEC workloads polynomial.
+#[derive(Debug, Clone)]
 pub struct Executor {
     noise: NoiseModel,
+    backend: BackendChoice,
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::ideal()
+    }
 }
 
 impl Executor {
-    /// A noiseless executor.
+    /// A noiseless executor (auto backend, single-threaded).
     pub fn ideal() -> Self {
         Executor {
             noise: NoiseModel::ideal(),
+            backend: BackendChoice::Auto,
+            threads: 1,
         }
     }
 
     /// An executor with the given noise model.
     pub fn with_noise(noise: NoiseModel) -> Self {
-        Executor { noise }
+        Executor {
+            noise,
+            ..Executor::ideal()
+        }
+    }
+
+    /// Overrides the automatic backend dispatch.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the worker-thread count for shot execution (clamped to ≥ 1).
+    /// Results are independent of this setting; see the module docs.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The active noise model.
@@ -36,26 +95,48 @@ impl Executor {
         &self.noise
     }
 
+    /// The configured backend choice.
+    pub fn backend_choice(&self) -> BackendChoice {
+        self.backend
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Runs `shots` shots with a deterministic seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when no admissible backend can run the
+    /// circuit (qubit caps, non-Clifford gates on a forced tableau, or a
+    /// classical register wider than one outcome word) — conditions the
+    /// pre-backend-layer API turned into panics.
+    pub fn try_run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
+        let kind = backend::resolve(self.backend, circuit)?;
+        if kind == BackendKind::Dense && !self.noise.is_noisy() && measures_only_at_end(circuit) {
+            return Ok(self.run_sampling(circuit, shots, seed));
+        }
+        Ok(self.run_trajectories(kind, circuit, shots, seed))
+    }
+
+    /// Panicking wrapper around [`Executor::try_run`].
     ///
     /// # Panics
     ///
-    /// Panics when the circuit exceeds the dense-simulation qubit cap.
+    /// Panics when the circuit cannot be simulated (see
+    /// [`Executor::try_run`]).
     pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Counts {
-        let mut rng = StdRng::seed_from_u64(seed);
-        if !self.noise.is_noisy() && measures_only_at_end(circuit) {
-            return self.run_fast(circuit, shots, &mut rng);
+        match self.try_run(circuit, shots, seed) {
+            Ok(counts) => counts,
+            Err(e) => panic!("simulation failed: {e}"),
         }
-        let mut counts = Counts::new(circuit.num_clbits());
-        for _ in 0..shots {
-            let outcome = self.run_trajectory(circuit, &mut rng);
-            counts.record(outcome);
-        }
-        counts
     }
 
-    /// Evolves the unitary prefix once, then samples measured qubits.
-    fn run_fast(&self, circuit: &Circuit, shots: u64, rng: &mut StdRng) -> Counts {
+    /// Dense fast path: evolves the unitary prefix once, then samples
+    /// measured qubits per chunk.
+    fn run_sampling(&self, circuit: &Circuit, shots: u64, seed: u64) -> Counts {
         let mut sv = StateVector::zero(circuit.num_qubits());
         let mut measure_map: Vec<(usize, usize)> = Vec::new();
         for op in circuit.ops() {
@@ -66,30 +147,131 @@ impl Executor {
                 _ => unreachable!("fast path precondition violated"),
             }
         }
-        let mut counts = Counts::new(circuit.num_clbits());
-        for _ in 0..shots {
-            let basis = sv.sample(rng);
-            let mut word = 0u64;
-            for &(q, c) in &measure_map {
-                if (basis >> q) & 1 == 1 {
-                    word |= 1 << c;
+        let sv = &sv;
+        let measure_map = &measure_map;
+        self.chunked_counts(
+            circuit.num_clbits(),
+            shots,
+            seed,
+            || (),
+            |(), chunk_shots, rng| {
+                let mut counts = Counts::new(circuit.num_clbits());
+                for _ in 0..chunk_shots {
+                    let basis = sv.sample(rng);
+                    let mut word = 0u64;
+                    for &(q, c) in measure_map {
+                        if (basis >> q) & 1 == 1 {
+                            word |= 1 << c;
+                        }
+                    }
+                    counts.record(word);
                 }
+                counts
+            },
+        )
+    }
+
+    /// Monte-Carlo path: one trajectory per shot on the resolved backend.
+    fn run_trajectories(
+        &self,
+        kind: BackendKind,
+        circuit: &Circuit,
+        shots: u64,
+        seed: u64,
+    ) -> Counts {
+        let engine = kind.build();
+        let engine = &engine;
+        self.chunked_counts(
+            circuit.num_clbits(),
+            shots,
+            seed,
+            || {
+                engine
+                    .init(circuit.num_qubits())
+                    .expect("backend capacity pre-validated by resolve()")
+            },
+            |state, chunk_shots, rng| {
+                let mut counts = Counts::new(circuit.num_clbits());
+                for _ in 0..chunk_shots {
+                    counts.record(self.trajectory(circuit, state.as_mut(), rng));
+                }
+                counts
+            },
+        )
+    }
+
+    /// Partitions `shots` into [`SHOT_CHUNK`]-sized chunks and runs them on
+    /// up to `self.threads` workers. `make_ctx` builds one reusable
+    /// per-worker context (e.g. a simulator state), `run_chunk` executes one
+    /// chunk with a chunk-seeded RNG.
+    ///
+    /// Each chunk's RNG depends only on `(seed, chunk index)` and
+    /// [`Counts::merge`] is commutative outcome-wise addition, so workers
+    /// accumulate locally and the final merge order does not matter — the
+    /// result is bit-identical to the serial loop with only `threads` (not
+    /// `num_chunks`) counts tables alive.
+    fn chunked_counts<C, M, F>(
+        &self,
+        num_clbits: usize,
+        shots: u64,
+        seed: u64,
+        make_ctx: M,
+        run_chunk: F,
+    ) -> Counts
+    where
+        M: Fn() -> C + Sync,
+        F: Fn(&mut C, u64, &mut StdRng) -> Counts + Sync,
+    {
+        let num_chunks = shots.div_ceil(SHOT_CHUNK) as usize;
+        let chunk_shots = |i: usize| (shots - i as u64 * SHOT_CHUNK).min(SHOT_CHUNK);
+        let mut merged = Counts::new(num_clbits);
+        let threads = self.threads.min(num_chunks);
+        if threads <= 1 {
+            let mut ctx = make_ctx();
+            for i in 0..num_chunks {
+                let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                merged.merge(&run_chunk(&mut ctx, chunk_shots(i), &mut rng));
             }
-            counts.record(word);
+            return merged;
         }
-        counts
+        let next = AtomicUsize::new(0);
+        let partials: Mutex<Vec<Counts>> = Mutex::new(Vec::with_capacity(threads));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut ctx = make_ctx();
+                    let mut local = Counts::new(num_clbits);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_chunks {
+                            break;
+                        }
+                        let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
+                        local.merge(&run_chunk(&mut ctx, chunk_shots(i), &mut rng));
+                    }
+                    partials
+                        .lock()
+                        .expect("partial counts poisoned")
+                        .push(local);
+                });
+            }
+        });
+        for partial in partials.into_inner().expect("partial counts poisoned") {
+            merged.merge(&partial);
+        }
+        merged
     }
 
     /// One full Monte-Carlo trajectory; returns the classical outcome word.
-    fn run_trajectory(&self, circuit: &Circuit, rng: &mut StdRng) -> u64 {
-        let mut sv = StateVector::zero(circuit.num_qubits());
+    fn trajectory(&self, circuit: &Circuit, state: &mut dyn BackendState, rng: &mut StdRng) -> u64 {
+        state.reinit();
         let mut clbits = 0u64;
         for op in circuit.ops() {
             match op {
                 Op::Gate { gate, qubits } => {
-                    sv.apply_gate(*gate, qubits);
+                    state.apply_gate(*gate, qubits);
                     for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
-                        pauli.apply(&mut sv, q);
+                        state.apply_pauli(q, pauli);
                     }
                 }
                 Op::CondGate {
@@ -100,14 +282,14 @@ impl Executor {
                 } => {
                     let bit = (clbits >> clbit) & 1 == 1;
                     if bit == *value {
-                        sv.apply_gate(*gate, qubits);
+                        state.apply_gate(*gate, qubits);
                         for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
-                            pauli.apply(&mut sv, q);
+                            state.apply_pauli(q, pauli);
                         }
                     }
                 }
                 Op::Measure { qubit, clbit } => {
-                    let raw = sv.measure(*qubit, rng);
+                    let raw = state.measure(*qubit, rng);
                     let reported = self.noise.sample_readout(raw, rng);
                     if reported {
                         clbits |= 1 << clbit;
@@ -116,11 +298,11 @@ impl Executor {
                     }
                 }
                 Op::Reset { qubit } => {
-                    sv.reset(*qubit, rng);
+                    state.reset(*qubit, rng);
                 }
                 Op::Barrier { .. } => {
-                    for (q, pauli) in self.noise.sample_idle_errors(sv.num_qubits(), rng) {
-                        pauli.apply(&mut sv, q);
+                    for (q, pauli) in self.noise.sample_idle_errors(state.num_qubits(), rng) {
+                        state.apply_pauli(q, pauli);
                     }
                 }
             }
@@ -128,11 +310,40 @@ impl Executor {
         clbits
     }
 
-    /// The exact noiseless outcome distribution for circuits whose
-    /// measurements all come last; falls back to a 16384-shot estimate for
-    /// circuits with mid-circuit measurement or conditionals.
-    pub fn ideal_distribution(circuit: &Circuit, seed: u64) -> Distribution {
-        if measures_only_at_end(circuit) {
+    /// The noiseless outcome distribution: exact for dense-sized circuits
+    /// whose measurements all come last, estimated from
+    /// 16384 auto-dispatched shots otherwise (mid-circuit measurement,
+    /// conditionals, or Clifford circuits past the dense cap). The sampled
+    /// fallback runs single-threaded; pass a worker count through
+    /// [`Executor::try_ideal_distribution_threaded`] when the fallback
+    /// workload is large.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when no backend can run the circuit.
+    pub fn try_ideal_distribution(circuit: &Circuit, seed: u64) -> Result<Distribution, SimError> {
+        Self::try_ideal_distribution_threaded(circuit, seed, 1)
+    }
+
+    /// [`Executor::try_ideal_distribution`] with a worker-thread count for
+    /// the sampled fallback (results are thread-count independent; see the
+    /// module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when no backend can run the circuit.
+    pub fn try_ideal_distribution_threaded(
+        circuit: &Circuit,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Distribution, SimError> {
+        if circuit.num_clbits() > backend::MAX_CLBITS {
+            return Err(SimError::TooManyClbits {
+                num_clbits: circuit.num_clbits(),
+                cap: backend::MAX_CLBITS,
+            });
+        }
+        if measures_only_at_end(circuit) && circuit.num_qubits() <= backend::DENSE_QUBIT_CAP {
             let mut sv = StateVector::zero(circuit.num_qubits());
             let mut measure_map: Vec<(usize, usize)> = Vec::new();
             for op in circuit.ops() {
@@ -157,11 +368,24 @@ impl Executor {
                 let existing = dist.get(word);
                 dist.set(word, existing + p);
             }
-            dist
+            Ok(dist)
         } else {
             Executor::ideal()
-                .run(circuit, 16_384, seed)
-                .to_distribution()
+                .with_threads(threads)
+                .try_run(circuit, DISTRIBUTION_SHOTS, seed)
+                .map(|counts| counts.to_distribution())
+        }
+    }
+
+    /// Panicking wrapper around [`Executor::try_ideal_distribution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the circuit cannot be simulated.
+    pub fn ideal_distribution(circuit: &Circuit, seed: u64) -> Distribution {
+        match Self::try_ideal_distribution(circuit, seed) {
+            Ok(dist) => dist,
+            Err(e) => panic!("simulation failed: {e}"),
         }
     }
 
@@ -206,7 +430,8 @@ pub fn measures_only_at_end(circuit: &Circuit) -> bool {
 }
 
 /// Convenience: sample a random `u64` stream deterministically from a seed
-/// plus an index (used by benches to decorrelate sweeps).
+/// plus an index (used by the shot chunking and by benches to decorrelate
+/// sweeps).
 pub fn derive_seed(seed: u64, index: u64) -> u64 {
     // SplitMix64 step.
     let mut z = seed.wrapping_add(index.wrapping_mul(0x9E3779B97F4A7C15));
@@ -246,6 +471,16 @@ mod tests {
     fn bell() -> Circuit {
         let mut qc = Circuit::new(2, 2);
         qc.h(0).cx(0, 1).measure_all();
+        qc
+    }
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n, n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
         qc
     }
 
@@ -358,5 +593,107 @@ mod tests {
         d.set(1, 0.75);
         let counts = sample_distribution(&d, 20_000, 8);
         assert!((counts.probability(1) - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn forced_backends_agree_on_bell() {
+        let dense = Executor::ideal()
+            .with_backend(BackendChoice::Dense)
+            .run(&bell(), 4000, 11)
+            .to_distribution();
+        let tableau = Executor::ideal()
+            .with_backend(BackendChoice::Tableau)
+            .run(&bell(), 4000, 11)
+            .to_distribution();
+        assert!(dense.tvd(&tableau) < 0.05);
+    }
+
+    #[test]
+    fn auto_dispatch_runs_large_clifford_circuits() {
+        // 49 qubits: far past the dense cap, fine on the tableau.
+        let counts = Executor::ideal().run(&ghz(49), 256, 13);
+        assert_eq!(counts.shots(), 256);
+        assert_eq!(counts.distinct_outcomes(), 2);
+        let all_ones = (1u64 << 49) - 1;
+        assert_eq!(counts.count(0) + counts.count(all_ones), 256);
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors() {
+        // Non-Clifford past the dense cap: no backend can run it.
+        let mut big = Circuit::new(30, 30);
+        big.h(0).t(0).measure(0, 0);
+        assert!(matches!(
+            Executor::ideal().try_run(&big, 16, 0),
+            Err(SimError::QubitCapExceeded {
+                backend: "dense",
+                ..
+            })
+        ));
+        // Forced tableau on a T gate.
+        let mut t = Circuit::new(1, 1);
+        t.t(0).measure(0, 0);
+        assert!(matches!(
+            Executor::ideal()
+                .with_backend(BackendChoice::Tableau)
+                .try_run(&t, 16, 0),
+            Err(SimError::NonCliffordGate { gate: Gate::T })
+        ));
+        // Wide classical register.
+        let wide = Circuit::new(1, 65);
+        assert!(matches!(
+            Executor::ideal().try_run(&wide, 16, 0),
+            Err(SimError::TooManyClbits { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation failed")]
+    fn run_panics_with_the_error_message() {
+        let mut big = Circuit::new(30, 30);
+        big.h(0).t(0).measure(0, 0);
+        Executor::ideal().run(&big, 16, 0);
+    }
+
+    #[test]
+    fn parallel_shots_are_bit_identical_to_serial() {
+        let qc = ghz(8);
+        let noisy = profiles::noisy_nisq();
+        for threads in [2usize, 4, 7] {
+            let serial = Executor::with_noise(noisy.clone()).run(&qc, 5000, 21);
+            let parallel = Executor::with_noise(noisy.clone())
+                .with_threads(threads)
+                .run(&qc, 5000, 21);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // Also on the dense sampling fast path and the tableau path.
+        let fast_serial = Executor::ideal().run(&qc, 5000, 22);
+        let fast_parallel = Executor::ideal().with_threads(4).run(&qc, 5000, 22);
+        assert_eq!(fast_serial, fast_parallel);
+        let tab = Executor::ideal().with_backend(BackendChoice::Tableau);
+        assert_eq!(
+            tab.clone().run(&qc, 3000, 23),
+            tab.with_threads(3).run(&qc, 3000, 23)
+        );
+    }
+
+    #[test]
+    fn shot_totals_survive_chunking() {
+        // Shot counts that are not multiples of SHOT_CHUNK partition cleanly.
+        for shots in [0u64, 1, SHOT_CHUNK - 1, SHOT_CHUNK, SHOT_CHUNK + 1, 2500] {
+            let counts = Executor::ideal().with_threads(4).run(&bell(), shots, 30);
+            assert_eq!(counts.shots(), shots);
+        }
+    }
+
+    #[test]
+    fn try_ideal_distribution_handles_large_clifford() {
+        let dist = Executor::try_ideal_distribution(&ghz(30), 2).unwrap();
+        let all_ones = (1u64 << 30) - 1;
+        assert!((dist.get(0) - 0.5).abs() < 0.05);
+        assert!((dist.get(all_ones) - 0.5).abs() < 0.05);
+        let mut big = Circuit::new(30, 30);
+        big.h(0).t(0).measure(0, 0);
+        assert!(Executor::try_ideal_distribution(&big, 2).is_err());
     }
 }

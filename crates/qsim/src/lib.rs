@@ -1,8 +1,12 @@
 //! # qsim — quantum circuit simulators with noise
 //!
-//! Two complementary backends plus the noise machinery the QEC experiments
-//! need:
+//! Two complementary backends behind one dispatch layer, plus the noise
+//! machinery the QEC experiments need:
 //!
+//! * [`backend`] — the unified simulation-backend layer: circuit
+//!   classification (Clifford / general), the [`backend::Backend`] /
+//!   [`backend::BackendState`] traits, auto-dispatch rules and the typed
+//!   [`backend::SimError`] the fallible execution APIs return.
 //! * [`state`] — a dense state-vector simulator (practical to ~20 qubits)
 //!   used for semantic grading and the Deutsch–Jozsa noise experiments.
 //! * [`kernels`] — the specialized gate-application kernels behind
@@ -34,6 +38,7 @@
 //! assert_eq!(counts.distinct_outcomes(), 2);
 //! ```
 
+pub mod backend;
 pub mod dist;
 pub mod exec;
 pub mod kernels;
@@ -43,6 +48,7 @@ pub mod profiles;
 pub mod stabilizer;
 pub mod state;
 
+pub use backend::{BackendChoice, SimError};
 pub use dist::Counts;
 pub use exec::Executor;
 pub use noise::NoiseModel;

@@ -8,6 +8,8 @@
 //! Reference: S. Aaronson and D. Gottesman, "Improved simulation of
 //! stabilizer circuits", Phys. Rev. A 70, 052328 (2004).
 
+use crate::backend::SimError;
+use crate::dist::Counts;
 use qcir::circuit::{Circuit, Op};
 use qcir::gate::Gate;
 use rand::Rng;
@@ -48,6 +50,20 @@ impl StabilizerSim {
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.n
+    }
+
+    /// Resets the tableau to |0…0> in place, reusing the allocation (the
+    /// trajectory executor calls this once per shot).
+    pub fn reinit(&mut self) {
+        for row in 0..2 * self.n + 1 {
+            self.xs[row].iter_mut().for_each(|w| *w = 0);
+            self.zs[row].iter_mut().for_each(|w| *w = 0);
+            self.rs[row] = 0;
+        }
+        for i in 0..self.n {
+            self.set_x(i, i, true);
+            self.set_z(self.n + i, i, true);
+        }
     }
 
     #[inline]
@@ -231,8 +247,12 @@ impl StabilizerSim {
         let p = (n..2 * n)
             .find(|&row| self.x(row, q))
             .expect("non-deterministic measurement must have such a row");
+        // Aaronson–Gottesman step: rowsum every anticommuting row EXCEPT
+        // `p` and `p - n`. Including `p - n` is tempting (it is overwritten
+        // two lines below anyway) but wrong: its product with row `p` can
+        // carry an imaginary phase, which violates the rowsum invariant.
         for row in 0..2 * n {
-            if row != p && self.x(row, q) {
+            if row != p && row != p - n && self.x(row, q) {
                 self.rowsum(row, p);
             }
         }
@@ -291,10 +311,27 @@ impl StabilizerSim {
 
     /// Runs a full Clifford circuit, returning the classical outcome word.
     ///
-    /// # Panics
+    /// Outcomes are packed `u64` words (classical bit `i` in bit `i`),
+    /// matching [`crate::dist::Counts`]; circuits whose classical register
+    /// does not fit that word are rejected up front instead of silently
+    /// dropping the high bits (the pre-backend-layer behaviour in release
+    /// builds).
     ///
-    /// Panics when the circuit contains non-Clifford gates.
-    pub fn run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> u64 {
+    /// # Errors
+    ///
+    /// [`SimError::TooManyClbits`] when the circuit declares more than
+    /// [`crate::backend::MAX_CLBITS`] classical bits, and
+    /// [`SimError::NonCliffordGate`] on the first non-Clifford gate.
+    pub fn try_run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> Result<u64, SimError> {
+        if circuit.num_clbits() > crate::backend::MAX_CLBITS {
+            return Err(SimError::TooManyClbits {
+                num_clbits: circuit.num_clbits(),
+                cap: crate::backend::MAX_CLBITS,
+            });
+        }
+        if let Some(gate) = crate::backend::first_non_clifford(circuit) {
+            return Err(SimError::NonCliffordGate { gate });
+        }
         let mut sim = StabilizerSim::new(circuit.num_qubits());
         let mut clbits = 0u64;
         for op in circuit.ops() {
@@ -321,7 +358,39 @@ impl StabilizerSim {
                 Op::Barrier { .. } => {}
             }
         }
-        clbits
+        Ok(clbits)
+    }
+
+    /// Panicking wrapper around [`StabilizerSim::try_run_circuit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the circuit contains non-Clifford gates or more
+    /// classical bits than fit one outcome word.
+    pub fn run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> u64 {
+        match Self::try_run_circuit(circuit, rng) {
+            Ok(word) => word,
+            Err(e) => panic!("stabilizer simulation failed: {e}"),
+        }
+    }
+
+    /// Samples `shots` independent trajectories of a Clifford circuit into a
+    /// [`Counts`] table — the distribution-level mirror of the dense
+    /// executor's sampling path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StabilizerSim::try_run_circuit`].
+    pub fn sample_counts(
+        circuit: &Circuit,
+        shots: u64,
+        rng: &mut impl Rng,
+    ) -> Result<Counts, SimError> {
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            counts.record(Self::try_run_circuit(circuit, rng)?);
+        }
+        Ok(counts)
     }
 }
 
@@ -534,6 +603,75 @@ mod tests {
     fn rejects_t_gate() {
         let mut sim = StabilizerSim::new(1);
         sim.apply_gate(Gate::T, &[0]);
+    }
+
+    #[test]
+    fn try_run_circuit_rejects_wide_classical_registers() {
+        // 65 clbits: bit 64 of a u64 word does not exist, so the old code
+        // silently truncated (release) or panicked on shift overflow (debug).
+        let mut qc = Circuit::new(2, 65);
+        qc.x(0).measure(0, 64);
+        let mut rng = StdRng::seed_from_u64(20);
+        assert_eq!(
+            StabilizerSim::try_run_circuit(&qc, &mut rng),
+            Err(SimError::TooManyClbits {
+                num_clbits: 65,
+                cap: 64,
+            })
+        );
+    }
+
+    #[test]
+    fn try_run_circuit_rejects_non_clifford() {
+        let mut qc = Circuit::new(1, 1);
+        qc.t(0).measure(0, 0);
+        let mut rng = StdRng::seed_from_u64(21);
+        assert_eq!(
+            StabilizerSim::try_run_circuit(&qc, &mut rng),
+            Err(SimError::NonCliffordGate { gate: Gate::T })
+        );
+    }
+
+    #[test]
+    fn sample_counts_matches_bell_statistics() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        let mut rng = StdRng::seed_from_u64(22);
+        let counts = StabilizerSim::sample_counts(&qc, 2000, &mut rng).unwrap();
+        assert_eq!(counts.shots(), 2000);
+        assert_eq!(counts.count(0b01) + counts.count(0b10), 0);
+        let p00 = counts.probability(0b00);
+        assert!((p00 - 0.5).abs() < 0.05, "p00 = {p00}");
+    }
+
+    #[test]
+    fn measurement_preserves_phase_invariant_with_y_and_sx() {
+        // Regression: Y;SX leaves the destabilizer with a sign such that
+        // rowsum-ing row p-n during measurement produced an imaginary
+        // intermediate phase (debug assert). The AG update must skip p-n.
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut sim = StabilizerSim::new(1);
+        sim.y_gate(0);
+        sim.apply_gate(Gate::SX, &[0]);
+        // SX Y |0> measures deterministically after collapse; the first
+        // measurement is random and must not panic.
+        let first = sim.measure(0, &mut rng);
+        assert_eq!(sim.measure_determined(0), Some(first));
+    }
+
+    #[test]
+    fn reinit_restores_the_zero_state() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut sim = StabilizerSim::new(3);
+        sim.h(0);
+        sim.cx(0, 1);
+        sim.x_gate(2);
+        sim.measure(0, &mut rng);
+        sim.reinit();
+        assert_eq!(sim, StabilizerSim::new(3));
+        for q in 0..3 {
+            assert_eq!(sim.measure_determined(q), Some(false));
+        }
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl StateVector {
     /// Panics when `num_qubits > 26` (the dense representation would exceed
     /// a gigabyte of amplitudes).
     pub fn zero(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "dense simulation capped at 26 qubits");
+        assert!(
+            num_qubits <= crate::backend::DENSE_QUBIT_CAP,
+            "dense simulation capped at {} qubits",
+            crate::backend::DENSE_QUBIT_CAP
+        );
         let mut amps = vec![C64::ZERO; 1 << num_qubits];
         amps[0] = C64::ONE;
         StateVector {
@@ -75,7 +79,11 @@ impl StateVector {
             "amplitude count must be a power of two"
         );
         let num_qubits = amps.len().trailing_zeros() as usize;
-        assert!(num_qubits <= 26, "dense simulation capped at 26 qubits");
+        assert!(
+            num_qubits <= crate::backend::DENSE_QUBIT_CAP,
+            "dense simulation capped at {} qubits",
+            crate::backend::DENSE_QUBIT_CAP
+        );
         let norm_sqr: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!(norm_sqr > 1e-300, "cannot normalize a zero vector");
         let scale = 1.0 / norm_sqr.sqrt();
@@ -87,6 +95,32 @@ impl StateVector {
             amps,
             scratch: DenseScratch::default(),
         }
+    }
+
+    /// Fallible constructor for the all-zeros state: returns a typed
+    /// [`SimError`](crate::backend::SimError) past the dense cap instead of
+    /// panicking (the backend layer's entry point).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::QubitCapExceeded`](crate::backend::SimError) when
+    /// `num_qubits` exceeds [`crate::backend::DENSE_QUBIT_CAP`].
+    pub fn try_zero(num_qubits: usize) -> Result<Self, crate::backend::SimError> {
+        if num_qubits > crate::backend::DENSE_QUBIT_CAP {
+            return Err(crate::backend::SimError::QubitCapExceeded {
+                backend: "dense",
+                num_qubits,
+                cap: crate::backend::DENSE_QUBIT_CAP,
+            });
+        }
+        Ok(StateVector::zero(num_qubits))
+    }
+
+    /// Resets the state to |0…0> in place, reusing the allocation (the
+    /// trajectory executor calls this once per shot).
+    pub fn reinit(&mut self) {
+        self.amps.fill(C64::ZERO);
+        self.amps[0] = C64::ONE;
     }
 
     /// A specific computational basis state.

@@ -1,0 +1,60 @@
+//! Criterion microbenches: the unified backend layer.
+//!
+//! * `clifford_surface_memory` — the same surface-code syndrome-extraction
+//!   circuit through the tableau backend vs. the dense backend at the
+//!   largest distance both can run (d = 3, 17 qubits), plus tableau-only
+//!   distance 5 (49 qubits, impossible densely). The tableau/dense ratio on
+//!   the d = 3 rows is the speedup CI tracks.
+//! * `parallel_exec` — a 10k-shot noisy GHZ workload at 1 vs. 8 worker
+//!   threads (bit-identical results; the ratio is the wall-clock speedup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcir::circuit::Circuit;
+use qec::surface::SurfaceCode;
+use qsim::backend::BackendChoice;
+use qsim::exec::Executor;
+use qsim::noise::NoiseModel;
+
+const MEMORY_SHOTS: u64 = 16;
+
+fn bench_clifford_surface_memory(c: &mut Criterion) {
+    let noise = NoiseModel::uniform_depolarizing(0.001);
+    let d3 = SurfaceCode::new(3).memory_circuit(2).circuit;
+    let d5 = SurfaceCode::new(5).memory_circuit(2).circuit;
+    let mut group = c.benchmark_group("clifford_surface_memory");
+    group.bench_function("tableau_d3", |b| {
+        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
+        b.iter(|| std::hint::black_box(exec.run(&d3, MEMORY_SHOTS, 1)))
+    });
+    group.bench_function("dense_d3", |b| {
+        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Dense);
+        b.iter(|| std::hint::black_box(exec.run(&d3, MEMORY_SHOTS, 1)))
+    });
+    group.bench_function("tableau_d5", |b| {
+        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
+        b.iter(|| std::hint::black_box(exec.run(&d5, MEMORY_SHOTS, 1)))
+    });
+    group.finish();
+}
+
+fn bench_parallel_exec(c: &mut Criterion) {
+    let mut ghz = Circuit::new(10, 10);
+    ghz.h(0);
+    for q in 0..9 {
+        ghz.cx(q, q + 1);
+    }
+    ghz.measure_all();
+    let noise = qsim::profiles::noisy_nisq();
+    let mut group = c.benchmark_group("parallel_exec");
+    for &threads in &[1usize, 8] {
+        let exec = Executor::with_noise(noise.clone()).with_threads(threads);
+        let name = format!("ghz10_noisy_10k_shots/threads={threads}");
+        group.bench_function(&name, |b| {
+            b.iter(|| std::hint::black_box(exec.run(&ghz, 10_000, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clifford_surface_memory, bench_parallel_exec);
+criterion_main!(benches);

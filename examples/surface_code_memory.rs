@@ -5,14 +5,22 @@
 //! cargo run --example surface_code_memory --release
 //! ```
 //!
-//! Sweeps physical error rates for distances 3 and 5 under the union-find
-//! decoder and prints the logical error rate plus the lifetime-extension
-//! factor — the quantity the QEC agent feeds into the Figure 4(c)
-//! re-simulation.
+//! Part 1 sweeps physical error rates for distances 3 and 5 under the
+//! union-find decoder (code-capacity noise) and prints the logical error
+//! rate plus the lifetime-extension factor — the quantity the QEC agent
+//! feeds into the Figure 4(c) re-simulation.
+//!
+//! Part 2 runs the *circuit-level* experiment: the code is lowered to its
+//! syndrome-extraction circuit (49 qubits at distance 5) and executed
+//! through `qsim`'s `Executor` on the stabilizer-tableau backend — a
+//! workload no dense simulator can touch — with gate-level depolarizing
+//! noise and space-time decoding.
 
-use qugen::qec::memory::{code_capacity_experiment, DecoderKind};
+use qugen::qec::memory::{circuit_level_experiment, code_capacity_experiment, DecoderKind};
+use qugen::qsim::noise::NoiseModel;
 
 pub fn main() {
+    println!("code capacity (perfect syndrome extraction):");
     println!("| d | p | p_logical | lifetime extension |");
     println!("|---|---|---|---|");
     for &d in &[3usize, 5] {
@@ -26,7 +34,21 @@ pub fn main() {
         }
     }
     println!();
+    println!("circuit level (tableau backend, 2 extraction rounds):");
+    println!("| d | qubits | p2q | p_logical |");
+    println!("|---|---|---|---|");
+    for &d in &[3usize, 5] {
+        for &p in &[0.001, 0.004] {
+            let noise = NoiseModel::uniform_depolarizing(p);
+            let r = circuit_level_experiment(d, &noise, 2, 1500, 7)
+                .expect("memory circuits are always tableau-simulable");
+            println!("| {d} | {} | {p} | {:.5} |", 2 * d * d - 1, r.p_logical);
+        }
+    }
+    println!();
     println!("Below threshold (~10% for this noise model), the logical error");
     println!("rate falls well under the physical rate and improves with d —");
     println!("this is the \"extended average qubit lifetime\" of the paper's §IV-B.");
+    println!("The circuit-level rows run a 49-qubit Clifford circuit through the");
+    println!("unified backend layer's tableau dispatch — impossible densely.");
 }
