@@ -213,9 +213,11 @@ mod tests {
 
     #[test]
     fn compare_surfaces_sim_errors_instead_of_panicking() {
-        // Non-Clifford past the dense cap: no admissible backend.
+        // Non-Clifford AND long-range past the dense cap: no admissible
+        // backend (short-range general circuits dispatch to the MPS
+        // engine instead).
         let mut big = Circuit::new(30, 30);
-        big.h(0).t(0).measure_all();
+        big.h(0).t(0).cp(0.4, 0, 29).measure_all();
         let agent = QecAgent::new(Topology::grid(7, 7), 0.02);
         match agent.compare(&big, &profiles::noisy_nisq(), 64, 3) {
             Err(QecAgentError::Sim(SimError::QubitCapExceeded { .. })) => {}

@@ -65,19 +65,25 @@ mod tests {
 
     #[test]
     fn teleporting_one_always_delivers_one() {
-        let counts = Executor::ideal().run(&teleport_one(), 2000, 17);
+        let counts = Executor::ideal()
+            .try_run(&teleport_one(), 2000, 17)
+            .expect("teleport circuits are dense-simulable");
         assert!((prob_c2_one(&counts) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn teleporting_zero_always_delivers_zero() {
-        let counts = Executor::ideal().run(&teleport(Gate::Id), 2000, 18);
+        let counts = Executor::ideal()
+            .try_run(&teleport(Gate::Id), 2000, 18)
+            .expect("teleport circuits are dense-simulable");
         assert!(prob_c2_one(&counts) < 1e-12);
     }
 
     #[test]
     fn teleporting_plus_is_unbiased() {
-        let counts = Executor::ideal().run(&teleport_plus(), 20_000, 19);
+        let counts = Executor::ideal()
+            .try_run(&teleport_plus(), 20_000, 19)
+            .expect("teleport circuits are dense-simulable");
         let p = prob_c2_one(&counts);
         assert!((p - 0.5).abs() < 0.02, "p = {p}");
     }
@@ -85,7 +91,9 @@ mod tests {
     #[test]
     fn teleporting_ry_preserves_amplitude() {
         let theta = 1.234_f64;
-        let counts = Executor::ideal().run(&teleport(Gate::RY(theta)), 40_000, 20);
+        let counts = Executor::ideal()
+            .try_run(&teleport(Gate::RY(theta)), 40_000, 20)
+            .expect("teleport circuits are dense-simulable");
         let p = prob_c2_one(&counts);
         let expected = (theta / 2.0).sin().powi(2);
         assert!((p - expected).abs() < 0.02, "p = {p}, expected {expected}");
@@ -93,7 +101,9 @@ mod tests {
 
     #[test]
     fn bell_measurement_outcomes_are_uniform() {
-        let counts = Executor::ideal().run(&teleport_one(), 20_000, 21);
+        let counts = Executor::ideal()
+            .try_run(&teleport_one(), 20_000, 21)
+            .expect("teleport circuits are dense-simulable");
         for c0c1 in 0..4u64 {
             let mass: u64 = counts
                 .iter()

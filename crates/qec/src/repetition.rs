@@ -141,7 +141,9 @@ mod tests {
     fn encode_circuit_is_consistent() {
         let code = RepetitionCode::new(3);
         let qc = code.encode_circuit(true);
-        let counts = Executor::ideal().run(&qc, 200, 4);
+        let counts = Executor::ideal()
+            .try_run(&qc, 200, 4)
+            .expect("repetition-code circuits are dense-simulable");
         // Noiseless: parity checks all zero, data all ones.
         // clbits: 0..2 parity, 2..5 data.
         let expected = 0b11100_u64;

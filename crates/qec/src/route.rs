@@ -285,7 +285,9 @@ mod tests {
         let device = Topology::line(5);
         let routed = route(&qc, &device).expect("routes");
         assert!(respects_topology(&routed.circuit, &device));
-        let counts = Executor::ideal().run(&routed.circuit, 1000, 3);
+        let counts = Executor::ideal()
+            .try_run(&routed.circuit, 1000, 3)
+            .expect("routed teleport is dense-simulable");
         // c2 (the teleported qubit) must always read 1.
         for (word, count) in counts.iter() {
             if count > 0 {

@@ -34,28 +34,59 @@ pub const GRADING_SEED: u64 = 0xE7A1;
 /// arbitrary generated code, exactly like the pre-backend-layer 22-qubit
 /// guard. Clifford circuits are exempt — they grade on the tableau backend
 /// up to [`qsim::backend::MAX_CLBITS`] classical bits, which is what makes
-/// distance-5 surface-code tasks (49 qubits) gradeable.
+/// distance-5 surface-code tasks (49 qubits) gradeable — and so are
+/// short-range general circuits, which grade on the MPS backend.
 pub const GRADING_DENSE_QUBIT_CAP: usize = 22;
 
-/// Checks that the grading executors can simulate `circuit`: Clifford
-/// circuits preflight against the tableau backend, everything else against
-/// the dense backend under the stricter [`GRADING_DENSE_QUBIT_CAP`].
+/// Picks the grading backend for `circuit` — the cap is three-way
+/// class-aware:
+///
+/// * Clifford circuits grade through auto dispatch (dense when small,
+///   tableau when large) up to the 64-classical-bit outcome word;
+/// * general circuits at or under [`GRADING_DENSE_QUBIT_CAP`] qubits grade
+///   through auto dispatch on the dense engine;
+/// * general circuits above the cap whose multi-qubit gates stay within
+///   [`qsim::backend::AUTO_MPS_MAX_RANGE`] sites grade on the MPS backend
+///   at [`qsim::backend::MPS_DEFAULT_MAX_BOND`] (with the executor's
+///   truncation budget guarding fidelity);
+/// * everything else is refused with the grading-guard
+///   [`SimError::QubitCapExceeded`].
 ///
 /// # Errors
 ///
-/// The [`SimError`] the responsible backend reports.
-pub fn grading_preflight(circuit: &Circuit) -> Result<(), SimError> {
+/// The [`SimError`] of the first refusing rule.
+pub fn grading_backend(circuit: &Circuit) -> Result<BackendChoice, SimError> {
     if backend::classify(circuit).is_clifford() {
-        backend::resolve(BackendChoice::Tableau, circuit).map(|_| ())
-    } else if circuit.num_qubits() > GRADING_DENSE_QUBIT_CAP {
+        backend::resolve(BackendChoice::Tableau, circuit)?;
+        Ok(BackendChoice::Auto)
+    } else if circuit.num_qubits() <= GRADING_DENSE_QUBIT_CAP {
+        backend::resolve(BackendChoice::Dense, circuit)?;
+        Ok(BackendChoice::Auto)
+    } else if backend::interaction_range(circuit) <= backend::AUTO_MPS_MAX_RANGE
+        && circuit.num_qubits() <= backend::MPS_QUBIT_CAP
+    {
+        let choice = BackendChoice::Mps {
+            max_bond: backend::MPS_DEFAULT_MAX_BOND,
+        };
+        backend::resolve(choice, circuit)?;
+        Ok(choice)
+    } else {
         Err(SimError::QubitCapExceeded {
             backend: "dense (grading guard)",
             num_qubits: circuit.num_qubits(),
             cap: GRADING_DENSE_QUBIT_CAP,
         })
-    } else {
-        backend::resolve(BackendChoice::Dense, circuit).map(|_| ())
     }
+}
+
+/// Checks that the grading executors can simulate `circuit` (the
+/// validation half of [`grading_backend`]).
+///
+/// # Errors
+///
+/// The [`SimError`] the responsible backend reports.
+pub fn grading_preflight(circuit: &Circuit) -> Result<(), SimError> {
+    grading_backend(circuit).map(|_| ())
 }
 
 /// Grading outcome detail.
@@ -130,7 +161,8 @@ pub fn grade_source_with_threads(source: &str, spec: &TaskSpec, sim_threads: usi
             tvd: None,
         };
     }
-    if grading_preflight(&circuit).is_err() || grading_preflight(&reference).is_err() {
+    let (Ok(choice_c), Ok(choice_r)) = (grading_backend(&circuit), grading_backend(&reference))
+    else {
         // No admissible backend (absurd general register sizes, >64 clbits,
         // …): grade as semantically wrong rather than attempting to
         // simulate. Clifford circuits sail through up to 64 classical bits.
@@ -140,7 +172,7 @@ pub fn grade_source_with_threads(source: &str, spec: &TaskSpec, sim_threads: usi
             diagnostics: outcome.diagnostics,
             tvd: None,
         };
-    }
+    };
 
     let small = circuit.num_qubits() <= GRADING_DENSE_QUBIT_CAP
         && reference.num_qubits() <= GRADING_DENSE_QUBIT_CAP;
@@ -154,20 +186,49 @@ pub fn grade_source_with_threads(source: &str, spec: &TaskSpec, sim_threads: usi
             TVD_TOLERANCE_EXACT,
         )
     } else {
-        // Sampled path: auto-dispatch routes Clifford circuits past the
-        // dense grading cap onto the tableau backend, and parallel shot
-        // chunking (deterministic in the seed, independent of the thread
-        // count) keeps large-register grading fast.
+        // Sampled path: [`grading_backend`] routes each circuit to its
+        // class's engine (tableau for large Clifford, MPS for short-range
+        // large general circuits), and the candidate/reference pair runs
+        // through one `try_run_batch` call when the backends agree, so
+        // backend resolution and worker-pool spin-up happen once per grade.
         let shots = if small {
             GRADING_SHOTS
         } else {
             GRADING_SHOTS_LARGE
         };
         let exec = Executor::ideal().with_threads(sim_threads.max(1));
+        let (candidate, reference_counts) = if choice_c == choice_r {
+            let mut results = exec.with_backend(choice_c).try_run_batch(&[
+                (&circuit, shots, GRADING_SEED),
+                (&reference, shots, GRADING_SEED ^ 0x5555),
+            ]);
+            let second = results.pop().expect("two batch results");
+            let first = results.pop().expect("two batch results");
+            (first, second)
+        } else {
+            (
+                exec.clone()
+                    .with_backend(choice_c)
+                    .try_run(&circuit, shots, GRADING_SEED),
+                exec.with_backend(choice_r)
+                    .try_run(&reference, shots, GRADING_SEED ^ 0x5555),
+            )
+        };
+        let (Ok(candidate), Ok(reference_counts)) = (candidate, reference_counts) else {
+            // A run-time refusal (e.g. the MPS truncation budget tripping
+            // on a candidate that entangles far more than its class
+            // suggested): grade as semantically wrong, never trust
+            // low-fidelity counts.
+            return GradeDetail {
+                syntactic_ok: true,
+                semantic_ok: false,
+                diagnostics: outcome.diagnostics,
+                tvd: None,
+            };
+        };
         (
-            exec.run(&circuit, shots, GRADING_SEED).to_distribution(),
-            exec.run(&reference, shots, GRADING_SEED ^ 0x5555)
-                .to_distribution(),
+            candidate.to_distribution(),
+            reference_counts.to_distribution(),
             TVD_TOLERANCE_SAMPLED,
         )
     };
@@ -287,12 +348,13 @@ mod tests {
     }
 
     #[test]
-    fn large_general_circuit_still_refused() {
-        // A non-Clifford 25-qubit program trips the dense grading guard and
-        // fails semantically without being simulated.
+    fn large_longrange_general_circuit_still_refused() {
+        // A non-Clifford 25-qubit program with a long-range entangler trips
+        // the grading guard (not even MPS-eligible) and fails semantically
+        // without being simulated.
         let mut src =
             String::from("import qasmlite 2.1;\nqreg q[25];\ncreg c[25];\nh q[0];\nt q[0];\n");
-        src.push_str("measure q -> c;\n");
+        src.push_str("cp(0.4) q[0], q[24];\nmeasure q -> c;\n");
         let detail = grade_source(&src, &TaskSpec::Ghz { n: 25 });
         assert!(detail.syntactic_ok);
         assert!(!detail.semantic_ok);
@@ -300,14 +362,41 @@ mod tests {
     }
 
     #[test]
+    fn large_shortrange_general_circuit_grades_on_mps() {
+        // 25 non-Clifford qubits with nearest-neighbor gates only: over the
+        // dense grading cap, but the three-way class-aware cap routes it to
+        // the MPS backend and it actually simulates (here against the wrong
+        // reference, so it fails with a *measured* TVD, not a refusal).
+        let mut src = String::from("import qasmlite 2.1;\nqreg q[25];\ncreg c[25];\n");
+        for q in 0..25 {
+            src.push_str(&format!("h q[{q}];\nt q[{q}];\n"));
+        }
+        src.push_str("measure q -> c;\n");
+        let detail = grade_source(&src, &TaskSpec::Ghz { n: 25 });
+        assert!(detail.syntactic_ok);
+        assert!(!detail.semantic_ok);
+        assert!(detail.tvd.expect("simulated via MPS") > 0.5);
+    }
+
+    #[test]
     fn grading_preflight_reports_typed_errors() {
         let mut clifford_big = Circuit::new(49, 49);
         clifford_big.h(0);
         assert!(grading_preflight(&clifford_big).is_ok());
+        // Short-range general circuits over the dense cap are MPS-eligible…
         let mut general_big = Circuit::new(25, 25);
         general_big.t(0);
+        assert_eq!(
+            grading_backend(&general_big),
+            Ok(qsim::backend::BackendChoice::Mps {
+                max_bond: qsim::backend::MPS_DEFAULT_MAX_BOND
+            })
+        );
+        // …long-range ones are refused by the grading guard.
+        let mut general_wide = Circuit::new(25, 25);
+        general_wide.t(0).cp(0.3, 0, 24);
         assert!(matches!(
-            grading_preflight(&general_big),
+            grading_preflight(&general_wide),
             Err(SimError::QubitCapExceeded {
                 cap: GRADING_DENSE_QUBIT_CAP,
                 ..

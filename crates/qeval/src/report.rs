@@ -4,6 +4,15 @@
 //! per-sample seeds depend only on `(seed, task index, sample index)` and
 //! per-task partial results are folded in task order, so the outcome is
 //! bit-identical to [`evaluate`] for every thread count.
+//!
+//! Within each graded sample, the candidate/reference circuit pair routes
+//! through [`qsim::exec::Executor::try_run_batch`] (see
+//! [`crate::grade::grade_source_with_threads`]). When a grade runs with
+//! multiple simulator worker threads — the serial [`evaluate`] path, which
+//! grades with the host's full width — backend resolution and shot-pool
+//! spin-up happen once per grade instead of once per circuit. Parallel
+//! eval workers grade with one simulator thread (so pools do not nest),
+//! where the batch call degrades to two sequential `try_run`s by design.
 
 use crate::grade::grade_source_with_threads;
 use crate::suite::Task;
@@ -140,7 +149,9 @@ pub fn evaluate(
 /// Parallel task×sample evaluation driver: grades tasks on up to `threads`
 /// workers. Per-sample seeds and the fold order depend only on the inputs,
 /// so the outcome is bit-identical to the serial [`evaluate`] for every
-/// thread count.
+/// thread count. Each sample's candidate/reference simulation pair routes
+/// through the batch execution API; see the module docs for when that
+/// amortizes pool spin-up.
 pub fn evaluate_parallel(
     llm: &CodeLlm,
     tasks: &[Task],

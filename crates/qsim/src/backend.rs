@@ -1,25 +1,31 @@
 //! The unified simulation-backend layer.
 //!
 //! Every way of executing a circuit in this workspace goes through one of
-//! two engines: the dense state vector ([`crate::state::StateVector`],
-//! exponential in qubit count, exact for arbitrary gates) or the
+//! three engines: the dense state vector ([`crate::state::StateVector`],
+//! exponential in qubit count, exact for arbitrary gates), the
 //! Aaronson–Gottesman tableau ([`crate::stabilizer::StabilizerSim`],
-//! polynomial, Clifford-only). This module gives them a common face:
+//! polynomial, Clifford-only), or the matrix-product state
+//! ([`crate::mps::MpsState`], polynomial in qubits at fixed bond dimension
+//! χ, arbitrary gates but approximate once entanglement exceeds χ). This
+//! module gives them a common face:
 //!
 //! * [`classify`] — a circuit-analysis pass that buckets a [`Circuit`] into
 //!   a [`CircuitClass`] (Clifford unitary / Clifford with measurement and
-//!   classical control / general) by walking its ops.
+//!   classical control / general) by walking its ops;
+//!   [`interaction_range`] measures how far apart multi-qubit gates reach,
+//!   the locality signal the MPS heuristic keys on.
 //! * [`BackendChoice`] — the caller-facing selector: [`BackendChoice::Auto`]
 //!   (the default) picks the tableau for Clifford circuits too large for a
-//!   comfortable dense run and the dense engine otherwise; `Dense` and
-//!   `Tableau` force an engine and fail loudly when it cannot run the
-//!   circuit.
+//!   comfortable dense run, the MPS engine for over-cap general circuits
+//!   with short-range interactions, and the dense engine otherwise;
+//!   `Dense`, `Tableau` and `Mps` force an engine and fail loudly when it
+//!   cannot run the circuit.
 //! * [`resolve`] — the dispatch rule itself, returning a [`BackendKind`] or
 //!   a typed [`SimError`] instead of panicking at a capacity cap.
 //! * [`Backend`] / [`BackendState`] — the object-safe traits the executor
 //!   drives: gate application, Pauli error injection, measurement, reset
-//!   and reinitialisation, implemented by [`DenseBackend`] and
-//!   [`TableauBackend`].
+//!   and reinitialisation, implemented by [`DenseBackend`],
+//!   [`TableauBackend`] and [`MpsBackend`].
 //!
 //! # Dispatch rules (`BackendChoice::Auto`)
 //!
@@ -28,7 +34,13 @@
 //! | Clifford (incl. measure/reset/conditionals) | ≤ [`AUTO_DENSE_MAX_QUBITS`] | dense |
 //! | Clifford | > [`AUTO_DENSE_MAX_QUBITS`] | tableau |
 //! | general | ≤ [`DENSE_QUBIT_CAP`] | dense |
-//! | general | > [`DENSE_QUBIT_CAP`] | [`SimError::QubitCapExceeded`] |
+//! | general, [`interaction_range`] ≤ [`AUTO_MPS_MAX_RANGE`] | > [`DENSE_QUBIT_CAP`] | mps (χ = [`MPS_DEFAULT_MAX_BOND`]) |
+//! | general, long-range | > [`DENSE_QUBIT_CAP`] | [`SimError::QubitCapExceeded`] |
+//!
+//! MPS runs are approximate when the circuit's entanglement exceeds the
+//! bond bound; the accumulated fidelity loss is tracked per run and
+//! surfaces as the typed [`SimError::TruncationBudgetExceeded`] when it
+//! passes the executor's budget — never silently.
 //!
 //! All engines share the [`MAX_CLBITS`] classical-register cap: outcomes
 //! travel as packed `u64` words through [`crate::dist::Counts`], so a
@@ -36,10 +48,11 @@
 //! silently truncating high bits.
 //!
 //! Pauli noise channels ([`crate::noise::NoiseModel`]) are
-//! backend-agnostic: both states implement
+//! backend-agnostic: every state implements
 //! [`BackendState::apply_pauli`], so depolarizing/idle errors and classical
-//! readout flips work identically on either engine.
+//! readout flips work identically on all three engines.
 
+use crate::mps::MpsState;
 use crate::noise::Pauli;
 use crate::stabilizer::StabilizerSim;
 use crate::state::StateVector;
@@ -47,6 +60,7 @@ use qcir::circuit::{Circuit, Op};
 use qcir::gate::Gate;
 use rand::RngCore;
 use std::fmt;
+use std::str::FromStr;
 
 /// Hard cap on dense simulation (the amplitude vector would exceed a
 /// gigabyte past this). Mirrors the assertion in [`StateVector::zero`].
@@ -65,6 +79,22 @@ pub const AUTO_DENSE_MAX_QUBITS: usize = 12;
 /// Classical-register cap: outcomes are packed `u64` words in
 /// [`crate::dist::Counts`], so at most 64 classical bits per circuit.
 pub const MAX_CLBITS: usize = 64;
+
+/// Sanity cap on MPS simulation: memory is `O(n·χ²)`, so thousands of
+/// qubits are representable, but nothing in this workspace goes near it.
+pub const MPS_QUBIT_CAP: usize = 1024;
+
+/// Bond-dimension bound used when [`BackendChoice::Auto`] dispatches to
+/// the MPS engine (callers wanting a different χ force
+/// [`BackendChoice::Mps`] explicitly).
+pub const MPS_DEFAULT_MAX_BOND: usize = 64;
+
+/// Under [`BackendChoice::Auto`], a general circuit past the dense cap
+/// dispatches to the MPS engine only when every multi-qubit gate spans at
+/// most this many sites ([`interaction_range`]): short-range circuits keep
+/// their SWAP-routing overhead small and are the regime where bounded-χ
+/// simulation is trustworthy.
+pub const AUTO_MPS_MAX_RANGE: usize = 8;
 
 /// A typed simulation failure, returned by the fallible execution entry
 /// points ([`crate::exec::Executor::try_run`] and friends) instead of the
@@ -93,6 +123,22 @@ pub enum SimError {
         /// The representation cap ([`MAX_CLBITS`]).
         cap: usize,
     },
+    /// An MPS run truncated more than the executor's budget allows: the
+    /// produced counts would come from a state whose fidelity loss can
+    /// exceed what the caller accepted. Raise the bond dimension, raise
+    /// the budget ([`crate::exec::Executor::with_truncation_budget`]), or
+    /// use an exact engine.
+    TruncationBudgetExceeded {
+        /// The bond-dimension bound the run used.
+        max_bond: usize,
+        /// Worst per-trajectory truncation-infidelity bound observed
+        /// across the run (`(Σ√(2δ))²` over each trajectory's discarded
+        /// weights δ, clamped to 1 — rigorous, not a first-order
+        /// estimate).
+        error_bound: f64,
+        /// The budget that was exceeded.
+        budget: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -112,6 +158,15 @@ impl fmt::Display for SimError {
             SimError::TooManyClbits { num_clbits, cap } => write!(
                 f,
                 "classical register of {num_clbits} bits exceeds the {cap}-bit outcome word"
+            ),
+            SimError::TruncationBudgetExceeded {
+                max_bond,
+                error_bound,
+                budget,
+            } => write!(
+                f,
+                "mps run at bond dimension {max_bond} reached a truncation-infidelity bound \
+                 of {error_bound:.3e}, over the {budget:.3e} truncation budget"
             ),
         }
     }
@@ -183,6 +238,29 @@ pub fn first_non_clifford(circuit: &Circuit) -> Option<Gate> {
     })
 }
 
+/// The widest span any multi-qubit gate covers: `max(q_max − q_min)` over
+/// all gate and conditional-gate ops (0 for single-qubit-only circuits).
+///
+/// On the MPS engine a gate spanning `w` sites costs `O(w)` transient
+/// SWAPs, and circuits whose gates stay short-range are exactly the
+/// low-entanglement regime where bounded bond dimension is faithful — so
+/// [`BackendChoice::Auto`] only routes to MPS below [`AUTO_MPS_MAX_RANGE`].
+pub fn interaction_range(circuit: &Circuit) -> usize {
+    circuit
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            Op::Gate { qubits, .. } | Op::CondGate { qubits, .. } if qubits.len() > 1 => {
+                let lo = qubits.iter().min().expect("non-empty operand list");
+                let hi = qubits.iter().max().expect("non-empty operand list");
+                Some(hi - lo)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 /// Caller-facing backend selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendChoice {
@@ -194,15 +272,68 @@ pub enum BackendChoice {
     Dense,
     /// Force the stabilizer-tableau engine (Clifford circuits only).
     Tableau,
+    /// Force the matrix-product-state engine with the given bond bound.
+    Mps {
+        /// Maximum bond dimension χ (clamped to ≥ 1 by the engine).
+        max_bond: usize,
+    },
 }
 
 impl fmt::Display for BackendChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            BackendChoice::Auto => "auto",
-            BackendChoice::Dense => "dense",
-            BackendChoice::Tableau => "tableau",
-        })
+        match self {
+            BackendChoice::Auto => f.write_str("auto"),
+            BackendChoice::Dense => f.write_str("dense"),
+            BackendChoice::Tableau => f.write_str("tableau"),
+            BackendChoice::Mps { max_bond } => write!(f, "mps:{max_bond}"),
+        }
+    }
+}
+
+impl FromStr for BackendChoice {
+    type Err = String;
+
+    /// Parses `auto`, `dense`, `tableau`, `mps`, or `mps:<χ>` (the format
+    /// the `QUGEN_BACKEND` environment variable uses).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(BackendChoice::Auto),
+            "dense" => Ok(BackendChoice::Dense),
+            "tableau" => Ok(BackendChoice::Tableau),
+            "mps" => Ok(BackendChoice::Mps {
+                max_bond: MPS_DEFAULT_MAX_BOND,
+            }),
+            other => {
+                if let Some(chi) = other.strip_prefix("mps:") {
+                    let max_bond: usize = chi
+                        .parse()
+                        .map_err(|_| format!("invalid mps bond dimension `{chi}`"))?;
+                    if max_bond == 0 {
+                        return Err("mps bond dimension must be at least 1".into());
+                    }
+                    Ok(BackendChoice::Mps { max_bond })
+                } else {
+                    Err(format!(
+                        "unknown backend `{other}` (expected auto|dense|tableau|mps[:χ])"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Reads the `QUGEN_BACKEND` environment variable (`auto|dense|tableau|`
+/// `mps[:χ]`) so benches and examples are backend-scriptable from CI
+/// without code edits. Unset means [`BackendChoice::Auto`].
+///
+/// # Panics
+///
+/// Panics on an unparseable value — a misspelled CI matrix entry should
+/// fail the job, not silently fall back.
+pub fn choice_from_env() -> BackendChoice {
+    match std::env::var("QUGEN_BACKEND") {
+        Ok(v) => v.parse().unwrap_or_else(|e| panic!("QUGEN_BACKEND: {e}")),
+        Err(_) => BackendChoice::Auto,
     }
 }
 
@@ -213,6 +344,11 @@ pub enum BackendKind {
     Dense,
     /// Stabilizer-tableau simulation.
     Tableau,
+    /// Matrix-product-state simulation at the given bond bound.
+    Mps {
+        /// Maximum bond dimension χ.
+        max_bond: usize,
+    },
 }
 
 impl BackendKind {
@@ -221,14 +357,16 @@ impl BackendKind {
         match self {
             BackendKind::Dense => "dense",
             BackendKind::Tableau => "tableau",
+            BackendKind::Mps { .. } => "mps",
         }
     }
 
     /// Instantiates the engine behind the [`Backend`] trait.
     pub fn build(&self) -> Box<dyn Backend> {
-        match self {
+        match *self {
             BackendKind::Dense => Box::new(DenseBackend),
             BackendKind::Tableau => Box::new(TableauBackend),
+            BackendKind::Mps { max_bond } => Box::new(MpsBackend::new(max_bond)),
         }
     }
 }
@@ -280,12 +418,29 @@ pub fn resolve(choice: BackendChoice, circuit: &Circuit) -> Result<BackendKind, 
             })
         }
     };
+    let mps_ok = |max_bond: usize| {
+        if n <= MPS_QUBIT_CAP {
+            Ok(BackendKind::Mps { max_bond })
+        } else {
+            Err(SimError::QubitCapExceeded {
+                backend: "mps",
+                num_qubits: n,
+                cap: MPS_QUBIT_CAP,
+            })
+        }
+    };
     match choice {
         BackendChoice::Dense => dense_ok("dense"),
         BackendChoice::Tableau => tableau_ok(),
+        BackendChoice::Mps { max_bond } => mps_ok(max_bond),
         BackendChoice::Auto => {
             if classify(circuit).is_clifford() && n > AUTO_DENSE_MAX_QUBITS {
                 tableau_ok()
+            } else if n > DENSE_QUBIT_CAP && interaction_range(circuit) <= AUTO_MPS_MAX_RANGE {
+                // General circuit past the dense cap but with short-range
+                // interactions: the low-entanglement regime the MPS engine
+                // targets. Long-range circuits keep the dense refusal below.
+                mps_ok(MPS_DEFAULT_MAX_BOND)
             } else {
                 dense_ok("dense")
             }
@@ -350,6 +505,14 @@ pub trait BackendState: Send {
 
     /// Resets `qubit` to |0>.
     fn reset(&mut self, qubit: usize, rng: &mut dyn RngCore);
+
+    /// Upper bound on the fidelity loss this state has accumulated from
+    /// engine approximations (the MPS truncation ledger's rigorous
+    /// `(Σ√(2δ))²` bound, maximized across the trajectories the state has
+    /// run). Exact engines return 0.
+    fn truncation_error(&self) -> f64 {
+        0.0
+    }
 }
 
 /// The dense state-vector engine.
@@ -474,6 +637,100 @@ impl BackendState for TableauState {
     }
 }
 
+/// The matrix-product-state engine with a configured bond bound.
+#[derive(Debug, Clone, Copy)]
+pub struct MpsBackend {
+    max_bond: usize,
+}
+
+impl MpsBackend {
+    /// An MPS engine truncating at bond dimension `max_bond` (clamped ≥ 1).
+    pub fn new(max_bond: usize) -> Self {
+        MpsBackend {
+            max_bond: max_bond.max(1),
+        }
+    }
+
+    /// The configured bond bound.
+    pub fn max_bond(&self) -> usize {
+        self.max_bond
+    }
+}
+
+impl Default for MpsBackend {
+    fn default() -> Self {
+        MpsBackend::new(MPS_DEFAULT_MAX_BOND)
+    }
+}
+
+impl Backend for MpsBackend {
+    fn name(&self) -> &'static str {
+        "mps"
+    }
+
+    fn qubit_cap(&self) -> usize {
+        MPS_QUBIT_CAP
+    }
+
+    fn supports(&self, circuit: &Circuit) -> Result<(), SimError> {
+        resolve(
+            BackendChoice::Mps {
+                max_bond: self.max_bond,
+            },
+            circuit,
+        )
+        .map(|_| ())
+    }
+
+    fn init(&self, num_qubits: usize) -> Result<Box<dyn BackendState>, SimError> {
+        if num_qubits > MPS_QUBIT_CAP {
+            return Err(SimError::QubitCapExceeded {
+                backend: "mps",
+                num_qubits,
+                cap: MPS_QUBIT_CAP,
+            });
+        }
+        Ok(Box::new(MpsBackendState(MpsState::new(
+            num_qubits,
+            self.max_bond,
+        ))))
+    }
+}
+
+/// [`BackendState`] over an [`MpsState`].
+#[derive(Debug, Clone)]
+struct MpsBackendState(MpsState);
+
+impl BackendState for MpsBackendState {
+    fn num_qubits(&self) -> usize {
+        self.0.num_qubits()
+    }
+
+    fn reinit(&mut self) {
+        self.0.reinit();
+    }
+
+    fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        self.0.apply_gate(gate, qubits);
+    }
+
+    fn apply_pauli(&mut self, qubit: usize, pauli: Pauli) {
+        self.0.apply_pauli(qubit, pauli);
+    }
+
+    fn measure(&mut self, qubit: usize, mut rng: &mut dyn RngCore) -> bool {
+        self.0.measure(qubit, &mut rng)
+    }
+
+    fn reset(&mut self, qubit: usize, mut rng: &mut dyn RngCore) {
+        self.0.reset(qubit, &mut rng);
+    }
+
+    fn truncation_error(&self) -> f64 {
+        self.0.truncation_error()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,8 +778,11 @@ mod tests {
             resolve(BackendChoice::Auto, &ghz(AUTO_DENSE_MAX_QUBITS + 1)).unwrap(),
             BackendKind::Tableau
         );
+        // Long-range general circuit past the dense cap: no admissible
+        // engine (the MPS heuristic refuses wide interactions).
         let mut big_general = Circuit::new(30, 30);
-        big_general.h(0).t(0);
+        big_general.h(0).t(0).cp(0.3, 0, 29);
+        assert!(interaction_range(&big_general) > AUTO_MPS_MAX_RANGE);
         assert_eq!(
             resolve(BackendChoice::Auto, &big_general),
             Err(SimError::QubitCapExceeded {
@@ -531,6 +791,85 @@ mod tests {
                 cap: DENSE_QUBIT_CAP,
             })
         );
+    }
+
+    #[test]
+    fn auto_dispatches_short_range_general_circuits_to_mps() {
+        // 30 qubits, nearest-neighbor non-Clifford gates: over the dense
+        // cap but MPS-eligible.
+        let mut qc = Circuit::new(30, 30);
+        for q in 0..29 {
+            qc.t(q);
+            qc.cx(q, q + 1);
+        }
+        assert_eq!(classify(&qc), CircuitClass::General);
+        assert_eq!(interaction_range(&qc), 1);
+        assert_eq!(
+            resolve(BackendChoice::Auto, &qc).unwrap(),
+            BackendKind::Mps {
+                max_bond: MPS_DEFAULT_MAX_BOND
+            }
+        );
+        // Under the dense cap the dense engine still wins.
+        let mut small = Circuit::new(5, 5);
+        small.t(0).cx(0, 1);
+        assert_eq!(
+            resolve(BackendChoice::Auto, &small).unwrap(),
+            BackendKind::Dense
+        );
+    }
+
+    #[test]
+    fn interaction_range_measures_gate_spans() {
+        let mut qc = Circuit::new(8, 8);
+        assert_eq!(interaction_range(&qc), 0);
+        qc.h(3);
+        assert_eq!(interaction_range(&qc), 0);
+        qc.cx(1, 2);
+        assert_eq!(interaction_range(&qc), 1);
+        qc.ccx(0, 4, 7);
+        assert_eq!(interaction_range(&qc), 7);
+    }
+
+    #[test]
+    fn backend_choice_parses_the_env_format() {
+        assert_eq!("auto".parse(), Ok(BackendChoice::Auto));
+        assert_eq!("dense".parse(), Ok(BackendChoice::Dense));
+        assert_eq!("tableau".parse(), Ok(BackendChoice::Tableau));
+        assert_eq!(
+            "mps".parse(),
+            Ok(BackendChoice::Mps {
+                max_bond: MPS_DEFAULT_MAX_BOND
+            })
+        );
+        assert_eq!("mps:32".parse(), Ok(BackendChoice::Mps { max_bond: 32 }));
+        assert!("mps:0".parse::<BackendChoice>().is_err());
+        assert!("mps:abc".parse::<BackendChoice>().is_err());
+        assert!("cuda".parse::<BackendChoice>().is_err());
+        // Display round-trips through the same grammar.
+        for choice in [
+            BackendChoice::Auto,
+            BackendChoice::Dense,
+            BackendChoice::Tableau,
+            BackendChoice::Mps { max_bond: 7 },
+        ] {
+            assert_eq!(choice.to_string().parse(), Ok(choice));
+        }
+    }
+
+    #[test]
+    fn forced_mps_accepts_general_circuits() {
+        let mut t = Circuit::new(3, 3);
+        t.h(0).t(0).ccx(0, 1, 2).measure_all();
+        assert_eq!(
+            resolve(BackendChoice::Mps { max_bond: 8 }, &t).unwrap(),
+            BackendKind::Mps { max_bond: 8 }
+        );
+        let wide = Circuit::new(MPS_QUBIT_CAP + 1, 0);
+        assert!(matches!(
+            resolve(BackendChoice::Mps { max_bond: 8 }, &wide),
+            Err(SimError::QubitCapExceeded { backend: "mps", .. })
+        ));
     }
 
     #[test]
@@ -569,8 +908,12 @@ mod tests {
 
     #[test]
     fn both_states_agree_on_a_deterministic_trajectory() {
-        // |11> via X on both qubits, measured: identical on either engine.
-        for kind in [BackendKind::Dense, BackendKind::Tableau] {
+        // |11> via X on both qubits, measured: identical on every engine.
+        for kind in [
+            BackendKind::Dense,
+            BackendKind::Tableau,
+            BackendKind::Mps { max_bond: 4 },
+        ] {
             let backend = kind.build();
             let mut state = backend.init(2).unwrap();
             let mut rng = StdRng::seed_from_u64(7);
@@ -596,5 +939,24 @@ mod tests {
             cap: 64,
         };
         assert!(e.to_string().contains("64-bit"));
+        let e = SimError::TruncationBudgetExceeded {
+            max_bond: 8,
+            error_bound: 0.25,
+            budget: 0.01,
+        };
+        assert!(e.to_string().contains("truncation budget"));
+    }
+
+    #[test]
+    fn mps_backend_reports_truncation_through_the_trait() {
+        let backend = MpsBackend::new(1);
+        let mut state = backend.init(2).unwrap();
+        state.apply_gate(Gate::H, &[0]);
+        state.apply_gate(Gate::CX, &[0, 1]);
+        assert!(state.truncation_error() > 0.4);
+        // Exact engines report zero.
+        let mut dense = DenseBackend.init(2).unwrap();
+        dense.apply_gate(Gate::H, &[0]);
+        assert_eq!(dense.truncation_error(), 0.0);
     }
 }

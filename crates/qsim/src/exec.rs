@@ -13,6 +13,7 @@
 
 use crate::backend::{self, BackendChoice, BackendKind, BackendState, SimError};
 use crate::dist::{Counts, Distribution};
+use crate::mps::{MpsSampler, MpsState};
 use crate::noise::NoiseModel;
 use crate::state::StateVector;
 use qcir::circuit::{Circuit, Op};
@@ -23,6 +24,16 @@ use std::sync::Mutex;
 
 /// Shots per RNG chunk (see the module docs on determinism).
 pub const SHOT_CHUNK: u64 = 1024;
+
+/// Default cap on the truncation error an MPS run may accumulate before
+/// the executor refuses its counts with
+/// [`SimError::TruncationBudgetExceeded`]. The gated quantity is the
+/// rigorous per-trajectory infidelity bound `(Σ√(2δ))²` over the
+/// trajectory's discarded weights δ, so counts that pass the default are
+/// genuinely high-fidelity; override with
+/// [`Executor::with_truncation_budget`] (e.g. `f64::INFINITY` for
+/// best-effort runs).
+pub const DEFAULT_TRUNCATION_BUDGET: f64 = 1e-2;
 
 /// Shots used by the sampled [`Executor::ideal_distribution`] fallback.
 const DISTRIBUTION_SHOTS: u64 = 16_384;
@@ -51,6 +62,7 @@ pub struct Executor {
     noise: NoiseModel,
     backend: BackendChoice,
     threads: usize,
+    truncation_budget: f64,
 }
 
 impl Default for Executor {
@@ -66,6 +78,7 @@ impl Executor {
             noise: NoiseModel::ideal(),
             backend: BackendChoice::Auto,
             threads: 1,
+            truncation_budget: DEFAULT_TRUNCATION_BUDGET,
         }
     }
 
@@ -90,6 +103,16 @@ impl Executor {
         self
     }
 
+    /// Sets the MPS truncation budget: the worst rigorous truncation-
+    /// infidelity bound any trajectory of a run may reach before the run
+    /// fails with [`SimError::TruncationBudgetExceeded`]. Defaults to
+    /// [`DEFAULT_TRUNCATION_BUDGET`]; pass `f64::INFINITY` for best-effort
+    /// truncated runs. Exact engines never trip it.
+    pub fn with_truncation_budget(mut self, budget: f64) -> Self {
+        self.truncation_budget = budget;
+        self
+    }
+
     /// The active noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
@@ -105,6 +128,11 @@ impl Executor {
         self.threads
     }
 
+    /// The configured MPS truncation budget.
+    pub fn truncation_budget(&self) -> f64 {
+        self.truncation_budget
+    }
+
     /// Runs `shots` shots with a deterministic seed.
     ///
     /// # Errors
@@ -112,21 +140,26 @@ impl Executor {
     /// Returns a [`SimError`] when no admissible backend can run the
     /// circuit (qubit caps, non-Clifford gates on a forced tableau, or a
     /// classical register wider than one outcome word) — conditions the
-    /// pre-backend-layer API turned into panics.
+    /// pre-backend-layer API turned into panics — or when an MPS run
+    /// truncates past the configured
+    /// [`Executor::with_truncation_budget`].
     pub fn try_run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
-        let kind = backend::resolve(self.backend, circuit)?;
-        if kind == BackendKind::Dense && !self.noise.is_noisy() && measures_only_at_end(circuit) {
-            return Ok(self.run_sampling(circuit, shots, seed));
-        }
-        Ok(self.run_trajectories(kind, circuit, shots, seed))
+        // Same two phases as the batch path, for a batch of one: the
+        // backend/fast-path dispatch rule lives in `prepare` alone.
+        let task = self.prepare(circuit, shots, seed)?;
+        self.run_task(&task)
     }
 
-    /// Panicking wrapper around [`Executor::try_run`].
+    /// Panicking wrapper around [`Executor::try_run`] — prefer the fallible
+    /// API anywhere a cap or budget violation is a reachable condition
+    /// rather than a programming error. `#[track_caller]` makes the panic
+    /// report the call site, not this wrapper.
     ///
     /// # Panics
     ///
     /// Panics when the circuit cannot be simulated (see
     /// [`Executor::try_run`]).
+    #[track_caller]
     pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Counts {
         match self.try_run(circuit, shots, seed) {
             Ok(counts) => counts,
@@ -134,41 +167,237 @@ impl Executor {
         }
     }
 
-    /// Dense fast path: evolves the unitary prefix once, then samples
-    /// measured qubits per chunk.
-    fn run_sampling(&self, circuit: &Circuit, shots: u64, seed: u64) -> Counts {
-        let mut sv = StateVector::zero(circuit.num_qubits());
-        let mut measure_map: Vec<(usize, usize)> = Vec::new();
-        for op in circuit.ops() {
-            match op {
-                Op::Gate { gate, qubits } => sv.apply_gate(*gate, qubits),
-                Op::Measure { qubit, clbit } => measure_map.push((*qubit, *clbit)),
-                Op::Barrier { .. } => {}
-                _ => unreachable!("fast path precondition violated"),
-            }
+    /// Runs a batch of `(circuit, shots, seed)` tasks, resolving each
+    /// task's backend once and driving every task's shot chunks through one
+    /// shared worker pool — so a suite of small tasks amortizes thread
+    /// spin-up instead of paying it per circuit, and a straggler task keeps
+    /// all workers busy rather than serializing behind it.
+    ///
+    /// Each task's counts are bit-identical to running
+    /// [`Executor::try_run`] on it alone, for every thread count: chunk
+    /// seeds depend only on the task's own `(seed, chunk index)` and merges
+    /// are commutative.
+    pub fn try_run_batch(&self, tasks: &[(&Circuit, u64, u64)]) -> Vec<Result<Counts, SimError>> {
+        if self.threads <= 1 || tasks.len() <= 1 {
+            return tasks
+                .iter()
+                .map(|&(circuit, shots, seed)| self.try_run(circuit, shots, seed))
+                .collect();
         }
-        let sv = &sv;
-        let measure_map = &measure_map;
-        self.chunked_counts(
-            circuit.num_clbits(),
-            shots,
-            seed,
-            || (),
-            |(), chunk_shots, rng| {
-                let mut counts = Counts::new(circuit.num_clbits());
-                for _ in 0..chunk_shots {
-                    let basis = sv.sample(rng);
-                    let mut word = 0u64;
-                    for &(q, c) in measure_map {
-                        if (basis >> q) & 1 == 1 {
-                            word |= 1 << c;
+        // Phase 1: resolve every backend and evolve every fast-path prefix
+        // exactly once per task. Prefix evolution is the dominant cost for
+        // sampling-path tasks (one full dense/MPS pass over the circuit),
+        // so tasks prepare on the worker pool too; each prepare is
+        // deterministic in isolation, keeping results thread-independent.
+        let prepared: Vec<Result<BatchTask, SimError>> = {
+            let slots: Vec<Mutex<Option<Result<BatchTask, SimError>>>> =
+                tasks.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let prep_threads = self.threads.min(tasks.len());
+            std::thread::scope(|scope| {
+                for _ in 0..prep_threads {
+                    scope.spawn(|| loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= tasks.len() {
+                            break;
+                        }
+                        let (circuit, shots, seed) = tasks[t];
+                        *slots[t].lock().expect("prepare slot poisoned") =
+                            Some(self.prepare(circuit, shots, seed));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("prepare slot poisoned")
+                        .expect("every task index was claimed by a worker")
+                })
+                .collect()
+        };
+        // Phase 2 (parallel): one global queue of (task, chunk) items.
+        let items: Vec<(usize, usize)> = prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(t, p)| p.as_ref().ok().map(|p| (t, p.shots)))
+            .flat_map(|(t, shots)| (0..shots.div_ceil(SHOT_CHUNK) as usize).map(move |c| (t, c)))
+            .collect();
+        let slots: Vec<Mutex<Option<Counts>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let worst_truncation: Vec<Mutex<f64>> = tasks.iter().map(|_| Mutex::new(0.0)).collect();
+        let next = AtomicUsize::new(0);
+        let threads = self.threads.min(items.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut states: Vec<Option<Box<dyn BackendState>>> =
+                        tasks.iter().map(|_| None).collect();
+                    let mut locals: Vec<Option<Counts>> = tasks.iter().map(|_| None).collect();
+                    loop {
+                        let w = next.fetch_add(1, Ordering::Relaxed);
+                        if w >= items.len() {
+                            break;
+                        }
+                        let (t, chunk) = items[w];
+                        let task = prepared[t].as_ref().expect("only Ok tasks enqueue items");
+                        let chunk_shots = (task.shots - chunk as u64 * SHOT_CHUNK).min(SHOT_CHUNK);
+                        let mut rng = StdRng::seed_from_u64(derive_seed(task.seed, chunk as u64));
+                        let counts = match &task.plan {
+                            BatchPlan::DenseSampling { sv, measure_map } => sample_chunk(
+                                task.num_clbits,
+                                chunk_shots,
+                                &mut rng,
+                                measure_map,
+                                |rng| sv.sample(rng) as u64,
+                            ),
+                            BatchPlan::MpsSampling {
+                                sampler,
+                                measure_map,
+                            } => sample_chunk(
+                                task.num_clbits,
+                                chunk_shots,
+                                &mut rng,
+                                measure_map,
+                                |rng| sampler.sample(rng),
+                            ),
+                            BatchPlan::Trajectory { kind, circuit } => {
+                                let state = states[t].get_or_insert_with(|| {
+                                    kind.build()
+                                        .init(circuit.num_qubits())
+                                        .expect("backend capacity pre-validated by resolve()")
+                                });
+                                self.trajectory_chunk(
+                                    circuit,
+                                    state.as_mut(),
+                                    task.num_clbits,
+                                    chunk_shots,
+                                    &mut rng,
+                                )
+                            }
+                        };
+                        locals[t]
+                            .get_or_insert_with(|| Counts::new(task.num_clbits))
+                            .merge(&counts);
+                    }
+                    // Retire: fold local counts and truncation high-water
+                    // marks into the shared per-task slots.
+                    for (t, local) in locals.into_iter().enumerate() {
+                        if let Some(local) = local {
+                            let mut slot = slots[t].lock().expect("batch slot poisoned");
+                            match slot.as_mut() {
+                                Some(existing) => existing.merge(&local),
+                                None => *slot = Some(local),
+                            }
                         }
                     }
-                    counts.record(word);
+                    for (t, state) in states.into_iter().enumerate() {
+                        if let Some(state) = state {
+                            let mut w = worst_truncation[t]
+                                .lock()
+                                .expect("truncation slot poisoned");
+                            *w = w.max(state.truncation_error());
+                        }
+                    }
+                });
+            }
+        });
+        prepared
+            .into_iter()
+            .enumerate()
+            .map(|(t, p)| {
+                let task = p?;
+                if let BatchPlan::Trajectory {
+                    kind: BackendKind::Mps { max_bond },
+                    ..
+                } = task.plan
+                {
+                    let worst = *worst_truncation[t]
+                        .lock()
+                        .expect("truncation slot poisoned");
+                    self.check_truncation(max_bond, worst)?;
                 }
-                counts
-            },
-        )
+                let counts = slots[t]
+                    .lock()
+                    .expect("batch slot poisoned")
+                    .take()
+                    .unwrap_or_else(|| Counts::new(task.num_clbits));
+                Ok(counts)
+            })
+            .collect()
+    }
+
+    /// Resolves one batch task's backend and evolves its fast-path prefix.
+    fn prepare<'c>(
+        &self,
+        circuit: &'c Circuit,
+        shots: u64,
+        seed: u64,
+    ) -> Result<BatchTask<'c>, SimError> {
+        let kind = backend::resolve(self.backend, circuit)?;
+        let sampling_ok = !self.noise.is_noisy() && measures_only_at_end(circuit);
+        let plan = match kind {
+            BackendKind::Dense if sampling_ok => {
+                let (sv, measure_map) = evolve_dense_prefix(circuit);
+                BatchPlan::DenseSampling { sv, measure_map }
+            }
+            // The ≤ 64 guard exists because `MpsSampler::sample` packs one
+            // `u64` basis word over *qubit* indices; wider measure-at-end
+            // circuits fall back to per-shot trajectory replay (correct but
+            // O(shots·gates) — multi-word sampling is a ROADMAP follow-on).
+            BackendKind::Mps { max_bond } if sampling_ok && circuit.num_qubits() <= 64 => {
+                let (state, measure_map) = evolve_mps_prefix(circuit, max_bond);
+                self.check_truncation(max_bond, state.truncation_error())?;
+                BatchPlan::MpsSampling {
+                    sampler: state.into_sampler(),
+                    measure_map,
+                }
+            }
+            _ => BatchPlan::Trajectory { kind, circuit },
+        };
+        Ok(BatchTask {
+            plan,
+            num_clbits: circuit.num_clbits(),
+            shots,
+            seed,
+        })
+    }
+
+    /// Executes one prepared task through its plan (the single-task twin
+    /// of the batch worker loop; both paths share the chunk partition and
+    /// seeding, so their counts are bit-identical).
+    fn run_task(&self, task: &BatchTask) -> Result<Counts, SimError> {
+        match &task.plan {
+            BatchPlan::DenseSampling { sv, measure_map } => Ok(self.chunked_counts(
+                task.num_clbits,
+                task.shots,
+                task.seed,
+                || (),
+                |(), chunk_shots, rng| {
+                    sample_chunk(task.num_clbits, chunk_shots, rng, measure_map, |rng| {
+                        sv.sample(rng) as u64
+                    })
+                },
+                |()| {},
+            )),
+            BatchPlan::MpsSampling {
+                sampler,
+                measure_map,
+            } => Ok(self.chunked_counts(
+                task.num_clbits,
+                task.shots,
+                task.seed,
+                || (),
+                |(), chunk_shots, rng| {
+                    sample_chunk(task.num_clbits, chunk_shots, rng, measure_map, |rng| {
+                        sampler.sample(rng)
+                    })
+                },
+                |()| {},
+            )),
+            BatchPlan::Trajectory { kind, circuit } => {
+                self.run_trajectories(*kind, circuit, task.shots, task.seed)
+            }
+        }
     }
 
     /// Monte-Carlo path: one trajectory per shot on the resolved backend.
@@ -178,10 +407,11 @@ impl Executor {
         circuit: &Circuit,
         shots: u64,
         seed: u64,
-    ) -> Counts {
+    ) -> Result<Counts, SimError> {
         let engine = kind.build();
         let engine = &engine;
-        self.chunked_counts(
+        let worst_truncation = Mutex::new(0.0f64);
+        let counts = self.chunked_counts(
             circuit.num_clbits(),
             shots,
             seed,
@@ -191,36 +421,84 @@ impl Executor {
                     .expect("backend capacity pre-validated by resolve()")
             },
             |state, chunk_shots, rng| {
-                let mut counts = Counts::new(circuit.num_clbits());
-                for _ in 0..chunk_shots {
-                    counts.record(self.trajectory(circuit, state.as_mut(), rng));
-                }
-                counts
+                self.trajectory_chunk(
+                    circuit,
+                    state.as_mut(),
+                    circuit.num_clbits(),
+                    chunk_shots,
+                    rng,
+                )
             },
-        )
+            |state| {
+                let e = state.truncation_error();
+                let mut w = worst_truncation.lock().expect("truncation slot poisoned");
+                *w = w.max(e);
+            },
+        );
+        if let BackendKind::Mps { max_bond } = kind {
+            let worst = worst_truncation
+                .into_inner()
+                .expect("truncation slot poisoned");
+            self.check_truncation(max_bond, worst)?;
+        }
+        Ok(counts)
+    }
+
+    /// One chunk of Monte-Carlo trajectories on a reusable state.
+    fn trajectory_chunk(
+        &self,
+        circuit: &Circuit,
+        state: &mut dyn BackendState,
+        num_clbits: usize,
+        chunk_shots: u64,
+        rng: &mut StdRng,
+    ) -> Counts {
+        let mut counts = Counts::new(num_clbits);
+        for _ in 0..chunk_shots {
+            counts.record(self.trajectory(circuit, state, rng));
+        }
+        counts
+    }
+
+    /// The truncation budget check MPS runs pass through: `error_bound` is
+    /// the worst per-trajectory rigorous infidelity bound observed.
+    fn check_truncation(&self, max_bond: usize, error_bound: f64) -> Result<(), SimError> {
+        if error_bound > self.truncation_budget {
+            Err(SimError::TruncationBudgetExceeded {
+                max_bond,
+                error_bound,
+                budget: self.truncation_budget,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Partitions `shots` into [`SHOT_CHUNK`]-sized chunks and runs them on
     /// up to `self.threads` workers. `make_ctx` builds one reusable
     /// per-worker context (e.g. a simulator state), `run_chunk` executes one
-    /// chunk with a chunk-seeded RNG.
+    /// chunk with a chunk-seeded RNG, and `retire` observes each context
+    /// after its worker finishes (so callers can fold per-state metadata
+    /// like the MPS truncation ledger).
     ///
     /// Each chunk's RNG depends only on `(seed, chunk index)` and
     /// [`Counts::merge`] is commutative outcome-wise addition, so workers
     /// accumulate locally and the final merge order does not matter — the
     /// result is bit-identical to the serial loop with only `threads` (not
     /// `num_chunks`) counts tables alive.
-    fn chunked_counts<C, M, F>(
+    fn chunked_counts<C, M, F, R>(
         &self,
         num_clbits: usize,
         shots: u64,
         seed: u64,
         make_ctx: M,
         run_chunk: F,
+        retire: R,
     ) -> Counts
     where
         M: Fn() -> C + Sync,
         F: Fn(&mut C, u64, &mut StdRng) -> Counts + Sync,
+        R: Fn(C) + Sync,
     {
         let num_chunks = shots.div_ceil(SHOT_CHUNK) as usize;
         let chunk_shots = |i: usize| (shots - i as u64 * SHOT_CHUNK).min(SHOT_CHUNK);
@@ -232,6 +510,7 @@ impl Executor {
                 let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
                 merged.merge(&run_chunk(&mut ctx, chunk_shots(i), &mut rng));
             }
+            retire(ctx);
             return merged;
         }
         let next = AtomicUsize::new(0);
@@ -249,6 +528,7 @@ impl Executor {
                         let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
                         local.merge(&run_chunk(&mut ctx, chunk_shots(i), &mut rng));
                     }
+                    retire(ctx);
                     partials
                         .lock()
                         .expect("partial counts poisoned")
@@ -344,16 +624,7 @@ impl Executor {
             });
         }
         if measures_only_at_end(circuit) && circuit.num_qubits() <= backend::DENSE_QUBIT_CAP {
-            let mut sv = StateVector::zero(circuit.num_qubits());
-            let mut measure_map: Vec<(usize, usize)> = Vec::new();
-            for op in circuit.ops() {
-                match op {
-                    Op::Gate { gate, qubits } => sv.apply_gate(*gate, qubits),
-                    Op::Measure { qubit, clbit } => measure_map.push((*qubit, *clbit)),
-                    Op::Barrier { .. } => {}
-                    _ => unreachable!(),
-                }
-            }
+            let (sv, measure_map) = evolve_dense_prefix(circuit);
             let mut dist = Distribution::new(circuit.num_clbits());
             for (basis, p) in sv.probabilities().into_iter().enumerate() {
                 if p <= 1e-15 {
@@ -408,6 +679,87 @@ impl Executor {
         }
         sv
     }
+}
+
+/// One prepared batch task: how its chunks execute.
+enum BatchPlan<'c> {
+    /// Dense fast path: the unitary prefix evolved once, shared read-only.
+    DenseSampling {
+        sv: StateVector,
+        measure_map: Vec<(usize, usize)>,
+    },
+    /// MPS fast path: evolved train plus precomputed sampling environments.
+    MpsSampling {
+        sampler: MpsSampler,
+        measure_map: Vec<(usize, usize)>,
+    },
+    /// Monte-Carlo path: each worker lazily builds its own state per task.
+    Trajectory {
+        kind: BackendKind,
+        circuit: &'c Circuit,
+    },
+}
+
+/// A batch task with its execution plan and shot bookkeeping.
+struct BatchTask<'c> {
+    plan: BatchPlan<'c>,
+    num_clbits: usize,
+    shots: u64,
+    seed: u64,
+}
+
+/// Evolves a measure-at-end circuit's unitary prefix on the dense engine
+/// and collects its measurement map.
+fn evolve_dense_prefix(circuit: &Circuit) -> (StateVector, Vec<(usize, usize)>) {
+    let mut sv = StateVector::zero(circuit.num_qubits());
+    let mut measure_map: Vec<(usize, usize)> = Vec::new();
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, qubits } => sv.apply_gate(*gate, qubits),
+            Op::Measure { qubit, clbit } => measure_map.push((*qubit, *clbit)),
+            Op::Barrier { .. } => {}
+            _ => unreachable!("fast path precondition violated"),
+        }
+    }
+    (sv, measure_map)
+}
+
+/// Evolves a measure-at-end circuit's unitary prefix on the MPS engine.
+fn evolve_mps_prefix(circuit: &Circuit, max_bond: usize) -> (MpsState, Vec<(usize, usize)>) {
+    let mut state = MpsState::new(circuit.num_qubits(), max_bond);
+    let mut measure_map: Vec<(usize, usize)> = Vec::new();
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, qubits } => state.apply_gate(*gate, qubits),
+            Op::Measure { qubit, clbit } => measure_map.push((*qubit, *clbit)),
+            Op::Barrier { .. } => {}
+            _ => unreachable!("fast path precondition violated"),
+        }
+    }
+    (state, measure_map)
+}
+
+/// Draws one chunk of basis words from `draw` and packs them into classical
+/// outcome words through the measurement map.
+fn sample_chunk(
+    num_clbits: usize,
+    chunk_shots: u64,
+    rng: &mut StdRng,
+    measure_map: &[(usize, usize)],
+    draw: impl Fn(&mut StdRng) -> u64,
+) -> Counts {
+    let mut counts = Counts::new(num_clbits);
+    for _ in 0..chunk_shots {
+        let basis = draw(rng);
+        let mut word = 0u64;
+        for &(q, c) in measure_map {
+            if (basis >> q) & 1 == 1 {
+                word |= 1 << c;
+            }
+        }
+        counts.record(word);
+    }
+    counts
 }
 
 /// `true` when the circuit has no conditionals/resets and every measurement
@@ -620,9 +972,10 @@ mod tests {
 
     #[test]
     fn try_run_returns_typed_errors() {
-        // Non-Clifford past the dense cap: no backend can run it.
+        // Non-Clifford AND long-range past the dense cap: no backend can
+        // run it (short-range circuits would dispatch to the MPS engine).
         let mut big = Circuit::new(30, 30);
-        big.h(0).t(0).measure(0, 0);
+        big.h(0).t(0).cp(0.4, 0, 29).measure(0, 0);
         assert!(matches!(
             Executor::ideal().try_run(&big, 16, 0),
             Err(SimError::QubitCapExceeded {
@@ -651,7 +1004,7 @@ mod tests {
     #[should_panic(expected = "simulation failed")]
     fn run_panics_with_the_error_message() {
         let mut big = Circuit::new(30, 30);
-        big.h(0).t(0).measure(0, 0);
+        big.h(0).t(0).cp(0.4, 0, 29).measure(0, 0);
         Executor::ideal().run(&big, 16, 0);
     }
 
@@ -693,7 +1046,137 @@ mod tests {
         assert!((dist.get(0) - 0.5).abs() < 0.05);
         assert!((dist.get(all_ones) - 0.5).abs() < 0.05);
         let mut big = Circuit::new(30, 30);
-        big.h(0).t(0).measure(0, 0);
+        big.h(0).t(0).cp(0.4, 0, 29).measure(0, 0);
         assert!(Executor::try_ideal_distribution(&big, 2).is_err());
+    }
+
+    #[test]
+    fn forced_mps_agrees_with_dense_on_bell() {
+        let dense = Executor::ideal()
+            .with_backend(BackendChoice::Dense)
+            .try_run(&bell(), 4000, 11)
+            .unwrap()
+            .to_distribution();
+        let mps = Executor::ideal()
+            .with_backend(BackendChoice::Mps { max_bond: 4 })
+            .try_run(&bell(), 4000, 12)
+            .unwrap()
+            .to_distribution();
+        assert!(dense.tvd(&mps) < 0.05);
+    }
+
+    #[test]
+    fn auto_runs_short_range_general_circuits_past_the_dense_cap() {
+        // 30 qubits of nearest-neighbor T+CX: refused outright before the
+        // MPS backend existed.
+        let n = 30;
+        let mut qc = Circuit::new(n, n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for q in 0..n - 1 {
+            qc.t(q);
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        let counts = Executor::ideal().try_run(&qc, 128, 17).unwrap();
+        assert_eq!(counts.shots(), 128);
+    }
+
+    #[test]
+    fn mps_trajectory_path_handles_midcircuit_measurement() {
+        // Teleport-like conditional on the forced MPS engine.
+        let mut qc = Circuit::new(2, 2);
+        qc.x(0).t(0).measure(0, 0);
+        qc.cond_gate(Gate::X, &[1], 0, true);
+        qc.measure(1, 1);
+        let counts = Executor::ideal()
+            .with_backend(BackendChoice::Mps { max_bond: 4 })
+            .try_run(&qc, 200, 3)
+            .unwrap();
+        assert_eq!(counts.count(0b11), 200);
+    }
+
+    #[test]
+    fn truncation_budget_is_enforced_and_typed() {
+        // χ = 1 cannot hold a Bell pair: the run must refuse, not lie.
+        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: 1 });
+        assert!(matches!(
+            exec.try_run(&bell(), 100, 5),
+            Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
+        ));
+        // An explicit infinite budget lets the truncated run through.
+        let counts = exec
+            .clone()
+            .with_truncation_budget(f64::INFINITY)
+            .try_run(&bell(), 100, 5)
+            .unwrap();
+        assert_eq!(counts.shots(), 100);
+        // The budget also applies on the per-shot trajectory path.
+        let mut mid = Circuit::new(2, 2);
+        mid.h(0).cx(0, 1).measure(0, 0).measure(1, 1).reset(0);
+        assert!(matches!(
+            exec.try_run(&mid, 50, 5),
+            Err(SimError::TruncationBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn mps_parallel_sampling_is_deterministic() {
+        let mut qc = Circuit::new(6, 6);
+        for q in 0..6 {
+            qc.h(q);
+            qc.t(q);
+        }
+        for q in 0..5 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: 8 });
+        let serial = exec.clone().try_run(&qc, 5000, 21).unwrap();
+        let parallel = exec.with_threads(4).try_run(&qc, 5000, 21).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_for_every_thread_count() {
+        let qc_bell = bell();
+        let qc_ghz = ghz(8);
+        let mut qc_mid = Circuit::new(3, 3);
+        qc_mid.h(0).measure(0, 0);
+        qc_mid.cond_gate(Gate::X, &[1], 0, true);
+        qc_mid.measure(1, 1).measure(2, 2);
+        let mut qc_mps = Circuit::new(5, 5);
+        for q in 0..5 {
+            qc_mps.h(q);
+            qc_mps.t(q);
+        }
+        for q in 0..4 {
+            qc_mps.cx(q, q + 1);
+        }
+        qc_mps.measure_all();
+        let mut qc_bad = Circuit::new(30, 30);
+        qc_bad.h(0).t(0).cp(0.4, 0, 29).measure(0, 0);
+        let tasks: Vec<(&Circuit, u64, u64)> = vec![
+            (&qc_bell, 3000, 1),
+            (&qc_ghz, 2500, 2),
+            (&qc_mid, 1500, 3),
+            (&qc_mps, 2000, 4),
+            (&qc_bad, 100, 5),
+            (&qc_bell, 0, 6),
+        ];
+        for (noise, threads) in [
+            (NoiseModel::ideal(), 1usize),
+            (NoiseModel::ideal(), 4),
+            (profiles::noisy_nisq(), 3),
+        ] {
+            let exec = Executor::with_noise(noise).with_threads(threads);
+            let batch = exec.try_run_batch(&tasks);
+            for (i, &(circuit, shots, seed)) in tasks.iter().enumerate() {
+                let single = exec.try_run(circuit, shots, seed);
+                assert_eq!(batch[i], single, "task {i}, threads {threads}");
+            }
+            assert!(matches!(batch[4], Err(SimError::QubitCapExceeded { .. })));
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! # qsim — quantum circuit simulators with noise
 //!
-//! Two complementary backends behind one dispatch layer, plus the noise
+//! Three complementary backends behind one dispatch layer, plus the noise
 //! machinery the QEC experiments need:
 //!
 //! * [`backend`] — the unified simulation-backend layer: circuit
@@ -16,6 +16,9 @@
 //! * [`stabilizer`] — an Aaronson–Gottesman CHP tableau simulator for
 //!   Clifford circuits, used for surface-code syndrome extraction at
 //!   distances where the dense simulator is infeasible.
+//! * [`mps`] — a matrix-product-state simulator with bounded bond
+//!   dimension χ and truncated-SVD two-site updates, for low-entanglement
+//!   *non-Clifford* circuits past the dense qubit cap.
 //! * [`noise`] — Monte-Carlo Pauli/readout noise channels and the
 //!   [`noise::NoiseModel`] aggregate.
 //! * [`profiles`] — named noise profiles, including the IBM-Brisbane-like
@@ -33,7 +36,9 @@
 //! let mut bell = Circuit::new(2, 2);
 //! bell.h(0).cx(0, 1).measure_all();
 //!
-//! let counts = Executor::ideal().run(&bell, 4096, 7);
+//! let counts = Executor::ideal()
+//!     .try_run(&bell, 4096, 7)
+//!     .expect("2-qubit circuits always fit the dense backend");
 //! // Only |00> and |11> appear.
 //! assert_eq!(counts.distinct_outcomes(), 2);
 //! ```
@@ -42,6 +47,7 @@ pub mod backend;
 pub mod dist;
 pub mod exec;
 pub mod kernels;
+pub mod mps;
 pub mod noise;
 pub mod observable;
 pub mod profiles;

@@ -1,0 +1,943 @@
+//! Matrix-product-state (MPS) simulation with bounded bond dimension.
+//!
+//! A pure state over `n` qubits is stored as a train of rank-3 site tensors
+//! `A[i]` with shape `(χ_left, 2, χ_right)`; qubit `i` is the physical index
+//! of site `i` (matching the little-endian basis indexing of
+//! [`crate::state::StateVector`]). Memory and gate cost scale with the bond
+//! dimension χ — the Schmidt rank across each cut — instead of with `2^n`,
+//! so circuits whose entanglement stays low simulate far past the
+//! [`crate::backend::DENSE_QUBIT_CAP`] dense limit.
+//!
+//! * One-qubit gates contract into a site tensor in `O(χ²)`.
+//! * Two-qubit gates on adjacent sites contract both tensors into a
+//!   two-site block, apply the unitary, and split back with a truncated SVD
+//!   (see [`svd`], the engine's own small dense-linalg helper — no external
+//!   dependency). Non-adjacent pairs are routed by a transient SWAP chain.
+//! * Three-qubit gates (CCX, CSWAP) apply through exact Clifford+T
+//!   decompositions into the one- and two-qubit machinery.
+//! * Measurement and reset contract left/right environments for the local
+//!   outcome probabilities, project the site tensor, and renormalize.
+//! * Shot sampling ([`MpsSampler`]) precomputes right environments once and
+//!   then draws whole basis words by sequential site-by-site collapse in
+//!   `O(n·χ²)` per shot.
+//!
+//! # Truncation accounting
+//!
+//! Every truncated SVD records its *discarded weight* δ (the squared norm
+//! of the dropped Schmidt components). [`MpsState::discarded_weight`]
+//! accumulates Σδ and [`MpsState::truncation_error_bound`] the rigorous
+//! infidelity bound `(Σ√(2δ))²`: unitaries preserve distances, so each
+//! truncation moves the state by at most `√(2δ)` in norm and the errors add
+//! at worst linearly. A run with bond dimension `χ ≥ 2^(n/2)` never
+//! truncates and is exact to numerical precision. The executor turns an
+//! exceeded budget into the typed
+//! [`SimError::TruncationBudgetExceeded`](crate::backend::SimError) instead
+//! of silently returning low-fidelity counts.
+
+pub mod svd;
+
+use crate::noise::Pauli;
+use qcir::gate::Gate;
+use qcir::math::{Matrix, C64};
+use rand::Rng;
+
+/// Relative singular-value cutoff: components below `σ_max · REL_CUTOFF`
+/// are numerically-null and always dropped (their weight still counts
+/// toward the discarded-weight ledger, at ~1e-28 per drop).
+const REL_CUTOFF: f64 = 1e-14;
+
+/// One site tensor with shape `(dl, 2, dr)`, stored row-major as
+/// `a[(l*2 + s)*dr + r]`.
+#[derive(Debug, Clone)]
+struct SiteTensor {
+    dl: usize,
+    dr: usize,
+    a: Vec<C64>,
+}
+
+impl SiteTensor {
+    /// The |0> product-state site: all bond dimensions 1.
+    fn zero_site() -> Self {
+        SiteTensor {
+            dl: 1,
+            dr: 1,
+            a: vec![C64::ONE, C64::ZERO],
+        }
+    }
+}
+
+/// A pure quantum state in matrix-product form with bounded bond dimension.
+///
+/// ```
+/// use qsim::mps::MpsState;
+/// use qcir::gate::Gate;
+///
+/// let mut psi = MpsState::new(2, 4);
+/// psi.apply_gate(Gate::H, &[0]);
+/// psi.apply_gate(Gate::CX, &[0, 1]);
+/// let sv = psi.to_statevector();
+/// assert!((sv.probabilities()[0b00] - 0.5).abs() < 1e-12);
+/// assert!((sv.probabilities()[0b11] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpsState {
+    num_qubits: usize,
+    max_bond: usize,
+    tensors: Vec<SiteTensor>,
+    /// Σδ over truncations since the last [`MpsState::reinit`].
+    discarded: f64,
+    /// Σ√(2δ) over the same truncations (for the rigorous error bound).
+    sqrt_bound: f64,
+    /// Max per-trajectory error bound over completed trajectories
+    /// (survives `reinit`, so the executor can report the worst shot of a
+    /// run).
+    bound_peak: f64,
+}
+
+impl MpsState {
+    /// The |0…0> product state with the given bond-dimension bound.
+    ///
+    /// `max_bond` is clamped to ≥ 1; a bound of `2^(n/2)` or larger makes
+    /// every simulation exact (no truncation can occur).
+    pub fn new(num_qubits: usize, max_bond: usize) -> Self {
+        MpsState {
+            num_qubits,
+            max_bond: max_bond.max(1),
+            tensors: (0..num_qubits).map(|_| SiteTensor::zero_site()).collect(),
+            discarded: 0.0,
+            sqrt_bound: 0.0,
+            bound_peak: 0.0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The configured bond-dimension bound χ.
+    pub fn max_bond(&self) -> usize {
+        self.max_bond
+    }
+
+    /// The largest bond dimension currently present in the train.
+    pub fn peak_bond(&self) -> usize {
+        self.tensors.iter().map(|t| t.dr).max().unwrap_or(1)
+    }
+
+    /// Accumulated discarded weight Σδ since the last [`MpsState::reinit`].
+    pub fn discarded_weight(&self) -> f64 {
+        self.discarded
+    }
+
+    /// Rigorous upper bound on the infidelity `1 − |<ψ_exact|ψ>|²` caused
+    /// by truncation since the last [`MpsState::reinit`]: `(Σ√(2δ))²`,
+    /// clamped to 1.
+    pub fn truncation_error_bound(&self) -> f64 {
+        (self.sqrt_bound * self.sqrt_bound).min(1.0)
+    }
+
+    /// Worst per-trajectory [`MpsState::truncation_error_bound`] over any
+    /// trajectory of this state (the current one or any completed before a
+    /// `reinit`) — the quantity the executor's truncation budget gates on.
+    pub fn truncation_error(&self) -> f64 {
+        self.truncation_error_bound().max(self.bound_peak)
+    }
+
+    /// Resets to |0…0> in place, folding the current trajectory's error
+    /// bound into the cross-trajectory peak.
+    pub fn reinit(&mut self) {
+        self.bound_peak = self.bound_peak.max(self.truncation_error_bound());
+        self.discarded = 0.0;
+        self.sqrt_bound = 0.0;
+        for t in &mut self.tensors {
+            *t = SiteTensor::zero_site();
+        }
+    }
+
+    /// Applies a gate in gate-operand order (same conventions as
+    /// [`crate::state::StateVector::apply_gate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, out-of-range or duplicate operands, or a
+    /// 3-qubit gate outside the built-in set (CCX, CSWAP).
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        assert_eq!(qubits.len(), gate.num_qubits(), "gate arity mismatch");
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit index out of range");
+            assert!(!qubits[..i].contains(&q), "duplicate qubit operand");
+        }
+        match gate.num_qubits() {
+            1 => {
+                let m = gate.matrix();
+                self.apply_1q(
+                    qubits[0],
+                    &[m.get(0, 0), m.get(0, 1), m.get(1, 0), m.get(1, 1)],
+                );
+            }
+            2 => self.apply_2q(&mat4(&gate.matrix()), qubits[0], qubits[1]),
+            _ => self.apply_3q(gate, qubits),
+        }
+    }
+
+    /// Applies a single-qubit Pauli directly (the noise-injection hot path;
+    /// no matrix construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `qubit` is out of range.
+    pub fn apply_pauli(&mut self, qubit: usize, pauli: Pauli) {
+        assert!(qubit < self.num_qubits, "qubit index out of range");
+        let t = &mut self.tensors[qubit];
+        let dr = t.dr;
+        for l in 0..t.dl {
+            for r in 0..dr {
+                let i0 = (l * 2) * dr + r;
+                let i1 = (l * 2 + 1) * dr + r;
+                match pauli {
+                    Pauli::X => t.a.swap(i0, i1),
+                    Pauli::Y => {
+                        let (a0, a1) = (t.a[i0], t.a[i1]);
+                        t.a[i0] = -C64::I * a1;
+                        t.a[i1] = C64::I * a0;
+                    }
+                    Pauli::Z => t.a[i1] = -t.a[i1],
+                }
+            }
+        }
+    }
+
+    /// The probability of measuring `1` on `qubit` (normalized against the
+    /// current state norm, so truncation drift does not bias outcomes).
+    pub fn prob_one(&self, qubit: usize) -> f64 {
+        let (w0, w1) = self.outcome_weights(qubit);
+        if w0 + w1 <= 0.0 {
+            0.0
+        } else {
+            w1 / (w0 + w1)
+        }
+    }
+
+    /// Measures `qubit` in the computational basis, collapsing the state.
+    pub fn measure(&mut self, qubit: usize, rng: &mut impl Rng) -> bool {
+        let (w0, w1) = self.outcome_weights(qubit);
+        let p1 = if w0 + w1 <= 0.0 { 0.0 } else { w1 / (w0 + w1) };
+        let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+        self.project(qubit, outcome, if outcome { w1 } else { w0 });
+        outcome
+    }
+
+    /// Projects `qubit` onto `outcome` and renormalizes.
+    pub fn collapse(&mut self, qubit: usize, outcome: bool) {
+        let (w0, w1) = self.outcome_weights(qubit);
+        self.project(qubit, outcome, if outcome { w1 } else { w0 });
+    }
+
+    /// Resets `qubit` to |0> (measure + conditional flip, unrecorded).
+    pub fn reset(&mut self, qubit: usize, rng: &mut impl Rng) {
+        if self.measure(qubit, rng) {
+            self.apply_pauli(qubit, Pauli::X);
+        }
+    }
+
+    /// Squared norm (1 up to numerical error and truncation renorm).
+    pub fn norm_sqr(&self) -> f64 {
+        let mut env = vec![C64::ONE];
+        for t in &self.tensors {
+            env = env_step_left(&env, t);
+        }
+        env[0].re
+    }
+
+    /// Contracts the train into a dense [`crate::state::StateVector`]
+    /// (normalized), for parity tests and small-circuit inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`crate::backend::DENSE_QUBIT_CAP`] qubits.
+    pub fn to_statevector(&self) -> crate::state::StateVector {
+        assert!(
+            self.num_qubits <= crate::backend::DENSE_QUBIT_CAP,
+            "dense extraction capped at {} qubits",
+            crate::backend::DENSE_QUBIT_CAP
+        );
+        // acc has shape (2^i, bond): acc[x*bond + l].
+        let mut acc = vec![C64::ONE];
+        let mut bond = 1usize;
+        for (i, t) in self.tensors.iter().enumerate() {
+            let rows = acc.len() / bond;
+            let mut next = vec![C64::ZERO; rows * 2 * t.dr];
+            for x in 0..rows {
+                for l in 0..bond {
+                    let av = acc[x * bond + l];
+                    if av == C64::ZERO {
+                        continue;
+                    }
+                    for s in 0..2 {
+                        let idx = x | (s << i);
+                        for r in 0..t.dr {
+                            next[idx * t.dr + r] += av * t.a[(l * 2 + s) * t.dr + r];
+                        }
+                    }
+                }
+            }
+            acc = next;
+            bond = t.dr;
+        }
+        crate::state::StateVector::from_amplitudes(acc)
+    }
+
+    /// Consumes the state and precomputes the right environments needed for
+    /// `O(n·χ²)`-per-shot basis sampling.
+    pub fn into_sampler(self) -> MpsSampler {
+        let n = self.num_qubits;
+        let mut right = vec![vec![C64::ONE]; n + 1];
+        for i in (0..n).rev() {
+            right[i] = env_step_right(&right[i + 1], &self.tensors[i]);
+        }
+        MpsSampler { mps: self, right }
+    }
+
+    // ---- internal machinery -------------------------------------------
+
+    /// `(‖P₀ψ‖², ‖P₁ψ‖²)` for the computational-basis projectors on
+    /// `qubit`, via left/right environment contraction in `O(n·χ³)`.
+    fn outcome_weights(&self, qubit: usize) -> (f64, f64) {
+        assert!(qubit < self.num_qubits, "qubit index out of range");
+        let mut left = vec![C64::ONE];
+        for t in &self.tensors[..qubit] {
+            left = env_step_left(&left, t);
+        }
+        let mut rightv = vec![C64::ONE];
+        for t in self.tensors[qubit + 1..].iter().rev() {
+            rightv = env_step_right(&rightv, t);
+        }
+        let t = &self.tensors[qubit];
+        let (dl, dr) = (t.dl, t.dr);
+        let mut weights = [0.0f64; 2];
+        for (s, w) in weights.iter_mut().enumerate() {
+            // mid[r, r'] = Σ_{l,l'} A_s[l,r] · left[l,l'] · conj(A_s[l',r'])
+            // tmp[l, r'] = Σ_l' left[l,l'] · conj(A_s[l',r'])
+            let mut tmp = vec![C64::ZERO; dl * dr];
+            for l in 0..dl {
+                for lp in 0..dl {
+                    let e = left[l * dl + lp];
+                    if e == C64::ZERO {
+                        continue;
+                    }
+                    for rp in 0..dr {
+                        tmp[l * dr + rp] += e * t.a[(lp * 2 + s) * dr + rp].conj();
+                    }
+                }
+            }
+            let mut acc = 0.0;
+            for l in 0..dl {
+                for r in 0..dr {
+                    let av = t.a[(l * 2 + s) * dr + r];
+                    if av == C64::ZERO {
+                        continue;
+                    }
+                    for rp in 0..dr {
+                        acc += (av * tmp[l * dr + rp] * rightv[r * dr + rp]).re;
+                    }
+                }
+            }
+            *w = acc.max(0.0);
+        }
+        (weights[0], weights[1])
+    }
+
+    /// Zeroes the non-`outcome` physical row of `qubit`'s site tensor and
+    /// rescales the state back to unit norm using the projected weight.
+    fn project(&mut self, qubit: usize, outcome: bool, weight: f64) {
+        let t = &mut self.tensors[qubit];
+        let dr = t.dr;
+        let kill = usize::from(!outcome);
+        for l in 0..t.dl {
+            for r in 0..dr {
+                t.a[(l * 2 + kill) * dr + r] = C64::ZERO;
+            }
+        }
+        if weight > 0.0 {
+            let scale = 1.0 / weight.sqrt();
+            for z in &mut t.a {
+                *z = *z * scale;
+            }
+        }
+    }
+
+    /// `new[l,s,r] = Σ_{s'} m[s][s'] · old[l,s',r]` with `m` row-major 2x2.
+    fn apply_1q(&mut self, q: usize, m: &[C64; 4]) {
+        let t = &mut self.tensors[q];
+        let dr = t.dr;
+        for l in 0..t.dl {
+            for r in 0..dr {
+                let i0 = (l * 2) * dr + r;
+                let i1 = (l * 2 + 1) * dr + r;
+                let (a0, a1) = (t.a[i0], t.a[i1]);
+                t.a[i0] = m[0] * a0 + m[1] * a1;
+                t.a[i1] = m[2] * a0 + m[3] * a1;
+            }
+        }
+    }
+
+    /// Two-qubit unitary `u` (big-endian over `(a, b)`: operand `a` is the
+    /// matrix MSB) on arbitrary sites, routed adjacent via SWAP chains.
+    fn apply_2q(&mut self, u: &[C64; 16], a: usize, b: usize) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        // Walk qubit `hi` down to site `lo + 1`.
+        for j in ((lo + 1)..hi).rev() {
+            self.swap_adjacent(j);
+        }
+        if a < b {
+            self.apply_two_site(lo, u);
+        } else {
+            self.apply_two_site(lo, &permute_2q(u));
+        }
+        // Walk it back up.
+        for j in (lo + 1)..hi {
+            self.swap_adjacent(j);
+        }
+    }
+
+    /// SWAP on sites `(j, j+1)`.
+    fn swap_adjacent(&mut self, j: usize) {
+        let o = C64::ONE;
+        let z = C64::ZERO;
+        #[rustfmt::skip]
+        let swap: [C64; 16] = [
+            o, z, z, z,
+            z, z, o, z,
+            z, o, z, z,
+            z, z, z, o,
+        ];
+        self.apply_two_site(j, &swap);
+    }
+
+    /// Exact Clifford+T decompositions for the 3-qubit gates in the set.
+    fn apply_3q(&mut self, gate: Gate, q: &[usize]) {
+        let (a, b, c) = (q[0], q[1], q[2]);
+        match gate {
+            Gate::CCX => {
+                // Standard 6-CNOT Toffoli (Nielsen & Chuang fig. 4.9).
+                self.apply_gate(Gate::H, &[c]);
+                self.apply_gate(Gate::CX, &[b, c]);
+                self.apply_gate(Gate::Tdg, &[c]);
+                self.apply_gate(Gate::CX, &[a, c]);
+                self.apply_gate(Gate::T, &[c]);
+                self.apply_gate(Gate::CX, &[b, c]);
+                self.apply_gate(Gate::Tdg, &[c]);
+                self.apply_gate(Gate::CX, &[a, c]);
+                self.apply_gate(Gate::T, &[b]);
+                self.apply_gate(Gate::T, &[c]);
+                self.apply_gate(Gate::H, &[c]);
+                self.apply_gate(Gate::CX, &[a, b]);
+                self.apply_gate(Gate::T, &[a]);
+                self.apply_gate(Gate::Tdg, &[b]);
+                self.apply_gate(Gate::CX, &[a, b]);
+            }
+            Gate::CSWAP => {
+                // Fredkin = CX sandwich around a Toffoli.
+                self.apply_gate(Gate::CX, &[c, b]);
+                self.apply_gate(Gate::CCX, &[a, b, c]);
+                self.apply_gate(Gate::CX, &[c, b]);
+            }
+            _ => panic!("unsupported 3-qubit gate `{gate}` on the MPS backend"),
+        }
+    }
+
+    /// The core two-site update: contract sites `(i, i+1)` into a block,
+    /// apply `u` (row index `s_i·2 + s_{i+1}`), split back by truncated SVD.
+    fn apply_two_site(&mut self, i: usize, u: &[C64; 16]) {
+        let (dl, dm, dr) = (
+            self.tensors[i].dl,
+            self.tensors[i].dr,
+            self.tensors[i + 1].dr,
+        );
+        // theta[(l*4 + s1*2 + s2)*dr + r] = Σ_k A[l,s1,k]·B[k,s2,r].
+        let mut theta = vec![C64::ZERO; dl * 4 * dr];
+        {
+            let ta = &self.tensors[i].a;
+            let tb = &self.tensors[i + 1].a;
+            for l in 0..dl {
+                for s1 in 0..2 {
+                    for k in 0..dm {
+                        let av = ta[(l * 2 + s1) * dm + k];
+                        if av == C64::ZERO {
+                            continue;
+                        }
+                        for s2 in 0..2 {
+                            let dst = (l * 4 + s1 * 2 + s2) * dr;
+                            let src = (k * 2 + s2) * dr;
+                            for r in 0..dr {
+                                theta[dst + r] += av * tb[src + r];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Apply the 4x4 unitary on the physical pair.
+        let rows = 2 * dl;
+        let cols = 2 * dr;
+        let mut block = vec![C64::ZERO; rows * cols];
+        for l in 0..dl {
+            for r in 0..dr {
+                for p in 0..4 {
+                    let mut acc = C64::ZERO;
+                    for q in 0..4 {
+                        let uv = u[p * 4 + q];
+                        if uv != C64::ZERO {
+                            acc += uv * theta[(l * 4 + q) * dr + r];
+                        }
+                    }
+                    // Reshape to (l, s1) x (s2, r) on the fly.
+                    let (s1, s2) = (p >> 1, p & 1);
+                    block[(l * 2 + s1) * cols + (s2 * dr + r)] = acc;
+                }
+            }
+        }
+        let dec = svd::svd(rows, cols, &block);
+        // Truncate: keep at most max_bond components above the relative
+        // cutoff (always at least one).
+        let smax = dec.s.first().copied().unwrap_or(0.0);
+        let keep = dec
+            .s
+            .iter()
+            .take(self.max_bond)
+            .filter(|&&s| s > smax * REL_CUTOFF)
+            .count()
+            .max(1);
+        let total: f64 = dec.s.iter().map(|s| s * s).sum();
+        let kept: f64 = dec.s[..keep].iter().map(|s| s * s).sum();
+        if total > 0.0 {
+            let delta = (1.0 - kept / total).max(0.0);
+            self.discarded += delta;
+            self.sqrt_bound += (2.0 * delta).sqrt();
+        }
+        // Renormalize the kept block so the state norm is preserved.
+        let renorm = if kept > 0.0 {
+            (total / kept).sqrt()
+        } else {
+            1.0
+        };
+        let ta = &mut self.tensors[i];
+        ta.dr = keep;
+        ta.a = vec![C64::ZERO; dl * 2 * keep];
+        for row in 0..rows {
+            for j in 0..keep {
+                ta.a[row * keep + j] = dec.u[row * dec.k + j];
+            }
+        }
+        let tb = &mut self.tensors[i + 1];
+        tb.dl = keep;
+        tb.a = vec![C64::ZERO; keep * 2 * dr];
+        for j in 0..keep {
+            let w = C64::real(dec.s[j] * renorm);
+            for s2 in 0..2 {
+                for r in 0..dr {
+                    tb.a[(j * 2 + s2) * dr + r] = w * dec.vt[j * cols + (s2 * dr + r)];
+                }
+            }
+        }
+    }
+}
+
+/// Left-environment transfer step: `out[r,r'] = Σ_s Σ_{l,l'} A_s[l,r] ·
+/// env[l,l'] · conj(A_s[l',r'])` (`l` indexes the ket, `l'` the bra).
+fn env_step_left(env: &[C64], t: &SiteTensor) -> Vec<C64> {
+    let (dl, dr) = (t.dl, t.dr);
+    let mut out = vec![C64::ZERO; dr * dr];
+    let mut tmp = vec![C64::ZERO; dl * dr];
+    for s in 0..2 {
+        tmp.fill(C64::ZERO);
+        // tmp[l, r'] = Σ_l' env[l,l'] conj(A_s[l',r'])
+        for l in 0..dl {
+            for lp in 0..dl {
+                let e = env[l * dl + lp];
+                if e == C64::ZERO {
+                    continue;
+                }
+                for rp in 0..dr {
+                    tmp[l * dr + rp] += e * t.a[(lp * 2 + s) * dr + rp].conj();
+                }
+            }
+        }
+        // out[r, r'] += Σ_l A_s[l,r] tmp[l, r']
+        for l in 0..dl {
+            for r in 0..dr {
+                let av = t.a[(l * 2 + s) * dr + r];
+                if av == C64::ZERO {
+                    continue;
+                }
+                for rp in 0..dr {
+                    out[r * dr + rp] += av * tmp[l * dr + rp];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Right-environment transfer step: `out[l,l'] = Σ_s Σ_{r,r'} A_s[l,r] ·
+/// env[r,r'] · conj(A_s[l',r'])`.
+fn env_step_right(env: &[C64], t: &SiteTensor) -> Vec<C64> {
+    let (dl, dr) = (t.dl, t.dr);
+    let mut out = vec![C64::ZERO; dl * dl];
+    let mut tmp = vec![C64::ZERO; dl * dr];
+    for s in 0..2 {
+        tmp.fill(C64::ZERO);
+        // tmp[l, r'] = Σ_r A_s[l,r] env[r,r']
+        for l in 0..dl {
+            for r in 0..dr {
+                let av = t.a[(l * 2 + s) * dr + r];
+                if av == C64::ZERO {
+                    continue;
+                }
+                for rp in 0..dr {
+                    tmp[l * dr + rp] += av * env[r * dr + rp];
+                }
+            }
+        }
+        // out[l, l'] += Σ_r' tmp[l,r'] conj(A_s[l',r'])
+        for l in 0..dl {
+            for lp in 0..dl {
+                let mut acc = C64::ZERO;
+                for rp in 0..dr {
+                    acc += tmp[l * dr + rp] * t.a[(lp * 2 + s) * dr + rp].conj();
+                }
+                out[l * dl + lp] += acc;
+            }
+        }
+    }
+    out
+}
+
+/// Flattens a 4x4 [`Matrix`] into the array layout `apply_two_site` takes.
+fn mat4(m: &Matrix) -> [C64; 16] {
+    debug_assert_eq!(m.dim(), 4);
+    let mut out = [C64::ZERO; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[r * 4 + c] = m.get(r, c);
+        }
+    }
+    out
+}
+
+/// Conjugates a two-qubit unitary by SWAP: exchanges the roles of the two
+/// operands so a matrix with operand 0 on the right site applies correctly.
+fn permute_2q(u: &[C64; 16]) -> [C64; 16] {
+    let flip = |p: usize| ((p & 1) << 1) | (p >> 1);
+    let mut out = [C64::ZERO; 16];
+    for p in 0..4 {
+        for q in 0..4 {
+            out[flip(p) * 4 + flip(q)] = u[p * 4 + q];
+        }
+    }
+    out
+}
+
+/// A frozen [`MpsState`] plus precomputed right environments, for drawing
+/// measurement outcomes of every qubit at `O(n·χ²)` per shot.
+#[derive(Debug, Clone)]
+pub struct MpsSampler {
+    mps: MpsState,
+    /// `right[i]` is the environment of sites `i..n` (dimension = site
+    /// `i`'s left bond); `right[n]` is the trivial scalar.
+    right: Vec<Vec<C64>>,
+}
+
+impl MpsSampler {
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.mps.num_qubits
+    }
+
+    /// The underlying state (for truncation accounting).
+    pub fn state(&self) -> &MpsState {
+        &self.mps
+    }
+
+    /// Samples one basis word (bit `i` = qubit `i`) by sequential
+    /// site-by-site collapse against the precomputed environments.
+    ///
+    /// # Panics
+    ///
+    /// Panics past 64 qubits (the outcome word is a `u64`).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let n = self.mps.num_qubits;
+        assert!(n <= 64, "sampled basis words are limited to 64 qubits");
+        let mut left: Vec<C64> = vec![C64::ONE];
+        let mut word = 0u64;
+        for (i, t) in self.mps.tensors.iter().enumerate() {
+            let (dl, dr) = (t.dl, t.dr);
+            let env = &self.right[i + 1];
+            let mut cond = [vec![C64::ZERO; dr], vec![C64::ZERO; dr]];
+            let mut weights = [0.0f64; 2];
+            for s in 0..2 {
+                // u_s[r] = Σ_l left[l] A_s[l,r]
+                for (l, &lv) in left.iter().enumerate().take(dl) {
+                    if lv == C64::ZERO {
+                        continue;
+                    }
+                    let row = &t.a[(l * 2 + s) * dr..(l * 2 + s) * dr + dr];
+                    for (cv, &av) in cond[s].iter_mut().zip(row) {
+                        *cv += lv * av;
+                    }
+                }
+                // w_s = Σ_{r,r'} u_s[r] env[r,r'] conj(u_s[r'])
+                let mut acc = 0.0;
+                for (r, &cv) in cond[s].iter().enumerate() {
+                    if cv == C64::ZERO {
+                        continue;
+                    }
+                    for rp in 0..dr {
+                        acc += (cv * env[r * dr + rp] * cond[s][rp].conj()).re;
+                    }
+                }
+                weights[s] = acc.max(0.0);
+            }
+            let total = weights[0] + weights[1];
+            let p1 = if total <= 0.0 {
+                0.0
+            } else {
+                weights[1] / total
+            };
+            let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
+            let s = usize::from(outcome);
+            if outcome {
+                word |= 1 << i;
+            }
+            left = std::mem::take(&mut cond[s]);
+            if weights[s] > 0.0 {
+                let scale = 1.0 / weights[s].sqrt();
+                for z in &mut left {
+                    *z = *z * scale;
+                }
+            }
+        }
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mps_vs_dense(gates: &[(Gate, Vec<usize>)], n: usize, max_bond: usize) {
+        let mut mps = MpsState::new(n, max_bond);
+        let mut sv = StateVector::zero(n);
+        for (g, qs) in gates {
+            mps.apply_gate(*g, qs);
+            sv.apply_gate(*g, qs);
+        }
+        let contracted = mps.to_statevector();
+        for (i, (a, b)) in contracted
+            .amplitudes()
+            .iter()
+            .zip(sv.amplitudes())
+            .enumerate()
+        {
+            assert!(a.approx_eq(*b, 1e-10), "amp {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bell_state_matches_dense() {
+        mps_vs_dense(&[(Gate::H, vec![0]), (Gate::CX, vec![0, 1])], 2, 2);
+    }
+
+    #[test]
+    fn nonadjacent_gates_route_through_swaps() {
+        mps_vs_dense(
+            &[
+                (Gate::H, vec![0]),
+                (Gate::CX, vec![0, 3]),
+                (Gate::T, vec![3]),
+                (Gate::CX, vec![3, 1]),
+                (Gate::CP(0.7), vec![4, 0]),
+            ],
+            5,
+            8,
+        );
+    }
+
+    #[test]
+    fn reversed_operand_order_is_respected() {
+        // CX with control above target exercises the permuted matrix path.
+        mps_vs_dense(
+            &[
+                (Gate::X, vec![2]),
+                (Gate::CX, vec![2, 0]),
+                (Gate::CRZ(0.9), vec![2, 1]),
+            ],
+            3,
+            4,
+        );
+    }
+
+    #[test]
+    fn three_qubit_gates_decompose_exactly() {
+        for input in 0..8usize {
+            let prep: Vec<(Gate, Vec<usize>)> = (0..3)
+                .filter(|b| (input >> b) & 1 == 1)
+                .map(|b| (Gate::X, vec![b]))
+                .collect();
+            let mut gates = prep.clone();
+            gates.push((Gate::CCX, vec![0, 1, 2]));
+            mps_vs_dense(&gates, 3, 4);
+            let mut gates = prep;
+            gates.push((Gate::CSWAP, vec![2, 0, 1]));
+            mps_vs_dense(&gates, 3, 4);
+        }
+    }
+
+    #[test]
+    fn deep_random_circuit_untruncated_matches_dense() {
+        let mut rng = StdRng::seed_from_u64(5);
+        use rand::Rng;
+        let n = 6;
+        let mut gates: Vec<(Gate, Vec<usize>)> = Vec::new();
+        for _ in 0..60 {
+            match rng.gen_range(0..5) {
+                0 => gates.push((Gate::H, vec![rng.gen_range(0..n)])),
+                1 => gates.push((Gate::T, vec![rng.gen_range(0..n)])),
+                2 => gates.push((
+                    Gate::RY(rng.gen_range(-2.0..2.0)),
+                    vec![rng.gen_range(0..n)],
+                )),
+                3 => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + rng.gen_range(1..n)) % n;
+                    gates.push((Gate::CX, vec![a, b]));
+                }
+                _ => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + rng.gen_range(1..n)) % n;
+                    gates.push((Gate::CP(rng.gen_range(-2.0..2.0)), vec![a, b]));
+                }
+            }
+        }
+        mps_vs_dense(&gates, n, 8); // 2^(6/2) = 8: untruncated
+    }
+
+    #[test]
+    fn truncation_is_tracked_and_bounded() {
+        // χ = 1 cannot hold a Bell pair: half the weight is discarded.
+        let mut mps = MpsState::new(2, 1);
+        mps.apply_gate(Gate::H, &[0]);
+        mps.apply_gate(Gate::CX, &[0, 1]);
+        assert!((mps.discarded_weight() - 0.5).abs() < 1e-12);
+        assert!(mps.truncation_error_bound() >= mps.discarded_weight());
+        // Untruncated runs report (numerically) zero.
+        let mut exact = MpsState::new(2, 2);
+        exact.apply_gate(Gate::H, &[0]);
+        exact.apply_gate(Gate::CX, &[0, 1]);
+        assert!(exact.discarded_weight() < 1e-20);
+    }
+
+    #[test]
+    fn reinit_folds_peak_and_resets() {
+        let mut mps = MpsState::new(2, 1);
+        mps.apply_gate(Gate::H, &[0]);
+        mps.apply_gate(Gate::CX, &[0, 1]);
+        let before = mps.truncation_error_bound();
+        assert!(before > 0.0);
+        mps.reinit();
+        assert_eq!(mps.discarded_weight(), 0.0);
+        assert_eq!(mps.truncation_error_bound(), 0.0);
+        // The worst completed trajectory's bound survives the reinit.
+        assert!((mps.truncation_error() - before).abs() < 1e-12);
+        assert!(mps.to_statevector().amplitudes()[0].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn measurement_collapses_and_correlates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let mut mps = MpsState::new(3, 4);
+            mps.apply_gate(Gate::H, &[0]);
+            mps.apply_gate(Gate::CX, &[0, 1]);
+            mps.apply_gate(Gate::CX, &[1, 2]);
+            let m0 = mps.measure(0, &mut rng);
+            assert_eq!(mps.measure(1, &mut rng), m0, "GHZ correlation");
+            assert_eq!(mps.measure(2, &mut rng), m0, "GHZ correlation");
+            assert!((mps.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reset_returns_qubit_to_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mps = MpsState::new(2, 2);
+        mps.apply_gate(Gate::H, &[0]);
+        mps.apply_gate(Gate::CX, &[0, 1]);
+        mps.reset(0, &mut rng);
+        assert!(mps.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn pauli_injection_matches_gates() {
+        for (pauli, gate) in [
+            (Pauli::X, Gate::X),
+            (Pauli::Y, Gate::Y),
+            (Pauli::Z, Gate::Z),
+        ] {
+            let mut a = MpsState::new(2, 2);
+            a.apply_gate(Gate::H, &[0]);
+            a.apply_gate(Gate::CX, &[0, 1]);
+            let mut b = a.clone();
+            a.apply_pauli(1, pauli);
+            b.apply_gate(gate, &[1]);
+            let fa = a.to_statevector();
+            let fb = b.to_statevector();
+            assert!((fa.fidelity(&fb) - 1.0).abs() < 1e-12, "{pauli:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_matches_exact_distribution() {
+        let mut mps = MpsState::new(3, 4);
+        mps.apply_gate(Gate::H, &[0]);
+        mps.apply_gate(Gate::CX, &[0, 1]);
+        mps.apply_gate(Gate::RY(0.8), &[2]);
+        let probs = mps.to_statevector().probabilities();
+        let sampler = mps.into_sampler();
+        let mut rng = StdRng::seed_from_u64(9);
+        let shots = 20_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..shots {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let f = counts[i] as f64 / shots as f64;
+            assert!((f - p).abs() < 0.02, "basis {i}: sampled {f}, exact {p}");
+        }
+    }
+
+    #[test]
+    fn peak_bond_reflects_entanglement() {
+        let mut mps = MpsState::new(4, 16);
+        assert_eq!(mps.peak_bond(), 1);
+        mps.apply_gate(Gate::H, &[0]);
+        mps.apply_gate(Gate::CX, &[0, 1]);
+        assert_eq!(mps.peak_bond(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_operands_are_rejected() {
+        MpsState::new(2, 2).apply_gate(Gate::CX, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_operands_are_rejected() {
+        MpsState::new(2, 2).apply_gate(Gate::H, &[2]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal complex dense linear algebra for the MPS engine: a one-sided
+//! Jacobi singular-value decomposition.
+//!
+//! The MPS two-site update needs the SVD of a `(2·χl) x (2·χr)` complex
+//! matrix, and nothing in the workspace's vendored-crates policy provides
+//! one — so we implement exactly that here. One-sided Jacobi was chosen
+//! because it is simple (~100 lines), unconditionally convergent, and
+//! computes small singular values to high relative accuracy, which is what
+//! the truncation bookkeeping relies on.
+//!
+//! The algorithm: repeatedly sweep over column pairs of `A`, applying a
+//! complex plane rotation `G` on the right (`A <- A·G`, `V <- V·G`) that
+//! orthogonalizes the pair; at convergence the columns of `A` are `u_j ·
+//! s_j` with `s_j = ‖a_j‖`, so `A = U·S·V†` falls out by normalizing.
+
+use qcir::math::C64;
+
+/// Convergence threshold for a column pair: the pair is skipped when
+/// `|a_p† a_q| <= JACOBI_TOL · ‖a_p‖·‖a_q‖`.
+const JACOBI_TOL: f64 = 1e-15;
+
+/// Safety cap on Jacobi sweeps (convergence is typically 3–8 sweeps; the
+/// cap only guards against pathological floating-point cycling).
+const MAX_SWEEPS: usize = 64;
+
+/// A singular-value decomposition `A = U·diag(S)·Vt` with `k =
+/// min(rows, cols)` retained components, sorted by descending singular
+/// value.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, row-major `rows x k`.
+    pub u: Vec<C64>,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors (conjugate-transposed), row-major `k x cols`.
+    pub vt: Vec<C64>,
+    /// Number of retained components (`min(rows, cols)`).
+    pub k: usize,
+}
+
+/// Computes the SVD of the row-major `rows x cols` matrix `a`.
+///
+/// # Panics
+///
+/// Panics when `a.len() != rows * cols` or either dimension is zero.
+pub fn svd(rows: usize, cols: usize, a: &[C64]) -> Svd {
+    assert!(rows > 0 && cols > 0, "svd of an empty matrix");
+    assert_eq!(a.len(), rows * cols, "svd matrix shape mismatch");
+    // Column-major working copies: Jacobi is all column operations.
+    let mut w = vec![C64::ZERO; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            w[c * rows + r] = a[r * cols + c];
+        }
+    }
+    // V accumulates the right rotations, column-major `cols x cols`.
+    let mut v = vec![C64::ZERO; cols * cols];
+    for c in 0..cols {
+        v[c * cols + c] = C64::ONE;
+    }
+
+    for _ in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..cols.saturating_sub(1) {
+            for q in (p + 1)..cols {
+                let (alpha, beta, gamma) = column_moments(&w, rows, p, q);
+                let g = gamma.abs();
+                if g <= JACOBI_TOL * (alpha * beta).sqrt() {
+                    continue;
+                }
+                rotated = true;
+                // Absorb the phase of gamma so the 2x2 Gram matrix is real,
+                // then apply the classical symmetric Jacobi rotation.
+                let phi = gamma / g;
+                let tau = (beta - alpha) / (2.0 * g);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_pair(&mut w, rows, p, q, c, s, phi);
+                rotate_pair(&mut v, cols, p, q, c, s, phi);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; sort descending.
+    let mut order: Vec<usize> = (0..cols).collect();
+    let norms: Vec<f64> = (0..cols)
+        .map(|c| {
+            w[c * rows..(c + 1) * rows]
+                .iter()
+                .map(|z| z.norm_sqr())
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite norms"));
+
+    let k = rows.min(cols);
+    let mut u = vec![C64::ZERO; rows * k];
+    let mut s = vec![0.0; k];
+    let mut vt = vec![C64::ZERO; k * cols];
+    for (j, &col) in order.iter().take(k).enumerate() {
+        s[j] = norms[col];
+        if s[j] > 0.0 {
+            let inv = 1.0 / s[j];
+            for r in 0..rows {
+                u[r * k + j] = w[col * rows + r] * inv;
+            }
+        }
+        for r in 0..cols {
+            vt[j * cols + r] = v[col * cols + r].conj();
+        }
+    }
+    Svd { u, s, vt, k }
+}
+
+/// `(‖a_p‖², ‖a_q‖², a_p† a_q)` for columns `p`, `q` of a column-major
+/// matrix with `rows` rows.
+fn column_moments(w: &[C64], rows: usize, p: usize, q: usize) -> (f64, f64, C64) {
+    let cp = &w[p * rows..(p + 1) * rows];
+    let cq = &w[q * rows..(q + 1) * rows];
+    let mut alpha = 0.0;
+    let mut beta = 0.0;
+    let mut gamma = C64::ZERO;
+    for (a, b) in cp.iter().zip(cq) {
+        alpha += a.norm_sqr();
+        beta += b.norm_sqr();
+        gamma += a.conj() * *b;
+    }
+    (alpha, beta, gamma)
+}
+
+/// Applies the rotation `[a_p, a_q] <- [c·a_p − s·φ̄·a_q, s·φ·a_p + c·a_q]`
+/// to columns `p`, `q` of a column-major matrix. The 2x2 factor is unitary
+/// for every `c² + s² = 1` and unit-modulus `φ`.
+fn rotate_pair(w: &mut [C64], rows: usize, p: usize, q: usize, c: f64, s: f64, phi: C64) {
+    for r in 0..rows {
+        let ap = w[p * rows + r];
+        let aq = w[q * rows + r];
+        w[p * rows + r] = ap * c - phi.conj() * aq * s;
+        w[q * rows + r] = phi * ap * s + aq * c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rows * cols)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    fn reconstruct(rows: usize, cols: usize, d: &Svd) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut acc = C64::ZERO;
+                for j in 0..d.k {
+                    acc += d.u[r * d.k + j] * d.vt[j * cols + c] * d.s[j];
+                }
+                out[r * cols + c] = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_svd_valid(rows: usize, cols: usize, a: &[C64]) {
+        let d = svd(rows, cols, a);
+        // Reconstruction.
+        let back = reconstruct(rows, cols, &d);
+        for (x, y) in a.iter().zip(&back) {
+            assert!(x.approx_eq(*y, 1e-11), "reconstruction off: {x} vs {y}");
+        }
+        // Descending singular values.
+        for pair in d.s.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12);
+        }
+        // U columns orthonormal (skip numerically-null columns).
+        for i in 0..d.k {
+            for j in 0..d.k {
+                let mut ip = C64::ZERO;
+                for r in 0..rows {
+                    ip += d.u[r * d.k + i].conj() * d.u[r * d.k + j];
+                }
+                if d.s[i] > 1e-12 && d.s[j] > 1e-12 {
+                    let expect = if i == j { C64::ONE } else { C64::ZERO };
+                    assert!(ip.approx_eq(expect, 1e-10), "U†U[{i}][{j}] = {ip}");
+                }
+            }
+        }
+        // Vt rows orthonormal.
+        for i in 0..d.k {
+            for j in 0..d.k {
+                let mut ip = C64::ZERO;
+                for c in 0..cols {
+                    ip += d.vt[i * cols + c] * d.vt[j * cols + c].conj();
+                }
+                let expect = if i == j { C64::ONE } else { C64::ZERO };
+                assert!(ip.approx_eq(expect, 1e-10), "VtV[{i}][{j}] = {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_square_and_rectangular_matrices() {
+        for (rows, cols, seed) in [(4, 4, 1), (8, 3, 2), (3, 8, 3), (16, 16, 4), (1, 5, 5)] {
+            assert_svd_valid(rows, cols, &random_matrix(rows, cols, seed));
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Two identical columns: rank 1 on a 3x2 matrix.
+        let a = vec![
+            C64::new(1.0, 0.5),
+            C64::new(1.0, 0.5),
+            C64::new(-0.3, 0.0),
+            C64::new(-0.3, 0.0),
+            C64::new(0.0, 2.0),
+            C64::new(0.0, 2.0),
+        ];
+        let d = svd(3, 2, &a);
+        assert!(d.s[1] < 1e-12, "second singular value should vanish");
+        assert_svd_valid(3, 2, &a);
+    }
+
+    #[test]
+    fn diagonal_matrix_recovers_entries() {
+        let mut a = vec![C64::ZERO; 9];
+        a[0] = C64::real(3.0);
+        a[4] = C64::real(1.0);
+        a[8] = C64::real(2.0);
+        let d = svd(3, 3, &a);
+        assert!((d.s[0] - 3.0).abs() < 1e-12);
+        assert!((d.s[1] - 2.0).abs() < 1e-12);
+        assert!((d.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero_singular_values() {
+        let a = vec![C64::ZERO; 6];
+        let d = svd(2, 3, &a);
+        assert!(d.s.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_is_checked() {
+        svd(2, 2, &[C64::ONE; 3]);
+    }
+}

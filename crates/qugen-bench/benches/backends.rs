@@ -24,15 +24,15 @@ fn bench_clifford_surface_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("clifford_surface_memory");
     group.bench_function("tableau_d3", |b| {
         let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
-        b.iter(|| std::hint::black_box(exec.run(&d3, MEMORY_SHOTS, 1)))
+        b.iter(|| std::hint::black_box(exec.try_run(&d3, MEMORY_SHOTS, 1).unwrap()))
     });
     group.bench_function("dense_d3", |b| {
         let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Dense);
-        b.iter(|| std::hint::black_box(exec.run(&d3, MEMORY_SHOTS, 1)))
+        b.iter(|| std::hint::black_box(exec.try_run(&d3, MEMORY_SHOTS, 1).unwrap()))
     });
     group.bench_function("tableau_d5", |b| {
         let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
-        b.iter(|| std::hint::black_box(exec.run(&d5, MEMORY_SHOTS, 1)))
+        b.iter(|| std::hint::black_box(exec.try_run(&d5, MEMORY_SHOTS, 1).unwrap()))
     });
     group.finish();
 }
@@ -45,12 +45,16 @@ fn bench_parallel_exec(c: &mut Criterion) {
     }
     ghz.measure_all();
     let noise = qsim::profiles::noisy_nisq();
+    // Scriptable from CI: QUGEN_BACKEND=auto|dense|tableau|mps[:χ].
+    let choice = qsim::backend::choice_from_env();
     let mut group = c.benchmark_group("parallel_exec");
     for &threads in &[1usize, 8] {
-        let exec = Executor::with_noise(noise.clone()).with_threads(threads);
-        let name = format!("ghz10_noisy_10k_shots/threads={threads}");
+        let exec = Executor::with_noise(noise.clone())
+            .with_backend(choice)
+            .with_threads(threads);
+        let name = format!("ghz10_noisy_10k_shots/backend={choice}/threads={threads}");
         group.bench_function(&name, |b| {
-            b.iter(|| std::hint::black_box(exec.run(&ghz, 10_000, 1)))
+            b.iter(|| std::hint::black_box(exec.try_run(&ghz, 10_000, 1).unwrap()))
         });
     }
     group.finish();

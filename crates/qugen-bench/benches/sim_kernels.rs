@@ -94,11 +94,11 @@ fn bench_shot_sampling(c: &mut Criterion) {
     }
     qc.measure_all();
     c.bench_function("ghz10_4096_shots", |b| {
-        b.iter(|| std::hint::black_box(Executor::ideal().run(&qc, 4096, 1)))
+        b.iter(|| std::hint::black_box(Executor::ideal().try_run(&qc, 4096, 1).unwrap()))
     });
     let noisy = Executor::with_noise(qsim::profiles::ibm_brisbane_like());
     c.bench_function("ghz10_256_noisy_trajectories", |b| {
-        b.iter(|| std::hint::black_box(noisy.run(&qc, 256, 1)))
+        b.iter(|| std::hint::black_box(noisy.try_run(&qc, 256, 1).unwrap()))
     });
 }
 
