@@ -1,0 +1,72 @@
+//! Throwaway probe (not part of the PR): does the reported truncation
+//! error bound actually dominate the true infidelity on random circuits?
+
+use qcir::circuit::Circuit;
+use qsim::exec::Executor;
+use qsim::mps::MpsState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn evolve_mps(qc: &Circuit, max_bond: usize) -> MpsState {
+    let mut mps = MpsState::new(qc.num_qubits(), max_bond);
+    for op in qc.ops() {
+        if let qcir::circuit::Op::Gate { gate, qubits } = op {
+            mps.apply_gate(*gate, qubits);
+        }
+    }
+    mps
+}
+
+#[test]
+fn probe_bound_violations() {
+    let n = 8;
+    let mut worst: f64 = 0.0;
+    let mut violations = 0;
+    for seed in 0..4000u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut qc = Circuit::new(n, 0);
+        for _ in 0..40 {
+            match rng.gen_range(0..5) {
+                0 => {
+                    qc.h(rng.gen_range(0..n));
+                }
+                1 => {
+                    qc.t(rng.gen_range(0..n));
+                }
+                2 => {
+                    qc.ry(rng.gen_range(-2.0..2.0), rng.gen_range(0..n));
+                }
+                3 => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + rng.gen_range(1..n)) % n;
+                    qc.cx(a, b);
+                }
+                _ => {
+                    let a = rng.gen_range(0..n);
+                    let b = (a + rng.gen_range(1..n)) % n;
+                    qc.cp(rng.gen_range(-2.0..2.0), a, b);
+                }
+            }
+        }
+        for chi in [2usize, 3, 4] {
+            let mps = evolve_mps(&qc, chi);
+            let bound = mps.truncation_error_bound();
+            if bound >= 1.0 - 1e-12 {
+                continue; // clamped bound is trivially satisfied
+            }
+            let dense = Executor::statevector(&qc);
+            let infidelity = 1.0 - mps.to_statevector().fidelity(&dense);
+            if infidelity > bound + 1e-9 {
+                violations += 1;
+                let excess = infidelity - bound;
+                if excess > worst {
+                    worst = excess;
+                    eprintln!(
+                        "seed {seed} chi {chi}: infidelity {infidelity:.6} > bound {bound:.6}"
+                    );
+                }
+            }
+        }
+    }
+    eprintln!("violations: {violations}, worst excess: {worst:.6}");
+}
