@@ -190,7 +190,7 @@ mod tests {
         let r = order_mod_15(7);
         for (word, p) in d.iter() {
             if p > 1e-9 {
-                assert_eq!(r % candidate_order(word, 3), 0, "word {word}");
+                assert_eq!(r % candidate_order(word.low64(), 3), 0, "word {word}");
             }
         }
     }

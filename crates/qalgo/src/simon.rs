@@ -77,9 +77,9 @@ mod tests {
             for (word, p) in d.iter() {
                 if p > 1e-9 {
                     assert_eq!(
-                        dot_mod2(word, secret),
+                        dot_mod2(word.low64(), secret),
                         0,
-                        "secret {secret:02b}, word {word:02b}"
+                        "secret {secret:02b}, word {word}"
                     );
                 }
             }
@@ -93,7 +93,7 @@ mod tests {
         let valid: Vec<u64> = d
             .iter()
             .filter(|(_, p)| *p > 1e-9)
-            .map(|(w, _)| w)
+            .map(|(w, _)| w.low64())
             .collect();
         // Exactly half the words satisfy y.s = 0.
         assert_eq!(valid.len(), 4);
@@ -117,7 +117,7 @@ mod tests {
         let samples: Vec<u64> = d
             .iter()
             .filter(|(_, p)| *p > 1e-9)
-            .map(|(w, _)| w)
+            .map(|(w, _)| w.low64())
             .collect();
         assert_eq!(solve_secret(3, &samples), Some(secret));
     }

@@ -51,7 +51,7 @@ pub fn teleport_plus() -> Circuit {
 pub fn prob_c2_one(counts: &qsim::dist::Counts) -> f64 {
     let mut ones = 0u64;
     for (word, count) in counts.iter() {
-        if (word >> 2) & 1 == 1 {
+        if word.bit(2) {
             ones += count;
         }
     }
@@ -107,7 +107,7 @@ mod tests {
         for c0c1 in 0..4u64 {
             let mass: u64 = counts
                 .iter()
-                .filter(|(w, _)| w & 0b11 == c0c1)
+                .filter(|(w, _)| w.low64() & 0b11 == c0c1)
                 .map(|(_, c)| c)
                 .sum();
             let p = mass as f64 / counts.shots() as f64;

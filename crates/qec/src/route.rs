@@ -291,7 +291,7 @@ mod tests {
         // c2 (the teleported qubit) must always read 1.
         for (word, count) in counts.iter() {
             if count > 0 {
-                assert_eq!((word >> 2) & 1, 1, "c2 must be 1 in {word:03b}");
+                assert!(word.bit(2), "c2 must be 1 in {}", word.bitstring(3));
             }
         }
     }

@@ -200,9 +200,9 @@ mod tests {
                 support += 1;
                 let mut bits = [false; 7];
                 for (q, b) in bits.iter_mut().enumerate() {
-                    *b = (word >> q) & 1 == 1;
+                    *b = word.bit(q);
                 }
-                assert_eq!(code.z_syndrome(&bits), 0, "word {word:#09b}");
+                assert_eq!(code.z_syndrome(&bits), 0, "word {}", word.bitstring(7));
             }
         }
         assert_eq!(support, 8, "|0>_L superposes the 8 even codewords");

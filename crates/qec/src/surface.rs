@@ -12,6 +12,7 @@
 //! dense simulation is impossible.
 
 use qcir::circuit::Circuit;
+use qsim::word::OutcomeWord;
 use std::fmt;
 
 /// Which Pauli type a stabilizer measures.
@@ -214,18 +215,15 @@ impl SurfaceCode {
     ///
     /// # Panics
     ///
-    /// Panics when `rounds == 0` or the classical register would not fit a
-    /// 64-bit outcome word (`rounds * |Z stabilizers| + d^2 > 64`).
+    /// Panics when `rounds == 0`. The classical register is unbounded —
+    /// outcomes travel as multi-word [`OutcomeWord`]s, so distance-7
+    /// circuits (97+ classical bits at two rounds) lower like any other;
+    /// the pre-multi-word layer refused anything past 64 bits here.
     pub fn memory_circuit(&self, rounds: usize) -> MemoryCircuit {
         assert!(rounds >= 1, "need at least one extraction round");
         let num_data = self.num_data();
         let num_z = self.z_stabilizers().len();
         let num_clbits = rounds * num_z + num_data;
-        assert!(
-            num_clbits <= 64,
-            "memory circuit needs {num_clbits} classical bits, but outcomes \
-             are 64-bit words; reduce `rounds`"
-        );
         let mut qc = Circuit::new(num_data + self.num_stabilizers(), num_clbits);
         for t in 0..rounds {
             qc.barrier_all();
@@ -323,20 +321,20 @@ impl MemoryCircuit {
     }
 
     /// Unpacks the per-round measured Z syndromes from an outcome word.
-    pub fn z_syndromes(&self, word: u64) -> Vec<Vec<bool>> {
+    pub fn z_syndromes(&self, word: &OutcomeWord) -> Vec<Vec<bool>> {
         (0..self.rounds)
             .map(|t| {
                 (0..self.num_z)
-                    .map(|s| (word >> self.z_syndrome_bit(t, s)) & 1 == 1)
+                    .map(|s| word.bit(self.z_syndrome_bit(t, s)))
                     .collect()
             })
             .collect()
     }
 
     /// Unpacks the final transversal data readout from an outcome word.
-    pub fn data_readout(&self, word: u64) -> Vec<bool> {
+    pub fn data_readout(&self, word: &OutcomeWord) -> Vec<bool> {
         (0..self.num_data)
-            .map(|q| (word >> self.data_bit(q)) & 1 == 1)
+            .map(|q| word.bit(self.data_bit(q)))
             .collect()
     }
 
@@ -345,7 +343,7 @@ impl MemoryCircuit {
     /// from the data readout's syndrome (node flattening matches
     /// [`crate::decoder::DecodingGraph::spacetime_x`] over `rounds + 1`
     /// layers).
-    pub fn detection_events(&self, code: &SurfaceCode, word: u64) -> Vec<usize> {
+    pub fn detection_events(&self, code: &SurfaceCode, word: &OutcomeWord) -> Vec<usize> {
         let final_syndrome = code.z_syndrome(&self.data_readout(word));
         let mut events = Vec::new();
         let mut prev = vec![false; self.num_z];
@@ -577,12 +575,14 @@ mod tests {
         let mem = code.memory_circuit(2);
         let num_z = code.z_stabilizers().len();
         // Set round-1 syndrome bit 2 and data bit 4.
-        let word = (1u64 << (num_z + 2)) | (1u64 << mem.data_bit(4));
-        let syndromes = mem.z_syndromes(word);
+        let mut word = OutcomeWord::zero();
+        word.set_bit(num_z + 2, true);
+        word.set_bit(mem.data_bit(4), true);
+        let syndromes = mem.z_syndromes(&word);
         assert!(!syndromes[0].iter().any(|&b| b));
         assert!(syndromes[1][2]);
         assert_eq!(syndromes[1].iter().filter(|&&b| b).count(), 1);
-        let data = mem.data_readout(word);
+        let data = mem.data_readout(&word);
         assert!(data[4]);
         assert_eq!(data.iter().filter(|&&b| b).count(), 1);
     }
@@ -593,17 +593,32 @@ mod tests {
         let mem = code.memory_circuit(2);
         let num_z = code.z_stabilizers().len();
         // Clean word: no events.
-        assert!(mem.detection_events(&code, 0).is_empty());
+        assert!(mem.detection_events(&code, &OutcomeWord::zero()).is_empty());
         // A measurement flip in round 0 only: events in layers 0 and 1
         // (appears, then disappears).
-        let word = 1u64 << mem.z_syndrome_bit(0, 1);
-        assert_eq!(mem.detection_events(&code, word), vec![1, num_z + 1]);
+        let mut word = OutcomeWord::zero();
+        word.set_bit(mem.z_syndrome_bit(0, 1), true);
+        assert_eq!(mem.detection_events(&code, &word), vec![1, num_z + 1]);
     }
 
     #[test]
-    #[should_panic(expected = "classical bits")]
-    fn memory_circuit_rejects_registers_past_the_word_cap() {
-        // d=5: 12 Z stabilizers per round + 25 data bits; 4 rounds needs 73.
-        SurfaceCode::new(5).memory_circuit(4);
+    fn memory_circuit_crosses_the_64_bit_register_boundary() {
+        // d=5 at 4 rounds needs 73 classical bits, d=7 at 2 rounds needs
+        // 97 — both refused before the multi-word register layer.
+        let mem = SurfaceCode::new(5).memory_circuit(4);
+        assert_eq!(mem.circuit.num_clbits(), 73);
+        let code = SurfaceCode::new(7);
+        let mem = code.memory_circuit(2);
+        assert_eq!(mem.circuit.num_clbits(), 2 * 24 + 49);
+        assert_eq!(mem.circuit.num_qubits(), 49 + code.num_stabilizers());
+        assert!(qsim::backend::classify(&mem.circuit).is_clifford());
+        // Spilled bits round-trip through the unpackers.
+        let mut word = OutcomeWord::zero();
+        word.set_bit(mem.data_bit(48), true);
+        assert!(mem.data_bit(48) > 64);
+        let data = mem.data_readout(&word);
+        assert!(data[48]);
+        assert_eq!(data.iter().filter(|&&b| b).count(), 1);
+        assert!(mem.z_syndromes(&word).iter().flatten().all(|&b| !b));
     }
 }

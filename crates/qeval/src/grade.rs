@@ -33,24 +33,26 @@ pub const GRADING_SEED: u64 = 0xE7A1;
 /// grader refuses to allocate dense state vectors past this size for
 /// arbitrary generated code, exactly like the pre-backend-layer 22-qubit
 /// guard. Clifford circuits are exempt — they grade on the tableau backend
-/// up to [`qsim::backend::MAX_CLBITS`] classical bits, which is what makes
-/// distance-5 surface-code tasks (49 qubits) gradeable — and so are
-/// short-range general circuits, which grade on the MPS backend.
+/// with classical registers of any width (outcomes are multi-word, so even
+/// distance-7 surface-code tasks with 97+ classical bits are gradeable) —
+/// and so are short-range general circuits, which grade on the MPS backend.
 pub const GRADING_DENSE_QUBIT_CAP: usize = 22;
 
 /// Picks the grading backend for `circuit` — the cap is three-way
 /// class-aware:
 ///
 /// * Clifford circuits grade through auto dispatch (dense when small,
-///   tableau when large) up to the 64-classical-bit outcome word;
+///   tableau when large), with no classical-register width limit;
 /// * general circuits at or under [`GRADING_DENSE_QUBIT_CAP`] qubits grade
 ///   through auto dispatch on the dense engine;
 /// * general circuits above the cap whose multi-qubit gates stay within
 ///   [`qsim::backend::AUTO_MPS_MAX_RANGE`] sites grade on the MPS backend
 ///   at [`qsim::backend::MPS_DEFAULT_MAX_BOND`] (with the executor's
-///   truncation budget guarding fidelity);
-/// * everything else is refused with the grading-guard
-///   [`SimError::QubitCapExceeded`].
+///   truncation budget guarding fidelity), so a refusal there reports the
+///   MPS engine's own cap ([`qsim::backend::MPS_QUBIT_CAP`]) — the limit
+///   actually in force — not the dense grading guard;
+/// * long-range general circuits over the dense cap are refused with the
+///   grading-guard [`SimError::QubitCapExceeded`].
 ///
 /// # Errors
 ///
@@ -62,9 +64,10 @@ pub fn grading_backend(circuit: &Circuit) -> Result<BackendChoice, SimError> {
     } else if circuit.num_qubits() <= GRADING_DENSE_QUBIT_CAP {
         backend::resolve(BackendChoice::Dense, circuit)?;
         Ok(BackendChoice::Auto)
-    } else if backend::interaction_range(circuit) <= backend::AUTO_MPS_MAX_RANGE
-        && circuit.num_qubits() <= backend::MPS_QUBIT_CAP
-    {
+    } else if backend::interaction_range(circuit) <= backend::AUTO_MPS_MAX_RANGE {
+        // Short-range general circuit: MPS-eligible, and past
+        // MPS_QUBIT_CAP `resolve` reports the MPS cap (1024) rather than
+        // the misleading 22-qubit dense guard.
         let choice = BackendChoice::Mps {
             max_bond: backend::MPS_DEFAULT_MAX_BOND,
         };
@@ -163,9 +166,10 @@ pub fn grade_source_with_threads(source: &str, spec: &TaskSpec, sim_threads: usi
     }
     let (Ok(choice_c), Ok(choice_r)) = (grading_backend(&circuit), grading_backend(&reference))
     else {
-        // No admissible backend (absurd general register sizes, >64 clbits,
-        // …): grade as semantically wrong rather than attempting to
-        // simulate. Clifford circuits sail through up to 64 classical bits.
+        // No admissible backend (absurd general register sizes, long-range
+        // entanglers over the cap, …): grade as semantically wrong rather
+        // than attempting to simulate. Clifford circuits sail through at
+        // any classical-register width.
         return GradeDetail {
             syntactic_ok: true,
             semantic_ok: false,
@@ -402,10 +406,21 @@ mod tests {
                 ..
             })
         ));
-        let wide = Circuit::new(2, 65);
+        // Wide classical registers no longer refuse: a 97-clbit Clifford
+        // circuit (the distance-7 memory shape) preflights clean.
+        let wide = Circuit::new(2, 97);
+        assert!(grading_preflight(&wide).is_ok());
+        // A short-range general circuit past MPS_QUBIT_CAP reports the MPS
+        // engine's cap (1024), not the 22-qubit dense grading guard.
+        let mut huge = Circuit::new(qsim::backend::MPS_QUBIT_CAP + 1, 0);
+        huge.t(0);
         assert!(matches!(
-            grading_preflight(&wide),
-            Err(SimError::TooManyClbits { .. })
+            grading_preflight(&huge),
+            Err(SimError::QubitCapExceeded {
+                backend: "mps",
+                cap: qsim::backend::MPS_QUBIT_CAP,
+                ..
+            })
         ));
     }
 

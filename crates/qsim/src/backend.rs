@@ -42,10 +42,12 @@
 //! surfaces as the typed [`SimError::TruncationBudgetExceeded`] when it
 //! passes the executor's budget — never silently.
 //!
-//! All engines share the [`MAX_CLBITS`] classical-register cap: outcomes
-//! travel as packed `u64` words through [`crate::dist::Counts`], so a
-//! circuit with more than 64 classical bits is rejected up front instead of
-//! silently truncating high bits.
+//! Classical registers are unbounded on every engine: outcomes travel as
+//! packed multi-word [`crate::word::OutcomeWord`]s through
+//! [`crate::dist::Counts`], with registers of up to 64 bits staying on an
+//! allocation-free inline representation. (The pre-multi-word layer
+//! refused >64-clbit circuits with a `TooManyClbits` error; that cap and
+//! the error variant are gone.)
 //!
 //! Pauli noise channels ([`crate::noise::NoiseModel`]) are
 //! backend-agnostic: every state implements
@@ -75,10 +77,6 @@ pub const TABLEAU_QUBIT_CAP: usize = 4096;
 /// and beats the tableau's per-op row scans, and the dense engine keeps its
 /// exact-sampling fast path for noiseless end-measured circuits.
 pub const AUTO_DENSE_MAX_QUBITS: usize = 12;
-
-/// Classical-register cap: outcomes are packed `u64` words in
-/// [`crate::dist::Counts`], so at most 64 classical bits per circuit.
-pub const MAX_CLBITS: usize = 64;
 
 /// Sanity cap on MPS simulation: memory is `O(n·χ²)`, so thousands of
 /// qubits are representable, but nothing in this workspace goes near it.
@@ -116,13 +114,6 @@ pub enum SimError {
         /// The first offending gate.
         gate: Gate,
     },
-    /// The circuit declares more classical bits than fit one outcome word.
-    TooManyClbits {
-        /// Classical bits the circuit declares.
-        num_clbits: usize,
-        /// The representation cap ([`MAX_CLBITS`]).
-        cap: usize,
-    },
     /// An MPS run truncated more than the executor's budget allows: the
     /// produced counts would come from a state whose fidelity loss can
     /// exceed what the caller accepted. Raise the bond dimension, raise
@@ -155,10 +146,6 @@ impl fmt::Display for SimError {
             SimError::NonCliffordGate { gate } => {
                 write!(f, "tableau backend cannot apply non-Clifford gate `{gate}`")
             }
-            SimError::TooManyClbits { num_clbits, cap } => write!(
-                f,
-                "classical register of {num_clbits} bits exceeds the {cap}-bit outcome word"
-            ),
             SimError::TruncationBudgetExceeded {
                 max_bond,
                 error_bound,
@@ -381,17 +368,11 @@ impl fmt::Display for BackendKind {
 ///
 /// # Errors
 ///
-/// [`SimError::TooManyClbits`] for >64-bit classical registers,
 /// [`SimError::NonCliffordGate`] when the tableau is forced on a general
 /// circuit, and [`SimError::QubitCapExceeded`] when the circuit fits no
-/// admissible engine.
+/// admissible engine. Classical-register width never refuses a circuit:
+/// outcomes are multi-word.
 pub fn resolve(choice: BackendChoice, circuit: &Circuit) -> Result<BackendKind, SimError> {
-    if circuit.num_clbits() > MAX_CLBITS {
-        return Err(SimError::TooManyClbits {
-            num_clbits: circuit.num_clbits(),
-            cap: MAX_CLBITS,
-        });
-    }
     let n = circuit.num_qubits();
     let dense_ok = |label| {
         if n <= DENSE_QUBIT_CAP {
@@ -895,14 +876,18 @@ mod tests {
     }
 
     #[test]
-    fn clbit_cap_is_enforced() {
-        let wide = Circuit::new(2, 65);
+    fn wide_classical_registers_resolve() {
+        // Register width no longer refuses circuits: outcomes are
+        // multi-word, so a 97-clbit register (distance-7 memory) resolves
+        // like any other.
+        let wide = Circuit::new(2, 97);
         assert_eq!(
-            resolve(BackendChoice::Auto, &wide),
-            Err(SimError::TooManyClbits {
-                num_clbits: 65,
-                cap: MAX_CLBITS,
-            })
+            resolve(BackendChoice::Auto, &wide).unwrap(),
+            BackendKind::Dense
+        );
+        assert_eq!(
+            resolve(BackendChoice::Tableau, &wide).unwrap(),
+            BackendKind::Tableau
         );
     }
 
@@ -934,11 +919,6 @@ mod tests {
     fn error_messages_render() {
         let e = SimError::NonCliffordGate { gate: Gate::T };
         assert!(e.to_string().contains("non-Clifford"));
-        let e = SimError::TooManyClbits {
-            num_clbits: 70,
-            cap: 64,
-        };
-        assert!(e.to_string().contains("64-bit"));
         let e = SimError::TruncationBudgetExceeded {
             max_bond: 8,
             error_bound: 0.25,

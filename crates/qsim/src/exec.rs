@@ -16,10 +16,11 @@ use crate::dist::{Counts, Distribution};
 use crate::mps::{MpsSampler, MpsState};
 use crate::noise::NoiseModel;
 use crate::state::StateVector;
+use crate::word::OutcomeWord;
 use qcir::circuit::{Circuit, Op};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Shots per RNG chunk (see the module docs on determinism).
@@ -138,11 +139,11 @@ impl Executor {
     /// # Errors
     ///
     /// Returns a [`SimError`] when no admissible backend can run the
-    /// circuit (qubit caps, non-Clifford gates on a forced tableau, or a
-    /// classical register wider than one outcome word) — conditions the
-    /// pre-backend-layer API turned into panics — or when an MPS run
-    /// truncates past the configured
-    /// [`Executor::with_truncation_budget`].
+    /// circuit (qubit caps, or non-Clifford gates on a forced tableau) —
+    /// conditions the pre-backend-layer API turned into panics — or when
+    /// an MPS run truncates past the configured
+    /// [`Executor::with_truncation_budget`]. Classical-register width is
+    /// unbounded: outcomes are multi-word.
     pub fn try_run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
         // Same two phases as the batch path, for a batch of one: the
         // backend/fast-path dispatch rule lives in `prepare` alone.
@@ -225,6 +226,12 @@ impl Executor {
             .collect();
         let slots: Vec<Mutex<Option<Counts>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
         let worst_truncation: Vec<Mutex<f64>> = tasks.iter().map(|_| Mutex::new(0.0)).collect();
+        // Per-task early-abort flags: once one worker's state blows the
+        // truncation budget, the whole task is doomed to return the typed
+        // error, so remaining chunks are skipped instead of burning the
+        // rest of the shot budget. Successful tasks never set their flag,
+        // keeping results bit-identical to the serial path.
+        let cancelled: Vec<AtomicBool> = tasks.iter().map(|_| AtomicBool::new(false)).collect();
         let next = AtomicUsize::new(0);
         let threads = self.threads.min(items.len().max(1));
         std::thread::scope(|scope| {
@@ -239,18 +246,14 @@ impl Executor {
                             break;
                         }
                         let (t, chunk) = items[w];
+                        if cancelled[t].load(Ordering::Relaxed) {
+                            continue;
+                        }
                         let task = prepared[t].as_ref().expect("only Ok tasks enqueue items");
                         let chunk_shots = (task.shots - chunk as u64 * SHOT_CHUNK).min(SHOT_CHUNK);
                         let mut rng = StdRng::seed_from_u64(derive_seed(task.seed, chunk as u64));
                         let counts = match &task.plan {
-                            BatchPlan::DenseSampling { sv, measure_map } => sample_chunk(
-                                task.num_clbits,
-                                chunk_shots,
-                                &mut rng,
-                                measure_map,
-                                |rng| sv.sample(rng) as u64,
-                            ),
-                            BatchPlan::MpsSampling {
+                            BatchPlan::Sampling {
                                 sampler,
                                 measure_map,
                             } => sample_chunk(
@@ -258,7 +261,7 @@ impl Executor {
                                 chunk_shots,
                                 &mut rng,
                                 measure_map,
-                                |rng| sampler.sample(rng),
+                                |rng, basis| sampler.draw_into(rng, basis),
                             ),
                             BatchPlan::Trajectory { kind, circuit } => {
                                 let state = states[t].get_or_insert_with(|| {
@@ -266,13 +269,17 @@ impl Executor {
                                         .init(circuit.num_qubits())
                                         .expect("backend capacity pre-validated by resolve()")
                                 });
-                                self.trajectory_chunk(
+                                let counts = self.trajectory_chunk(
                                     circuit,
                                     state.as_mut(),
                                     task.num_clbits,
                                     chunk_shots,
                                     &mut rng,
-                                )
+                                );
+                                if state.truncation_error() > self.truncation_budget {
+                                    cancelled[t].store(true, Ordering::Relaxed);
+                                }
+                                counts
                             }
                         };
                         locals[t]
@@ -338,17 +345,20 @@ impl Executor {
         let plan = match kind {
             BackendKind::Dense if sampling_ok => {
                 let (sv, measure_map) = evolve_dense_prefix(circuit);
-                BatchPlan::DenseSampling { sv, measure_map }
+                BatchPlan::Sampling {
+                    sampler: Sampler::Dense(sv),
+                    measure_map,
+                }
             }
-            // The ≤ 64 guard exists because `MpsSampler::sample` packs one
-            // `u64` basis word over *qubit* indices; wider measure-at-end
-            // circuits fall back to per-shot trajectory replay (correct but
-            // O(shots·gates) — multi-word sampling is a ROADMAP follow-on).
-            BackendKind::Mps { max_bond } if sampling_ok && circuit.num_qubits() <= 64 => {
+            // Basis words are multi-word `OutcomeWord`s, so measure-at-end
+            // MPS circuits keep the O(n·χ²)-per-shot sampling fast path at
+            // any width (the old sampler packed a `u64` and fell back to
+            // per-shot trajectory replay past 64 qubits).
+            BackendKind::Mps { max_bond } if sampling_ok => {
                 let (state, measure_map) = evolve_mps_prefix(circuit, max_bond);
                 self.check_truncation(max_bond, state.truncation_error())?;
-                BatchPlan::MpsSampling {
-                    sampler: state.into_sampler(),
+                BatchPlan::Sampling {
+                    sampler: Sampler::Mps(state.into_sampler()),
                     measure_map,
                 }
             }
@@ -367,19 +377,7 @@ impl Executor {
     /// seeding, so their counts are bit-identical).
     fn run_task(&self, task: &BatchTask) -> Result<Counts, SimError> {
         match &task.plan {
-            BatchPlan::DenseSampling { sv, measure_map } => Ok(self.chunked_counts(
-                task.num_clbits,
-                task.shots,
-                task.seed,
-                || (),
-                |(), chunk_shots, rng| {
-                    sample_chunk(task.num_clbits, chunk_shots, rng, measure_map, |rng| {
-                        sv.sample(rng) as u64
-                    })
-                },
-                |()| {},
-            )),
-            BatchPlan::MpsSampling {
+            BatchPlan::Sampling {
                 sampler,
                 measure_map,
             } => Ok(self.chunked_counts(
@@ -388,11 +386,16 @@ impl Executor {
                 task.seed,
                 || (),
                 |(), chunk_shots, rng| {
-                    sample_chunk(task.num_clbits, chunk_shots, rng, measure_map, |rng| {
-                        sampler.sample(rng)
-                    })
+                    sample_chunk(
+                        task.num_clbits,
+                        chunk_shots,
+                        rng,
+                        measure_map,
+                        |rng, basis| sampler.draw_into(rng, basis),
+                    )
                 },
                 |()| {},
+                &AtomicBool::new(false),
             )),
             BatchPlan::Trajectory { kind, circuit } => {
                 self.run_trajectories(*kind, circuit, task.shots, task.seed)
@@ -401,6 +404,12 @@ impl Executor {
     }
 
     /// Monte-Carlo path: one trajectory per shot on the resolved backend.
+    ///
+    /// When a worker's state blows the MPS truncation budget mid-run the
+    /// shared cancel flag aborts the remaining chunks: the run is already
+    /// doomed to the typed error, so finishing the shot budget would only
+    /// burn `~shots×` the cost for the same refusal. Runs within budget
+    /// never set the flag and stay bit-identical for every thread count.
     fn run_trajectories(
         &self,
         kind: BackendKind,
@@ -411,6 +420,7 @@ impl Executor {
         let engine = kind.build();
         let engine = &engine;
         let worst_truncation = Mutex::new(0.0f64);
+        let cancel = AtomicBool::new(false);
         let counts = self.chunked_counts(
             circuit.num_clbits(),
             shots,
@@ -421,19 +431,24 @@ impl Executor {
                     .expect("backend capacity pre-validated by resolve()")
             },
             |state, chunk_shots, rng| {
-                self.trajectory_chunk(
+                let counts = self.trajectory_chunk(
                     circuit,
                     state.as_mut(),
                     circuit.num_clbits(),
                     chunk_shots,
                     rng,
-                )
+                );
+                if state.truncation_error() > self.truncation_budget {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                counts
             },
             |state| {
                 let e = state.truncation_error();
                 let mut w = worst_truncation.lock().expect("truncation slot poisoned");
                 *w = w.max(e);
             },
+            &cancel,
         );
         if let BackendKind::Mps { max_bond } = kind {
             let worst = worst_truncation
@@ -444,7 +459,9 @@ impl Executor {
         Ok(counts)
     }
 
-    /// One chunk of Monte-Carlo trajectories on a reusable state.
+    /// One chunk of Monte-Carlo trajectories on a reusable state; the
+    /// outcome scratch word is reused across the chunk's shots, so ≤ 64-bit
+    /// registers record without heap allocation.
     fn trajectory_chunk(
         &self,
         circuit: &Circuit,
@@ -454,8 +471,10 @@ impl Executor {
         rng: &mut StdRng,
     ) -> Counts {
         let mut counts = Counts::new(num_clbits);
+        let mut word = OutcomeWord::zero();
         for _ in 0..chunk_shots {
-            counts.record(self.trajectory(circuit, state, rng));
+            self.trajectory(circuit, state, rng, &mut word);
+            counts.record_word(&word);
         }
         counts
     }
@@ -486,6 +505,14 @@ impl Executor {
     /// accumulate locally and the final merge order does not matter — the
     /// result is bit-identical to the serial loop with only `threads` (not
     /// `num_chunks`) counts tables alive.
+    ///
+    /// `cancel` is an early-abort flag: once set (by a `run_chunk` closure
+    /// that has concluded the run cannot succeed, e.g. an exceeded MPS
+    /// truncation budget), remaining chunks are skipped. The returned
+    /// counts are then partial, which is fine because the caller turns a
+    /// set flag into an error and discards them; runs that never set the
+    /// flag are unaffected.
+    #[allow(clippy::too_many_arguments)]
     fn chunked_counts<C, M, F, R>(
         &self,
         num_clbits: usize,
@@ -494,6 +521,7 @@ impl Executor {
         make_ctx: M,
         run_chunk: F,
         retire: R,
+        cancel: &AtomicBool,
     ) -> Counts
     where
         M: Fn() -> C + Sync,
@@ -507,6 +535,9 @@ impl Executor {
         if threads <= 1 {
             let mut ctx = make_ctx();
             for i in 0..num_chunks {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
                 let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
                 merged.merge(&run_chunk(&mut ctx, chunk_shots(i), &mut rng));
             }
@@ -522,7 +553,7 @@ impl Executor {
                     let mut local = Counts::new(num_clbits);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_chunks {
+                        if i >= num_chunks || cancel.load(Ordering::Relaxed) {
                             break;
                         }
                         let mut rng = StdRng::seed_from_u64(derive_seed(seed, i as u64));
@@ -542,10 +573,17 @@ impl Executor {
         merged
     }
 
-    /// One full Monte-Carlo trajectory; returns the classical outcome word.
-    fn trajectory(&self, circuit: &Circuit, state: &mut dyn BackendState, rng: &mut StdRng) -> u64 {
+    /// One full Monte-Carlo trajectory, writing the classical outcome into
+    /// the caller's scratch word (cleared first; any register width).
+    fn trajectory(
+        &self,
+        circuit: &Circuit,
+        state: &mut dyn BackendState,
+        rng: &mut StdRng,
+        clbits: &mut OutcomeWord,
+    ) {
         state.reinit();
-        let mut clbits = 0u64;
+        clbits.clear();
         for op in circuit.ops() {
             match op {
                 Op::Gate { gate, qubits } => {
@@ -560,8 +598,7 @@ impl Executor {
                     clbit,
                     value,
                 } => {
-                    let bit = (clbits >> clbit) & 1 == 1;
-                    if bit == *value {
+                    if clbits.bit(*clbit) == *value {
                         state.apply_gate(*gate, qubits);
                         for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
                             state.apply_pauli(q, pauli);
@@ -571,11 +608,7 @@ impl Executor {
                 Op::Measure { qubit, clbit } => {
                     let raw = state.measure(*qubit, rng);
                     let reported = self.noise.sample_readout(raw, rng);
-                    if reported {
-                        clbits |= 1 << clbit;
-                    } else {
-                        clbits &= !(1 << clbit);
-                    }
+                    clbits.set_bit(*clbit, reported);
                 }
                 Op::Reset { qubit } => {
                     state.reset(*qubit, rng);
@@ -587,7 +620,6 @@ impl Executor {
                 }
             }
         }
-        clbits
     }
 
     /// The noiseless outcome distribution: exact for dense-sized circuits
@@ -617,27 +649,22 @@ impl Executor {
         seed: u64,
         threads: usize,
     ) -> Result<Distribution, SimError> {
-        if circuit.num_clbits() > backend::MAX_CLBITS {
-            return Err(SimError::TooManyClbits {
-                num_clbits: circuit.num_clbits(),
-                cap: backend::MAX_CLBITS,
-            });
-        }
         if measures_only_at_end(circuit) && circuit.num_qubits() <= backend::DENSE_QUBIT_CAP {
             let (sv, measure_map) = evolve_dense_prefix(circuit);
             let mut dist = Distribution::new(circuit.num_clbits());
+            let mut word = OutcomeWord::zero();
             for (basis, p) in sv.probabilities().into_iter().enumerate() {
                 if p <= 1e-15 {
                     continue;
                 }
-                let mut word = 0u64;
+                word.clear();
                 for &(q, c) in &measure_map {
                     if (basis >> q) & 1 == 1 {
-                        word |= 1 << c;
+                        word.set_bit(c, true);
                     }
                 }
-                let existing = dist.get(word);
-                dist.set(word, existing + p);
+                let existing = dist.get_word(&word);
+                dist.set(word.clone(), existing + p);
             }
             Ok(dist)
         } else {
@@ -683,14 +710,10 @@ impl Executor {
 
 /// One prepared batch task: how its chunks execute.
 enum BatchPlan<'c> {
-    /// Dense fast path: the unitary prefix evolved once, shared read-only.
-    DenseSampling {
-        sv: StateVector,
-        measure_map: Vec<(usize, usize)>,
-    },
-    /// MPS fast path: evolved train plus precomputed sampling environments.
-    MpsSampling {
-        sampler: MpsSampler,
+    /// Sampling fast path: the unitary prefix evolved once, shared
+    /// read-only; chunks draw whole basis words from the [`Sampler`].
+    Sampling {
+        sampler: Sampler,
         measure_map: Vec<(usize, usize)>,
     },
     /// Monte-Carlo path: each worker lazily builds its own state per task.
@@ -698,6 +721,26 @@ enum BatchPlan<'c> {
         kind: BackendKind,
         circuit: &'c Circuit,
     },
+}
+
+/// A frozen measure-at-end prefix both sampling engines draw shots from —
+/// the single `draw` seam the dense and MPS fast paths share, so the
+/// executor has one sampling arm instead of twin dense/MPS copies.
+enum Sampler {
+    /// Dense state vector: exact index sampling from `2^n` probabilities.
+    Dense(StateVector),
+    /// MPS train with precomputed right environments: `O(n·χ²)` per shot.
+    Mps(MpsSampler),
+}
+
+impl Sampler {
+    /// Draws one basis word (bit `i` = qubit `i`) into the scratch word.
+    fn draw_into(&self, rng: &mut StdRng, basis: &mut OutcomeWord) {
+        match self {
+            Sampler::Dense(sv) => basis.assign_u64(sv.sample(rng) as u64),
+            Sampler::Mps(sampler) => sampler.sample_into(rng, basis),
+        }
+    }
 }
 
 /// A batch task with its execution plan and shot bookkeeping.
@@ -740,24 +783,27 @@ fn evolve_mps_prefix(circuit: &Circuit, max_bond: usize) -> (MpsState, Vec<(usiz
 }
 
 /// Draws one chunk of basis words from `draw` and packs them into classical
-/// outcome words through the measurement map.
+/// outcome words through the measurement map. Both scratch words are reused
+/// across the chunk's shots, keeping ≤ 64-bit registers allocation-free.
 fn sample_chunk(
     num_clbits: usize,
     chunk_shots: u64,
     rng: &mut StdRng,
     measure_map: &[(usize, usize)],
-    draw: impl Fn(&mut StdRng) -> u64,
+    draw: impl Fn(&mut StdRng, &mut OutcomeWord),
 ) -> Counts {
     let mut counts = Counts::new(num_clbits);
+    let mut basis = OutcomeWord::zero();
+    let mut word = OutcomeWord::zero();
     for _ in 0..chunk_shots {
-        let basis = draw(rng);
-        let mut word = 0u64;
+        draw(rng, &mut basis);
+        word.clear();
         for &(q, c) in measure_map {
-            if (basis >> q) & 1 == 1 {
-                word |= 1 << c;
+            if basis.bit(q) {
+                word.set_bit(c, true);
             }
         }
-        counts.record(word);
+        counts.record_word(&word);
     }
     counts
 }
@@ -796,12 +842,13 @@ pub fn derive_seed(seed: u64, index: u64) -> u64 {
 /// synthetic workloads).
 pub fn sample_distribution(dist: &Distribution, n: u64, seed: u64) -> Counts {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pairs: Vec<(u64, f64)> = dist.iter().collect();
+    let pairs: Vec<(&OutcomeWord, f64)> = dist.iter().collect();
+    let zero = OutcomeWord::zero();
     let mut counts = Counts::new(dist.num_clbits());
     for _ in 0..n {
         let r: f64 = rng.gen();
         let mut acc = 0.0;
-        let mut chosen = pairs.last().map(|&(o, _)| o).unwrap_or(0);
+        let mut chosen = pairs.last().map(|&(o, _)| o).unwrap_or(&zero);
         for &(o, p) in &pairs {
             acc += p;
             if r < acc {
@@ -809,7 +856,7 @@ pub fn sample_distribution(dist: &Distribution, n: u64, seed: u64) -> Counts {
                 break;
             }
         }
-        counts.record(chosen);
+        counts.record_word(chosen);
     }
     counts
 }
@@ -992,12 +1039,28 @@ mod tests {
                 .try_run(&t, 16, 0),
             Err(SimError::NonCliffordGate { gate: Gate::T })
         ));
-        // Wide classical register.
-        let wide = Circuit::new(1, 65);
-        assert!(matches!(
-            Executor::ideal().try_run(&wide, 16, 0),
-            Err(SimError::TooManyClbits { .. })
-        ));
+    }
+
+    #[test]
+    fn wide_classical_registers_execute_end_to_end() {
+        // 70 clbits: past the old one-word cap. The trajectory path writes
+        // and conditions on spilled bits, and counts merge across chunks.
+        let mut qc = Circuit::new(2, 70);
+        qc.x(0).measure(0, 69);
+        qc.cond_gate(Gate::X, &[1], 69, true);
+        qc.measure(1, 0);
+        let counts = Executor::ideal().try_run(&qc, 300, 3).unwrap();
+        assert_eq!(counts.shots(), 300);
+        let mut expected = OutcomeWord::from(1u64);
+        expected.set_bit(69, true);
+        assert_eq!(counts.count_word(&expected), 300);
+        // Parallel chunking stays bit-identical on wide registers.
+        let parallel = Executor::ideal()
+            .with_threads(4)
+            .try_run(&qc, 3000, 9)
+            .unwrap();
+        let serial = Executor::ideal().try_run(&qc, 3000, 9).unwrap();
+        assert_eq!(parallel, serial);
     }
 
     #[test]
@@ -1119,6 +1182,35 @@ mod tests {
             exec.try_run(&mid, 50, 5),
             Err(SimError::TruncationBudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn doomed_mps_trajectory_runs_abort_early_with_the_typed_error() {
+        // χ = 1 blows the budget on the very first trajectory; with many
+        // chunks queued, the cancel flag lets the run refuse without
+        // replaying the whole shot budget. The refusal stays typed on both
+        // the serial and the parallel chunk loop, and on the batch path.
+        let mut mid = Circuit::new(2, 2);
+        mid.h(0).cx(0, 1).measure(0, 0).measure(1, 1).reset(0);
+        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: 1 });
+        let shots = 16 * SHOT_CHUNK;
+        assert!(matches!(
+            exec.try_run(&mid, shots, 5),
+            Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
+        ));
+        assert!(matches!(
+            exec.clone().with_threads(4).try_run(&mid, shots, 5),
+            Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
+        ));
+        let batch = exec
+            .with_threads(4)
+            .try_run_batch(&[(&mid, shots, 5), (&mid, shots, 6)]);
+        for result in batch {
+            assert!(matches!(
+                result,
+                Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
+            ));
+        }
     }
 
     #[test]

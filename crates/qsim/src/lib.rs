@@ -26,6 +26,10 @@
 //! * [`exec`] — the circuit executor: shot sampling, trajectories,
 //!   conditionals and mid-circuit measurement.
 //! * [`dist`] — measurement-outcome distributions and distance metrics.
+//! * [`word`] — the packed multi-word [`word::OutcomeWord`] classical
+//!   registers those distributions are keyed on: allocation-free inline up
+//!   to 64 bits, spilling to `[u64]` words beyond, so >64-clbit circuits
+//!   (distance-7 QEC memory) record outcomes without a cap.
 //!
 //! # Example
 //!
@@ -53,9 +57,11 @@ pub mod observable;
 pub mod profiles;
 pub mod stabilizer;
 pub mod state;
+pub mod word;
 
 pub use backend::{BackendChoice, SimError};
 pub use dist::Counts;
 pub use exec::Executor;
 pub use noise::NoiseModel;
 pub use state::StateVector;
+pub use word::OutcomeWord;

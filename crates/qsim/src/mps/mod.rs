@@ -37,6 +37,7 @@
 pub mod svd;
 
 use crate::noise::Pauli;
+use crate::word::OutcomeWord;
 use qcir::gate::Gate;
 use qcir::math::{Matrix, C64};
 use rand::Rng;
@@ -661,16 +662,16 @@ impl MpsSampler {
     }
 
     /// Samples one basis word (bit `i` = qubit `i`) by sequential
-    /// site-by-site collapse against the precomputed environments.
-    ///
-    /// # Panics
-    ///
-    /// Panics past 64 qubits (the outcome word is a `u64`).
-    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
-        let n = self.mps.num_qubits;
-        assert!(n <= 64, "sampled basis words are limited to 64 qubits");
+    /// site-by-site collapse against the precomputed environments, writing
+    /// into a caller-provided scratch word. Registers of any width work —
+    /// a >64-qubit train spills into a multi-word outcome — and ≤ 64-qubit
+    /// draws stay on the inline allocation-free representation, so
+    /// measure-at-end circuits past the old 64-qubit sampler cap keep the
+    /// `O(n·χ²)`-per-shot fast path instead of falling back to trajectory
+    /// replay.
+    pub fn sample_into(&self, rng: &mut impl Rng, word: &mut OutcomeWord) {
+        word.clear();
         let mut left: Vec<C64> = vec![C64::ONE];
-        let mut word = 0u64;
         for (i, t) in self.mps.tensors.iter().enumerate() {
             let (dl, dr) = (t.dl, t.dr);
             let env = &self.right[i + 1];
@@ -708,7 +709,7 @@ impl MpsSampler {
             let outcome = rng.gen_bool(p1.clamp(0.0, 1.0));
             let s = usize::from(outcome);
             if outcome {
-                word |= 1 << i;
+                word.set_bit(i, true);
             }
             left = std::mem::take(&mut cond[s]);
             if weights[s] > 0.0 {
@@ -718,6 +719,12 @@ impl MpsSampler {
                 }
             }
         }
+    }
+
+    /// Allocating convenience around [`MpsSampler::sample_into`].
+    pub fn sample(&self, rng: &mut impl Rng) -> OutcomeWord {
+        let mut word = OutcomeWord::zero();
+        self.sample_into(rng, &mut word);
         word
     }
 }
@@ -911,8 +918,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let shots = 20_000;
         let mut counts = [0usize; 8];
+        let mut word = OutcomeWord::zero();
         for _ in 0..shots {
-            counts[sampler.sample(&mut rng) as usize] += 1;
+            sampler.sample_into(&mut rng, &mut word);
+            counts[word.low64() as usize] += 1;
         }
         for (i, &p) in probs.iter().enumerate() {
             let f = counts[i] as f64 / shots as f64;

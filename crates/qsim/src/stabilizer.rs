@@ -10,6 +10,7 @@
 
 use crate::backend::SimError;
 use crate::dist::Counts;
+use crate::word::OutcomeWord;
 use qcir::circuit::{Circuit, Op};
 use qcir::gate::Gate;
 use rand::Rng;
@@ -311,63 +312,72 @@ impl StabilizerSim {
 
     /// Runs a full Clifford circuit, returning the classical outcome word.
     ///
-    /// Outcomes are packed `u64` words (classical bit `i` in bit `i`),
-    /// matching [`crate::dist::Counts`]; circuits whose classical register
-    /// does not fit that word are rejected up front instead of silently
-    /// dropping the high bits (the pre-backend-layer behaviour in release
-    /// builds).
+    /// Outcomes are packed [`OutcomeWord`]s (classical bit `i` in bit `i`),
+    /// matching [`crate::dist::Counts`]; the register width is unbounded —
+    /// measurement bits past 64 spill into multi-word outcomes, which is
+    /// what lets distance-7 surface-code memory circuits (97+ classical
+    /// bits) run at all. (Before the multi-word register layer this method
+    /// refused >64-clbit circuits outright.)
     ///
     /// # Errors
     ///
-    /// [`SimError::TooManyClbits`] when the circuit declares more than
-    /// [`crate::backend::MAX_CLBITS`] classical bits, and
     /// [`SimError::NonCliffordGate`] on the first non-Clifford gate.
-    pub fn try_run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> Result<u64, SimError> {
-        if circuit.num_clbits() > crate::backend::MAX_CLBITS {
-            return Err(SimError::TooManyClbits {
-                num_clbits: circuit.num_clbits(),
-                cap: crate::backend::MAX_CLBITS,
-            });
-        }
+    pub fn try_run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> Result<OutcomeWord, SimError> {
         if let Some(gate) = crate::backend::first_non_clifford(circuit) {
             return Err(SimError::NonCliffordGate { gate });
         }
         let mut sim = StabilizerSim::new(circuit.num_qubits());
-        let mut clbits = 0u64;
+        let mut clbits = OutcomeWord::zero();
+        sim.run_circuit_into(circuit, rng, &mut clbits);
+        Ok(clbits)
+    }
+
+    /// One trajectory of a pre-validated Clifford circuit, writing
+    /// measurement results into `clbits`. Both the tableau and the outcome
+    /// word are reset first, so calling this in a shot loop is safe without
+    /// further ceremony (the allocations are reused either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-Clifford gates; validate with
+    /// [`crate::backend::first_non_clifford`] first.
+    pub fn run_circuit_into(
+        &mut self,
+        circuit: &Circuit,
+        rng: &mut impl Rng,
+        clbits: &mut OutcomeWord,
+    ) {
+        self.reinit();
+        clbits.clear();
         for op in circuit.ops() {
             match op {
-                Op::Gate { gate, qubits } => sim.apply_gate(*gate, qubits),
+                Op::Gate { gate, qubits } => self.apply_gate(*gate, qubits),
                 Op::CondGate {
                     gate,
                     qubits,
                     clbit,
                     value,
                 } => {
-                    if ((clbits >> clbit) & 1 == 1) == *value {
-                        sim.apply_gate(*gate, qubits);
+                    if clbits.bit(*clbit) == *value {
+                        self.apply_gate(*gate, qubits);
                     }
                 }
                 Op::Measure { qubit, clbit } => {
-                    if sim.measure(*qubit, rng) {
-                        clbits |= 1 << clbit;
-                    } else {
-                        clbits &= !(1 << clbit);
-                    }
+                    let outcome = self.measure(*qubit, rng);
+                    clbits.set_bit(*clbit, outcome);
                 }
-                Op::Reset { qubit } => sim.reset(*qubit, rng),
+                Op::Reset { qubit } => self.reset(*qubit, rng),
                 Op::Barrier { .. } => {}
             }
         }
-        Ok(clbits)
     }
 
     /// Panicking wrapper around [`StabilizerSim::try_run_circuit`].
     ///
     /// # Panics
     ///
-    /// Panics when the circuit contains non-Clifford gates or more
-    /// classical bits than fit one outcome word.
-    pub fn run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> u64 {
+    /// Panics when the circuit contains non-Clifford gates.
+    pub fn run_circuit(circuit: &Circuit, rng: &mut impl Rng) -> OutcomeWord {
         match Self::try_run_circuit(circuit, rng) {
             Ok(word) => word,
             Err(e) => panic!("stabilizer simulation failed: {e}"),
@@ -376,7 +386,8 @@ impl StabilizerSim {
 
     /// Samples `shots` independent trajectories of a Clifford circuit into a
     /// [`Counts`] table — the distribution-level mirror of the dense
-    /// executor's sampling path.
+    /// executor's sampling path. The tableau and the outcome scratch word
+    /// are reused across shots.
     ///
     /// # Errors
     ///
@@ -386,9 +397,15 @@ impl StabilizerSim {
         shots: u64,
         rng: &mut impl Rng,
     ) -> Result<Counts, SimError> {
+        if let Some(gate) = crate::backend::first_non_clifford(circuit) {
+            return Err(SimError::NonCliffordGate { gate });
+        }
         let mut counts = Counts::new(circuit.num_clbits());
+        let mut sim = StabilizerSim::new(circuit.num_qubits());
+        let mut word = OutcomeWord::zero();
         for _ in 0..shots {
-            counts.record(Self::try_run_circuit(circuit, rng)?);
+            sim.run_circuit_into(circuit, rng, &mut word);
+            counts.record_word(&word);
         }
         Ok(counts)
     }
@@ -606,19 +623,25 @@ mod tests {
     }
 
     #[test]
-    fn try_run_circuit_rejects_wide_classical_registers() {
-        // 65 clbits: bit 64 of a u64 word does not exist, so the old code
-        // silently truncated (release) or panicked on shift overflow (debug).
+    fn try_run_circuit_records_past_64_clbits() {
+        // 65 clbits: bit 64 of a u64 word does not exist, so before the
+        // multi-word register layer this circuit was refused outright. Now
+        // the outcome spills into a second word.
         let mut qc = Circuit::new(2, 65);
-        qc.x(0).measure(0, 64);
+        qc.x(0).measure(0, 64).measure(1, 0);
         let mut rng = StdRng::seed_from_u64(20);
-        assert_eq!(
-            StabilizerSim::try_run_circuit(&qc, &mut rng),
-            Err(SimError::TooManyClbits {
-                num_clbits: 65,
-                cap: 64,
-            })
-        );
+        let word = StabilizerSim::try_run_circuit(&qc, &mut rng).unwrap();
+        assert!(word.bit(64));
+        assert!(!word.bit(0));
+        assert_eq!(word, OutcomeWord::from_words(&[0, 1]));
+        // Conditionals read the spilled bits too.
+        let mut qc = Circuit::new(2, 70);
+        qc.x(0).measure(0, 69);
+        qc.cond_gate(Gate::X, &[1], 69, true);
+        qc.measure(1, 0);
+        let word = StabilizerSim::try_run_circuit(&qc, &mut rng).unwrap();
+        assert!(word.bit(69));
+        assert!(word.bit(0));
     }
 
     #[test]

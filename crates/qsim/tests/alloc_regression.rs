@@ -88,23 +88,29 @@ fn apply_gate_allocates_nothing_after_first_call() {
     sv.apply_pauli(1, Pauli::Y);
     sv.apply_pauli(2, Pauli::Z);
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    for _ in 0..3 {
-        for (g, qs) in &gates {
-            sv.apply_gate(*g, qs);
+    // The harness's own runtime occasionally allocates on another thread
+    // while we measure, so take the minimum over several attempts: the
+    // gate loop is deterministic, so if ANY attempt observes zero
+    // allocations the hot path itself is allocation-free.
+    let mut min_allocs = usize::MAX;
+    for _attempt in 0..8 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for _ in 0..3 {
+            for (g, qs) in &gates {
+                sv.apply_gate(*g, qs);
+            }
+            sv.apply_matrix(&matrix, &matrix_qubits);
+            sv.apply_pauli(0, Pauli::X);
+            sv.apply_pauli(1, Pauli::Y);
+            sv.apply_pauli(2, Pauli::Z);
         }
-        sv.apply_matrix(&matrix, &matrix_qubits);
-        sv.apply_pauli(0, Pauli::X);
-        sv.apply_pauli(1, Pauli::Y);
-        sv.apply_pauli(2, Pauli::Z);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_allocs = min_allocs.min(after - before);
     }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
 
     assert_eq!(
-        after - before,
-        0,
-        "gate application allocated {} time(s) on the warm path",
-        after - before
+        min_allocs, 0,
+        "gate application allocated {min_allocs} time(s) on the warm path"
     );
     // Sanity: the state is still normalized after all that churn.
     assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);

@@ -1,0 +1,145 @@
+//! Property tests for the multi-word outcome-register layer.
+//!
+//! The generators deliberately straddle the 64/65/128-bit boundaries,
+//! because that is where the inline-vs-spill representation split lives:
+//! a bug in spill/trim/normalization shows up exactly at widths 63–66 and
+//! 127–129, not at width 8.
+//!
+//! * Bitstring render/parse round-trips at every width, and the rendering
+//!   is MSB-first (classical bit 0 = rightmost character).
+//! * `Ord` is numeric: it agrees with comparing the MSB-first bitstrings
+//!   padded to a common width, across representation boundaries.
+//! * `Counts::merge` is order-independent: any chunking and permutation of
+//!   a shot stream merges to the same table — the property the parallel
+//!   executor's deterministic chunk merge rests on — including mixed
+//!   inline/spilled outcome sets.
+
+use proptest::prelude::*;
+use qsim::dist::Counts;
+use qsim::word::OutcomeWord;
+
+/// Widths hugging the one-word and two-word boundaries.
+fn arb_width() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        60usize..=66,
+        Just(100usize),
+        126usize..=129,
+        Just(160usize),
+    ]
+}
+
+/// Raw set-bit positions; callers reduce them modulo the width under test.
+fn arb_raw_bits() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..4096, 0..12)
+}
+
+fn word_of(width: usize, raw_bits: &[usize]) -> OutcomeWord {
+    let mut w = OutcomeWord::zero();
+    for &b in raw_bits {
+        w.set_bit(b % width, true);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitstring_round_trips_at_any_width(
+        width in arb_width(),
+        raw in arb_raw_bits(),
+    ) {
+        let word = word_of(width, &raw);
+        let rendered = word.bitstring(width);
+        prop_assert_eq!(rendered.len(), width);
+        // MSB-first: bit i is character width-1-i.
+        for i in 0..width {
+            let ch = rendered.as_bytes()[width - 1 - i];
+            prop_assert_eq!(ch == b'1', word.bit(i), "bit {}", i);
+        }
+        prop_assert_eq!(OutcomeWord::parse(&rendered), word);
+    }
+
+    #[test]
+    fn ordering_matches_padded_bitstring_order(
+        width in arb_width(),
+        raw_a in arb_raw_bits(),
+        raw_b in arb_raw_bits(),
+    ) {
+        let wa = word_of(width, &raw_a);
+        let wb = word_of(width, &raw_b);
+        // MSB-first fixed-width strings order lexicographically exactly
+        // like the numbers they encode.
+        let sa = wa.bitstring(width);
+        let sb = wb.bitstring(width);
+        prop_assert_eq!(wa.cmp(&wb), sa.cmp(&sb));
+        prop_assert_eq!(wa == wb, sa == sb);
+        if let (Some(ua), Some(ub)) = (wa.as_u64(), wb.as_u64()) {
+            prop_assert_eq!(wa.cmp(&wb), ua.cmp(&ub));
+        }
+    }
+
+    #[test]
+    fn merge_is_chunking_and_order_independent(
+        width in arb_width(),
+        shots in prop::collection::vec(arb_raw_bits(), 1..40),
+        chunk in 1usize..7,
+        rotate in 0usize..40,
+    ) {
+        let words: Vec<OutcomeWord> = shots.iter().map(|b| word_of(width, b)).collect();
+        // Reference: record everything serially.
+        let mut serial = Counts::new(width);
+        for w in &words {
+            serial.record_word(w);
+        }
+        // Rechunked + rotated: merge partial tables in a different order.
+        let mut rotated = words.clone();
+        let len = rotated.len();
+        rotated.rotate_left(rotate % len);
+        let mut merged = Counts::new(width);
+        for part in rotated.chunks(chunk) {
+            let mut partial = Counts::new(width);
+            for w in part {
+                partial.record_word(w);
+            }
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.shots(), words.len() as u64);
+        // Spot-check per-word counts through the query API.
+        for w in &words {
+            let expected = words.iter().filter(|x| *x == w).count() as u64;
+            prop_assert_eq!(serial.count_word(w), expected);
+        }
+    }
+}
+
+#[test]
+fn boundary_words_are_distinct_and_ordered() {
+    // 2^63 < 2^64 - 1 < 2^64 < 2^64 + 1 < 2^65 < 2^127 < 2^128: strictly
+    // increasing across the representation split (one word → two words →
+    // three words), with the expected word counts.
+    let bit = |b: usize| {
+        let mut w = OutcomeWord::zero();
+        w.set_bit(b, true);
+        w
+    };
+    let mut two_sixtyfour_plus_one = bit(64);
+    two_sixtyfour_plus_one.set_bit(0, true);
+    let all = [
+        bit(63),
+        OutcomeWord::from(u64::MAX),
+        bit(64),
+        two_sixtyfour_plus_one,
+        bit(65),
+        bit(127),
+        bit(128),
+    ];
+    for pair in all.windows(2) {
+        assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+    }
+    assert_eq!(all[1].num_words(), 1);
+    assert_eq!(all[2].num_words(), 2);
+    assert_eq!(all[6].num_words(), 3);
+}

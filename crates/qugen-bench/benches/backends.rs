@@ -3,8 +3,11 @@
 //! * `clifford_surface_memory` — the same surface-code syndrome-extraction
 //!   circuit through the tableau backend vs. the dense backend at the
 //!   largest distance both can run (d = 3, 17 qubits), plus tableau-only
-//!   distance 5 (49 qubits, impossible densely). The tableau/dense ratio on
-//!   the d = 3 rows is the speedup CI tracks.
+//!   distance 5 (49 qubits, impossible densely) and distance 7
+//!   (`tableau_d7_wide_counts`: 97 qubits, 97-bit multi-word outcome
+//!   registers — the wide-counts row CI watches so the spill
+//!   representation stays cheap relative to the ≤ 64-bit rows). The
+//!   tableau/dense ratio on the d = 3 rows is the speedup CI tracks.
 //! * `parallel_exec` — a 10k-shot noisy GHZ workload at 1 vs. 8 worker
 //!   threads (bit-identical results; the ratio is the wall-clock speedup).
 
@@ -33,6 +36,15 @@ fn bench_clifford_surface_memory(c: &mut Criterion) {
     group.bench_function("tableau_d5", |b| {
         let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
         b.iter(|| std::hint::black_box(exec.try_run(&d5, MEMORY_SHOTS, 1).unwrap()))
+    });
+    // Wide-counts row: distance-7 memory records 97-bit outcome words, so
+    // every shot exercises the multi-word spill path end to end (tableau
+    // write → counts table → chunk merge).
+    let d7 = SurfaceCode::new(7).memory_circuit(2).circuit;
+    assert!(d7.num_clbits() > 64, "d7 must cross the one-word boundary");
+    group.bench_function("tableau_d7_wide_counts", |b| {
+        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
+        b.iter(|| std::hint::black_box(exec.try_run(&d7, MEMORY_SHOTS, 1).unwrap()))
     });
     group.finish();
 }
