@@ -364,6 +364,37 @@ pub enum GateKind {
     General,
 }
 
+/// Test-only instrumentation counting [`Gate::kind`] calls (debug builds
+/// only; compiled out of release binaries so the hot path pays nothing).
+///
+/// The compiled-plan layer in `qsim` promises that warm cached-plan runs
+/// perform **zero** `kind()` calls — classification happens once at plan
+/// compile time, never per gate application. These counters let an
+/// integration test pin that promise: [`kind_stats::reset`] before the warm
+/// run, [`kind_stats::calls`] after, assert zero. The counter is a single
+/// relaxed atomic shared by all threads, so tests that read it must run in
+/// their own test binary (no concurrent `kind()` callers).
+#[cfg(debug_assertions)]
+pub mod kind_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of [`super::Gate::kind`] calls since the last [`reset`].
+    pub fn calls() -> u64 {
+        CALLS.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the call counter.
+    pub fn reset() {
+        CALLS.store(0, Ordering::Relaxed);
+    }
+
+    pub(super) fn record() {
+        CALLS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 impl Gate {
     /// Classifies the gate's unitary structure for kernel dispatch.
     ///
@@ -372,6 +403,8 @@ impl Gate {
     /// [`Gate::matrix`].
     pub fn kind(&self) -> GateKind {
         use Gate::*;
+        #[cfg(debug_assertions)]
+        kind_stats::record();
         let o = C64::ONE;
         let i = C64::I;
         let h = C64::real(FRAC_1_SQRT_2);

@@ -15,6 +15,7 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(i * i, C64::new(-1.0, 0.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct C64 {
     /// Real part.
     pub re: f64,

@@ -178,6 +178,11 @@ pub fn grade_source_with_threads(source: &str, spec: &TaskSpec, sim_threads: usi
         };
     };
 
+    // Both branches below construct fresh `Executor`s per grade, but dense
+    // circuit lowering is amortized anyway: executors share the process-wide
+    // `qsim::plan` cache, so grading many candidates against one reference
+    // (or re-grading the same candidate) compiles each distinct circuit
+    // once and replays the fused plan afterwards.
     let small = circuit.num_qubits() <= GRADING_DENSE_QUBIT_CAP
         && reference.num_qubits() <= GRADING_DENSE_QUBIT_CAP;
     let exact = small

@@ -37,15 +37,39 @@ pub fn insert_zero_bit(x: usize, bit: usize) -> usize {
 
 /// Applies a dense single-qubit unitary `m = [m00, m01, m10, m11]`
 /// (row-major) to `qubit` via a butterfly update over index pairs.
+///
+/// The inner loop walks the low/high halves in explicit 2-wide lane chunks
+/// (two independent butterflies per iteration, straight-line) so the
+/// compiler can keep both lanes in registers and autovectorize the
+/// multiply-adds; `qubit == 0`, whose pairs are adjacent, gets its own
+/// 4-amplitude chunking.
 pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
     let step = 1usize << qubit;
+    if step == 1 {
+        let mut quads = amps.chunks_exact_mut(4);
+        for quad in &mut quads {
+            let (x0, y0, x1, y1) = (quad[0], quad[1], quad[2], quad[3]);
+            quad[0] = m[0] * x0 + m[1] * y0;
+            quad[1] = m[2] * x0 + m[3] * y0;
+            quad[2] = m[0] * x1 + m[1] * y1;
+            quad[3] = m[2] * x1 + m[3] * y1;
+        }
+        for pair in quads.into_remainder().chunks_exact_mut(2) {
+            let (x, y) = (pair[0], pair[1]);
+            pair[0] = m[0] * x + m[1] * y;
+            pair[1] = m[2] * x + m[3] * y;
+        }
+        return;
+    }
+    // step >= 2, so both halves split evenly into 2-wide lane chunks.
     for block in amps.chunks_exact_mut(step << 1) {
         let (lo, hi) = block.split_at_mut(step);
-        for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-            let x = *a0;
-            let y = *a1;
-            *a0 = m[0] * x + m[1] * y;
-            *a1 = m[2] * x + m[3] * y;
+        for (l, h) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+            let (x0, y0, x1, y1) = (l[0], h[0], l[1], h[1]);
+            l[0] = m[0] * x0 + m[1] * y0;
+            h[0] = m[2] * x0 + m[3] * y0;
+            l[1] = m[0] * x1 + m[1] * y1;
+            h[1] = m[2] * x1 + m[3] * y1;
         }
     }
 }
@@ -53,19 +77,146 @@ pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
 /// Multiplies the `|0>` / `|1>` components of `qubit` by `d0` / `d1`.
 ///
 /// When `d0 == 1` (Z, S, T, P, ...) only the set-bit half of the vector is
-/// touched.
+/// touched. Like [`apply_1q`], the half scans run in explicit 2-wide lane
+/// chunks for autovectorization.
 pub fn apply_diag1(amps: &mut [C64], qubit: usize, d0: C64, d1: C64) {
     let step = 1usize << qubit;
     let phase_only = d0 == C64::ONE;
+    if step == 1 {
+        let mut quads = amps.chunks_exact_mut(4);
+        for quad in &mut quads {
+            if !phase_only {
+                quad[0] *= d0;
+                quad[2] *= d0;
+            }
+            quad[1] *= d1;
+            quad[3] *= d1;
+        }
+        for pair in quads.into_remainder().chunks_exact_mut(2) {
+            if !phase_only {
+                pair[0] *= d0;
+            }
+            pair[1] *= d1;
+        }
+        return;
+    }
     for block in amps.chunks_exact_mut(step << 1) {
         let (lo, hi) = block.split_at_mut(step);
         if !phase_only {
-            for a in lo.iter_mut() {
-                *a *= d0;
+            for l in lo.chunks_exact_mut(2) {
+                l[0] *= d0;
+                l[1] *= d0;
             }
         }
-        for a in hi.iter_mut() {
-            *a *= d1;
+        for h in hi.chunks_exact_mut(2) {
+            h[0] *= d1;
+            h[1] *= d1;
+        }
+    }
+}
+
+/// Applies a dense two-qubit unitary (`m` row-major, 4x4; `hi` is the most
+/// significant matrix bit) over the four-amplitude groups it couples.
+///
+/// This is the fused-superblock kernel the compiled-plan layer emits: one
+/// pass over the state applies what was a run of adjacent 1q/2q gates.
+/// Instead of scatter/gathering via per-group index arithmetic, the loop
+/// nest walks the two qubit strides so the innermost loop advances four
+/// *contiguous* lanes in lockstep — streaming access the compiler
+/// autovectorizes. When the smaller qubit is bit 0 (contiguous runs of
+/// length one) the groups are adjacent 2x2 tiles and get their own
+/// flat-chunk loop.
+///
+/// # Panics
+///
+/// Debug-asserts that `hi != lo`; the plan compiler guarantees it.
+pub fn apply_dense2(amps: &mut [C64], hi: usize, lo: usize, m: &[C64; 16]) {
+    debug_assert_ne!(hi, lo);
+    // Work on a matrix oriented so the *higher bit position* is the matrix
+    // MSB; when the caller's matrix MSB sits on the lower position, permute
+    // the matrix entries once (exact bit-role transposition) instead of
+    // paying index arithmetic per group.
+    let mut oriented = *m;
+    if hi < lo {
+        for r in 0..4 {
+            for c in 0..4 {
+                oriented[(swap_bits2(r) << 2) | swap_bits2(c)] = m[(r << 2) | c];
+            }
+        }
+    }
+    let m = &oriented;
+    let (qlow, qhigh) = sort2(hi, lo);
+    let s = 1usize << qlow;
+    let t = 1usize << qhigh;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        // SAFETY: gated on runtime AVX2+FMA detection.
+        unsafe {
+            if s >= 2 {
+                simd::dense2_lanes_avx(amps, s, t, m);
+            } else {
+                simd::dense2_tiles_avx(amps, t, m);
+            }
+        }
+        return;
+    }
+    if s == 1 {
+        // Adjacent pairs: each 2t-block splits into a low/high half whose
+        // elements interleave as (x0, x1) / (x2, x3) tiles.
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            for (l, h) in lo_half.chunks_exact_mut(2).zip(hi_half.chunks_exact_mut(2)) {
+                let (x0, x1, x2, x3) = (l[0], l[1], h[0], h[1]);
+                l[0] = m[0] * x0 + m[1] * x1 + m[2] * x2 + m[3] * x3;
+                l[1] = m[4] * x0 + m[5] * x1 + m[6] * x2 + m[7] * x3;
+                h[0] = m[8] * x0 + m[9] * x1 + m[10] * x2 + m[11] * x3;
+                h[1] = m[12] * x0 + m[13] * x1 + m[14] * x2 + m[15] * x3;
+            }
+        }
+        return;
+    }
+    for block in amps.chunks_exact_mut(t << 1) {
+        let (lo_half, hi_half) = block.split_at_mut(t);
+        for (lo_sub, hi_sub) in lo_half
+            .chunks_exact_mut(s << 1)
+            .zip(hi_half.chunks_exact_mut(s << 1))
+        {
+            let (a0, a1) = lo_sub.split_at_mut(s);
+            let (a2, a3) = hi_sub.split_at_mut(s);
+            // s >= 2 is even, so the four lanes advance in 2-wide chunks:
+            // two independent 4-point updates per iteration for ILP.
+            for j in (0..s).step_by(2) {
+                let (x0, x1, x2, x3) = (a0[j], a1[j], a2[j], a3[j]);
+                let (y0, y1, y2, y3) = (a0[j + 1], a1[j + 1], a2[j + 1], a3[j + 1]);
+                a0[j] = m[0] * x0 + m[1] * x1 + m[2] * x2 + m[3] * x3;
+                a1[j] = m[4] * x0 + m[5] * x1 + m[6] * x2 + m[7] * x3;
+                a2[j] = m[8] * x0 + m[9] * x1 + m[10] * x2 + m[11] * x3;
+                a3[j] = m[12] * x0 + m[13] * x1 + m[14] * x2 + m[15] * x3;
+                a0[j + 1] = m[0] * y0 + m[1] * y1 + m[2] * y2 + m[3] * y3;
+                a1[j + 1] = m[4] * y0 + m[5] * y1 + m[6] * y2 + m[7] * y3;
+                a2[j + 1] = m[8] * y0 + m[9] * y1 + m[10] * y2 + m[11] * y3;
+                a3[j + 1] = m[12] * y0 + m[13] * y1 + m[14] * y2 + m[15] * y3;
+            }
+        }
+    }
+}
+
+/// Multiplies the four `(hi, lo)` bit-combination quarters of the vector by
+/// `d[0..4]` (`d[(hi_bit << 1) | lo_bit]`), skipping quarters whose factor
+/// is exactly 1 — so a fused CZ/CP-style block still touches only the
+/// quarter it phases.
+pub fn apply_diag2(amps: &mut [C64], hi: usize, lo: usize, d: &[C64; 4]) {
+    debug_assert_ne!(hi, lo);
+    let hbit = 1usize << hi;
+    let lbit = 1usize << lo;
+    let (b0, b1) = sort2(hi, lo);
+    let offsets = [0, lbit, hbit, hbit | lbit];
+    for c in 0..amps.len() >> 2 {
+        let base = insert_zero_bit(insert_zero_bit(c, b0), b1);
+        for (factor, off) in d.iter().zip(offsets) {
+            if *factor != C64::ONE {
+                amps[base | off] *= *factor;
+            }
         }
     }
 }
@@ -257,11 +408,165 @@ fn sort2(a: usize, b: usize) -> (usize, usize) {
     }
 }
 
+/// Swaps the two bits of a 2-bit index (the bit-role transposition used to
+/// reorient 4x4 matrices).
+#[inline(always)]
+fn swap_bits2(i: usize) -> usize {
+    ((i & 1) << 1) | (i >> 1)
+}
+
 #[inline(always)]
 fn sort3(a: usize, b: usize, c: usize) -> [usize; 3] {
     let mut v = [a, b, c];
     v.sort_unstable();
     v
+}
+
+/// Runtime-dispatched AVX2+FMA lane kernels.
+///
+/// The scalar two-qubit update is arithmetic-bound (four complex
+/// multiply-adds per amplitude), which is exactly where fused 4x4 blocks
+/// concentrate the work — so this path packs two adjacent complex
+/// amplitudes per 256-bit vector and issues each complex product as one
+/// `vfmaddsub` plus one multiply, cutting the instruction count per
+/// amplitude by roughly 2x and pushing the sweep toward memory bandwidth.
+///
+/// Baseline builds (or non-x86 targets) keep the portable scalar loops;
+/// detection is cached so the dispatch check is a relaxed load.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use qcir::math::C64;
+    use std::arch::x86_64::*;
+    use std::sync::OnceLock;
+
+    /// Cached `avx2 && fma` CPUID probe.
+    pub fn avx2_fma_available() -> bool {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+
+    /// One complex product of the two packed amplitudes in `y` by the
+    /// broadcast scalar `(mr, mi)`, sign-folded into interleaved
+    /// `[re, im, re, im]` form: even lanes get `yr*mr - yi*mi`, odd lanes
+    /// `yi*mr + yr*mi`. `ys` must be `y` with each (re, im) pair swapped.
+    #[inline(always)]
+    unsafe fn cmul2(y: __m256d, ys: __m256d, mr: __m256d, mi: __m256d) -> __m256d {
+        _mm256_fmaddsub_pd(y, mr, _mm256_mul_pd(ys, mi))
+    }
+
+    /// The `s >= 2` stride walk of [`super::apply_dense2`] with each
+    /// 4-point update running over two adjacent complex amplitudes per
+    /// vector. `amps` layout guarantees (`C64` is `repr(C)`) make a lane a
+    /// plain `[re0, im0, re1, im1]` load.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dense2_lanes_avx(amps: &mut [C64], s: usize, t: usize, m: &[C64; 16]) {
+        debug_assert!(s >= 2);
+        // Broadcast every matrix entry's real and imaginary part once.
+        let mut mr = [_mm256_setzero_pd(); 16];
+        let mut mi = [_mm256_setzero_pd(); 16];
+        for k in 0..16 {
+            mr[k] = _mm256_set1_pd(m[k].re);
+            mi[k] = _mm256_set1_pd(m[k].im);
+        }
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            for (lo_sub, hi_sub) in lo_half
+                .chunks_exact_mut(s << 1)
+                .zip(hi_half.chunks_exact_mut(s << 1))
+            {
+                let (a0, a1) = lo_sub.split_at_mut(s);
+                let (a2, a3) = hi_sub.split_at_mut(s);
+                for j in (0..s).step_by(2) {
+                    let p0 = a0.as_mut_ptr().add(j).cast::<f64>();
+                    let p1 = a1.as_mut_ptr().add(j).cast::<f64>();
+                    let p2 = a2.as_mut_ptr().add(j).cast::<f64>();
+                    let p3 = a3.as_mut_ptr().add(j).cast::<f64>();
+                    let y0 = _mm256_loadu_pd(p0);
+                    let y1 = _mm256_loadu_pd(p1);
+                    let y2 = _mm256_loadu_pd(p2);
+                    let y3 = _mm256_loadu_pd(p3);
+                    // Pair-swapped copies feed the imaginary half of each
+                    // complex product; computed once, shared by all rows.
+                    let ys0 = _mm256_permute_pd(y0, 0b0101);
+                    let ys1 = _mm256_permute_pd(y1, 0b0101);
+                    let ys2 = _mm256_permute_pd(y2, 0b0101);
+                    let ys3 = _mm256_permute_pd(y3, 0b0101);
+                    let r0 = _mm256_add_pd(
+                        _mm256_add_pd(cmul2(y0, ys0, mr[0], mi[0]), cmul2(y1, ys1, mr[1], mi[1])),
+                        _mm256_add_pd(cmul2(y2, ys2, mr[2], mi[2]), cmul2(y3, ys3, mr[3], mi[3])),
+                    );
+                    let r1 = _mm256_add_pd(
+                        _mm256_add_pd(cmul2(y0, ys0, mr[4], mi[4]), cmul2(y1, ys1, mr[5], mi[5])),
+                        _mm256_add_pd(cmul2(y2, ys2, mr[6], mi[6]), cmul2(y3, ys3, mr[7], mi[7])),
+                    );
+                    let r2 = _mm256_add_pd(
+                        _mm256_add_pd(cmul2(y0, ys0, mr[8], mi[8]), cmul2(y1, ys1, mr[9], mi[9])),
+                        _mm256_add_pd(
+                            cmul2(y2, ys2, mr[10], mi[10]),
+                            cmul2(y3, ys3, mr[11], mi[11]),
+                        ),
+                    );
+                    let r3 = _mm256_add_pd(
+                        _mm256_add_pd(
+                            cmul2(y0, ys0, mr[12], mi[12]),
+                            cmul2(y1, ys1, mr[13], mi[13]),
+                        ),
+                        _mm256_add_pd(
+                            cmul2(y2, ys2, mr[14], mi[14]),
+                            cmul2(y3, ys3, mr[15], mi[15]),
+                        ),
+                    );
+                    _mm256_storeu_pd(p0, r0);
+                    _mm256_storeu_pd(p1, r1);
+                    _mm256_storeu_pd(p2, r2);
+                    _mm256_storeu_pd(p3, r3);
+                }
+            }
+        }
+    }
+
+    /// The `s == 1` tile walk of [`super::apply_dense2`]: the four points of
+    /// each update sit as adjacent pairs `(x0, x1)` / `(x2, x3)`, so the
+    /// matrix is repacked into column vectors (`[m[l], m[4+l]]` for the low
+    /// output pair, `[m[8+l], m[12+l]]` for the high one) and each input
+    /// amplitude is broadcast against them.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dense2_tiles_avx(amps: &mut [C64], t: usize, m: &[C64; 16]) {
+        // col_lo[l] packs rows 0 and 1 of column l; col_hi[l] rows 2 and 3.
+        // The pair-swapped copies feed the imaginary half of each product.
+        let mut col_lo = [_mm256_setzero_pd(); 4];
+        let mut col_hi = [_mm256_setzero_pd(); 4];
+        for l in 0..4 {
+            col_lo[l] = _mm256_setr_pd(m[l].re, m[l].im, m[4 + l].re, m[4 + l].im);
+            col_hi[l] = _mm256_setr_pd(m[8 + l].re, m[8 + l].im, m[12 + l].re, m[12 + l].im);
+        }
+        let col_lo_s = col_lo.map(|v| _mm256_permute_pd(v, 0b0101));
+        let col_hi_s = col_hi.map(|v| _mm256_permute_pd(v, 0b0101));
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            for (l_pair, h_pair) in lo_half.chunks_exact_mut(2).zip(hi_half.chunks_exact_mut(2)) {
+                let pl = l_pair.as_mut_ptr().cast::<f64>();
+                let ph = h_pair.as_mut_ptr().cast::<f64>();
+                let x = [l_pair[0], l_pair[1], h_pair[0], h_pair[1]];
+                let mut r_lo = _mm256_setzero_pd();
+                let mut r_hi = _mm256_setzero_pd();
+                for l in 0..4 {
+                    let xr = _mm256_set1_pd(x[l].re);
+                    let xi = _mm256_set1_pd(x[l].im);
+                    r_lo = _mm256_add_pd(r_lo, cmul2(col_lo[l], col_lo_s[l], xr, xi));
+                    r_hi = _mm256_add_pd(r_hi, cmul2(col_hi[l], col_hi_s[l], xr, xi));
+                }
+                _mm256_storeu_pd(pl, r_lo);
+                _mm256_storeu_pd(ph, r_hi);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +704,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dense2_kernel_matches_reference_on_all_operand_orders() {
+        // Full 4x4 unitaries (entangling and product-form) on every ordered
+        // qubit pair, against the full-scan oracle.
+        let matrices: Vec<Matrix> = vec![
+            Gate::CX.matrix(),
+            Gate::SWAP.matrix(),
+            Gate::CRY(0.9).matrix(),
+            Gate::H.matrix().kron(&Gate::U(0.3, -0.8, 1.7).matrix()),
+            Gate::CX
+                .matrix()
+                .matmul(&Gate::SX.matrix().kron(&Gate::T.matrix())),
+        ];
+        for hi in 0..4 {
+            for lo in 0..4 {
+                if hi == lo {
+                    continue;
+                }
+                for matrix in &matrices {
+                    let mut m = [C64::ZERO; 16];
+                    for r in 0..4 {
+                        for c in 0..4 {
+                            m[r * 4 + c] = matrix.get(r, c);
+                        }
+                    }
+                    let mut a = test_amps(4);
+                    let b = reference(&a, matrix, &[hi, lo]);
+                    apply_dense2(&mut a, hi, lo, &m);
+                    assert_close(&a, &b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diag2_kernel_matches_reference_on_all_operand_orders() {
+        // A fully general two-qubit diagonal (no entry equal to 1, plus the
+        // phase-only CP shape) against the oracle.
+        let full = [C64::cis(0.3), C64::cis(-0.7), C64::cis(1.9), C64::cis(0.4)];
+        let cp = [C64::ONE, C64::ONE, C64::ONE, C64::cis(0.8)];
+        for hi in 0..4 {
+            for lo in 0..4 {
+                if hi == lo {
+                    continue;
+                }
+                for d in [full, cp] {
+                    let mut matrix = Matrix::zeros(4);
+                    for (k, &dk) in d.iter().enumerate() {
+                        matrix[(k, k)] = dk;
+                    }
+                    let mut a = test_amps(4);
+                    let b = reference(&a, &matrix, &[hi, lo]);
+                    apply_diag2(&mut a, hi, lo, &d);
+                    assert_close(&a, &b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_chunked_kernels_handle_the_minimal_state() {
+        // A 1-qubit state exercises the remainder path of the 2-wide lane
+        // chunking in apply_1q / apply_diag1.
+        let mut a = test_amps(1);
+        let b = reference(&a, &Gate::H.matrix(), &[0]);
+        let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        apply_1q(&mut a, 0, &[h, h, h, -h]);
+        assert_close(&a, &b);
+        let mut a = test_amps(1);
+        let b = reference(&a, &Gate::RZ(0.7).matrix(), &[0]);
+        apply_diag1(&mut a, 0, C64::cis(-0.35), C64::cis(0.35));
+        assert_close(&a, &b);
     }
 
     #[test]

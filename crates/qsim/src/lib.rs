@@ -23,8 +23,13 @@
 //!   [`noise::NoiseModel`] aggregate.
 //! * [`profiles`] — named noise profiles, including the IBM-Brisbane-like
 //!   profile used by the Figure 4 reproduction.
+//! * [`plan`] — the compile step: lowers a circuit once into a fused,
+//!   matrix-precomputed [`plan::CircuitPlan`], cached in a process-wide
+//!   LRU keyed by circuit content hash, so repeated runs skip gate
+//!   classification entirely.
 //! * [`exec`] — the circuit executor: shot sampling, trajectories,
-//!   conditionals and mid-circuit measurement.
+//!   conditionals and mid-circuit measurement, driven by cached plans on
+//!   the noiseless dense path.
 //! * [`dist`] — measurement-outcome distributions and distance metrics.
 //! * [`word`] — the packed multi-word [`word::OutcomeWord`] classical
 //!   registers those distributions are keyed on: allocation-free inline up
@@ -54,6 +59,7 @@ pub mod kernels;
 pub mod mps;
 pub mod noise;
 pub mod observable;
+pub mod plan;
 pub mod profiles;
 pub mod stabilizer;
 pub mod state;

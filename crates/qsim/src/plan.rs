@@ -1,0 +1,1214 @@
+//! Compiled circuit plans: lower a [`Circuit`] once, execute it many times.
+//!
+//! PR 2's kernel layer dispatches gate-by-gate off [`Gate::kind`] at apply
+//! time — re-deriving trig-heavy matrix entries and kernel selection on
+//! every shot, every trajectory, and every repeat of the grader's
+//! candidate/reference runs. This module adds the missing compile step:
+//!
+//! * [`CircuitPlan::compile`] lowers a circuit into a flat
+//!   `Vec<`[`PlannedOp`]`>` where every op carries its **precomputed**
+//!   2×2/4×4 matrix entries (or a diagonal/permutation tag), so execution
+//!   is a data-driven walk with no classification and no trigonometry.
+//! * A **fusion pass** folds runs of single-qubit gates on the same qubit
+//!   into one 2×2 block, and folds neighboring 1q/2q gates into 4×4
+//!   superblocks executed by the one-pass [`crate::kernels::apply_dense2`]
+//!   kernel — one sweep over the state where the unfused circuit paid
+//!   several.
+//! * [`PlanCache`] memoizes plans in an LRU keyed by [`fingerprint`]
+//!   (a 128-bit content hash of the circuit), so the executor's repeated
+//!   runs of identical circuits — the grader's candidate/reference pairs,
+//!   `try_run_batch` suites, REPL loops — stop re-analyzing them. All
+//!   [`crate::exec::Executor`]s share one process-wide cache by default
+//!   ([`shared_cache`]).
+//!
+//! # Fusion legality
+//!
+//! The pass only ever reorders operations with **disjoint qubit support**
+//! (which commute exactly) and composes matrices of operations on the
+//! *same* support (matrix multiplication is exactly their sequential
+//! action). Concretely, a pending block on qubit(s) `S` stays open —
+//! accumulating later gates on `S` — until an operation whose support
+//! intersects `S` but is not absorbable arrives; then the block is emitted
+//! *before* that operation. Measurements, resets and classically
+//! conditioned gates are fusion barriers **on their own qubits only**:
+//! blocks on disjoint qubits legally commute past them. Fused blocks are
+//! never reclassified by approximate comparison — structural tags
+//! (diagonal / permutation / controlled) are only recovered through
+//! *exact* entry comparisons, so a block that is "almost" diagonal runs as
+//! a dense superblock rather than risking drift.
+//!
+//! Plans encode **noiseless** semantics: Pauli noise channels attach
+//! per-gate and per-barrier, which fusion would silently reassociate, so
+//! the executor only drives noisy runs through the unfused per-gate path.
+//!
+//! # Cache keying and invalidation
+//!
+//! Plans are keyed by a 128-bit FNV-1a hash over the circuit's full
+//! content: register sizes and every op's tag, gate name, exact parameter
+//! bits (`f64::to_bits`), and operand indices. Editing a circuit therefore
+//! *is* invalidation — the edited circuit hashes to a new key and compiles
+//! fresh, while the old entry ages out of the LRU ([`PLAN_CACHE_CAPACITY`]
+//! entries).
+
+use crate::kernels;
+use crate::state::StateVector;
+use crate::word::OutcomeWord;
+use qcir::circuit::{Circuit, Op};
+use qcir::gate::{Gate, GateKind};
+use qcir::math::C64;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Capacity of the process-wide [`shared_cache`] (and the default for
+/// [`PlanCache::new`] callers that don't care): enough for a grading suite's
+/// working set of reference + candidate circuits.
+pub const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// One lowered operation: kernel selection and matrix entries resolved at
+/// compile time, so execution never consults [`Gate::kind`].
+///
+/// Two-qubit matrix conventions: `hi` is the **most significant** bit of
+/// the 4×4 row/column index and diagonal entries are indexed
+/// `(hi_bit << 1) | lo_bit`, matching [`crate::kernels::apply_dense2`] /
+/// [`crate::kernels::apply_diag2`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedOp {
+    /// `diag(d[0], d[1])` on one qubit.
+    Diag1 {
+        /// Target qubit.
+        qubit: usize,
+        /// Diagonal entries for the `|0>` / `|1>` components.
+        d: [C64; 2],
+    },
+    /// Pauli-X (index permutation) on one qubit.
+    FlipX {
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// A dense 2×2 block (row-major), possibly the fusion of many gates.
+    Dense1 {
+        /// Target qubit.
+        qubit: usize,
+        /// Row-major matrix entries.
+        m: [C64; 4],
+    },
+    /// A two-qubit diagonal; entries exactly 1 are skipped at apply time.
+    Diag2 {
+        /// Most significant matrix bit.
+        hi: usize,
+        /// Least significant matrix bit.
+        lo: usize,
+        /// Diagonal entries indexed `(hi_bit << 1) | lo_bit`.
+        d: [C64; 4],
+    },
+    /// CX: flips `target` where `control` is set.
+    CFlipX {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// A dense 2×2 on `target` applied where `control` is set.
+    CDense1 {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Row-major 2×2 entries of the controlled block.
+        m: [C64; 4],
+    },
+    /// Exchanges the amplitudes of `a` and `b`.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+    /// A dense 4×4 superblock — the fusion workhorse.
+    Dense2 {
+        /// Most significant matrix bit.
+        hi: usize,
+        /// Least significant matrix bit.
+        lo: usize,
+        /// Row-major 4×4 entries (boxed to keep the op slim).
+        m: Box<[C64; 16]>,
+    },
+    /// Toffoli (never fused; the plan caps blocks at two qubits).
+    Ccx {
+        /// First control.
+        c0: usize,
+        /// Second control.
+        c1: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Fredkin (never fused).
+    CSwap {
+        /// Control qubit.
+        control: usize,
+        /// First exchanged qubit.
+        a: usize,
+        /// Second exchanged qubit.
+        b: usize,
+    },
+    /// Totality fallback for [`GateKind::General`]: a precomputed dense
+    /// matrix applied through the general scatter/gather kernel.
+    DenseK {
+        /// Gate operands (big-endian: first is the matrix MSB).
+        qubits: Vec<usize>,
+        /// The gate's dense unitary.
+        matrix: qcir::math::Matrix,
+    },
+    /// Computational-basis measurement into a classical bit.
+    Measure {
+        /// Measured qubit.
+        qubit: usize,
+        /// Destination classical bit.
+        clbit: usize,
+    },
+    /// Reset a qubit to `|0>`.
+    Reset {
+        /// Reset qubit.
+        qubit: usize,
+    },
+    /// A classically conditioned op: applied iff `clbit` last read `value`.
+    /// The inner op is precompiled but never fused (its application is only
+    /// known per trajectory).
+    Cond {
+        /// The precompiled conditional operation.
+        op: Box<PlannedOp>,
+        /// Classical bit the condition reads.
+        clbit: usize,
+        /// Value the bit must hold for the op to apply.
+        value: bool,
+    },
+}
+
+/// An executable lowering of one circuit: flat op list, precomputed
+/// matrices, fused superblocks. Immutable once compiled — cache and share
+/// freely across threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitPlan {
+    num_qubits: usize,
+    num_clbits: usize,
+    ops: Vec<PlannedOp>,
+    measure_map: Vec<(usize, usize)>,
+    source_gate_ops: usize,
+    fingerprint: u128,
+}
+
+impl CircuitPlan {
+    /// Lowers and fuses `circuit` (see the module docs for the fusion
+    /// rules). Deterministic: equal circuits compile to equal plans.
+    pub fn compile(circuit: &Circuit) -> CircuitPlan {
+        let mut fuser = Fuser::new(circuit.num_qubits());
+        let mut measure_map = Vec::new();
+        let mut source_gate_ops = 0usize;
+        for op in circuit.ops() {
+            match op {
+                Op::Gate { gate, qubits } => {
+                    source_gate_ops += 1;
+                    fuser.push_gate(*gate, qubits);
+                }
+                Op::Measure { qubit, clbit } => {
+                    fuser.flush_qubit(*qubit);
+                    measure_map.push((*qubit, *clbit));
+                    fuser.emitted.push(PlannedOp::Measure {
+                        qubit: *qubit,
+                        clbit: *clbit,
+                    });
+                }
+                Op::Reset { qubit } => {
+                    fuser.flush_qubit(*qubit);
+                    fuser.emitted.push(PlannedOp::Reset { qubit: *qubit });
+                }
+                Op::CondGate {
+                    gate,
+                    qubits,
+                    clbit,
+                    value,
+                } => {
+                    source_gate_ops += 1;
+                    for &q in qubits {
+                        fuser.flush_qubit(q);
+                    }
+                    if let Some(inner) = lower_gate_solo(*gate, qubits) {
+                        fuser.emitted.push(PlannedOp::Cond {
+                            op: Box::new(inner),
+                            clbit: *clbit,
+                            value: *value,
+                        });
+                    }
+                }
+                // Barriers are no-ops under the plan's noiseless semantics
+                // (idle noise attaches to them only on the unfused path).
+                Op::Barrier { .. } => {}
+            }
+        }
+        fuser.flush_all();
+        CircuitPlan {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            ops: fuser.emitted,
+            measure_map,
+            source_gate_ops,
+            fingerprint: fingerprint(circuit),
+        }
+    }
+
+    /// Number of qubits the plan addresses.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Width of the classical register.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The lowered op list, in execution order.
+    pub fn ops(&self) -> &[PlannedOp] {
+        &self.ops
+    }
+
+    /// `(qubit, clbit)` pairs of every measurement, in program order (the
+    /// sampling fast path's measurement map).
+    pub fn measure_map(&self) -> &[(usize, usize)] {
+        &self.measure_map
+    }
+
+    /// Gate ops in the source circuit (conditional gates included) — the
+    /// denominator of the fusion ratio.
+    pub fn source_gate_ops(&self) -> usize {
+        self.source_gate_ops
+    }
+
+    /// Unitary ops that survived fusion (the numerator: fewer is better).
+    pub fn fused_unitaries(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| {
+                !matches!(
+                    op,
+                    PlannedOp::Measure { .. } | PlannedOp::Reset { .. } | PlannedOp::Cond { .. }
+                )
+            })
+            .count()
+    }
+
+    /// The 128-bit content hash of the source circuit (the cache key).
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// Applies every unitary op to `sv`, skipping measurements — the
+    /// sampling fast path's prefix evolution for measure-at-end circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plans containing resets or conditional gates (their
+    /// semantics need a per-trajectory run; use
+    /// [`CircuitPlan::run_trajectory`]).
+    pub fn apply_unitary(&self, sv: &mut StateVector) {
+        for op in &self.ops {
+            match op {
+                PlannedOp::Measure { .. } => {}
+                PlannedOp::Reset { .. } | PlannedOp::Cond { .. } => {
+                    panic!("apply_unitary requires a reset- and conditional-free plan")
+                }
+                unitary => apply_unitary_op(sv, unitary),
+            }
+        }
+    }
+
+    /// Runs one full (noiseless) Monte-Carlo trajectory: reinitializes the
+    /// state, walks the plan, and writes the classical outcome into the
+    /// caller's scratch word (cleared first). The per-shot twin of the
+    /// executor's per-gate trajectory loop, minus all gate classification.
+    pub fn run_trajectory(
+        &self,
+        sv: &mut StateVector,
+        rng: &mut impl Rng,
+        clbits: &mut OutcomeWord,
+    ) {
+        sv.reinit();
+        clbits.clear();
+        for op in &self.ops {
+            match op {
+                PlannedOp::Measure { qubit, clbit } => {
+                    let outcome = sv.measure(*qubit, rng);
+                    clbits.set_bit(*clbit, outcome);
+                }
+                PlannedOp::Reset { qubit } => sv.reset(*qubit, rng),
+                PlannedOp::Cond { op, clbit, value } => {
+                    if clbits.bit(*clbit) == *value {
+                        apply_unitary_op(sv, op);
+                    }
+                }
+                unitary => apply_unitary_op(sv, unitary),
+            }
+        }
+    }
+}
+
+/// Applies one unitary planned op to the state via the kernel layer.
+///
+/// # Panics
+///
+/// Panics (in the match) when handed `Measure`/`Reset`/`Cond`; callers
+/// route those through trajectory logic.
+fn apply_unitary_op(sv: &mut StateVector, op: &PlannedOp) {
+    match op {
+        PlannedOp::DenseK { qubits, matrix } => sv.apply_matrix(matrix, qubits),
+        PlannedOp::Diag1 { qubit, d } => {
+            kernels::apply_diag1(sv.amps_mut(), *qubit, d[0], d[1]);
+        }
+        PlannedOp::FlipX { qubit } => kernels::apply_x(sv.amps_mut(), *qubit),
+        PlannedOp::Dense1 { qubit, m } => kernels::apply_1q(sv.amps_mut(), *qubit, m),
+        PlannedOp::Diag2 { hi, lo, d } => kernels::apply_diag2(sv.amps_mut(), *hi, *lo, d),
+        PlannedOp::CFlipX { control, target } => {
+            kernels::apply_cx(sv.amps_mut(), *control, *target);
+        }
+        PlannedOp::CDense1 { control, target, m } => {
+            kernels::apply_controlled_1q(sv.amps_mut(), *control, *target, m);
+        }
+        PlannedOp::Swap { a, b } => kernels::apply_swap(sv.amps_mut(), *a, *b),
+        PlannedOp::Dense2 { hi, lo, m } => kernels::apply_dense2(sv.amps_mut(), *hi, *lo, m),
+        PlannedOp::Ccx { c0, c1, target } => {
+            kernels::apply_ccx(sv.amps_mut(), *c0, *c1, *target);
+        }
+        PlannedOp::CSwap { control, a, b } => {
+            kernels::apply_cswap(sv.amps_mut(), *control, *a, *b);
+        }
+        PlannedOp::Measure { .. } | PlannedOp::Reset { .. } | PlannedOp::Cond { .. } => {
+            unreachable!("non-unitary op routed to apply_unitary_op")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fusion pass
+// ---------------------------------------------------------------------------
+
+/// A pending fusion block: gates accumulated but not yet emitted.
+enum Block {
+    /// A 2×2 accumulator on one qubit.
+    One { qubit: usize, m: [C64; 4] },
+    /// A 4×4 accumulator on an (unordered) qubit pair, oriented
+    /// `hi = max, lo = min`.
+    Two { hi: usize, lo: usize, m: [C64; 16] },
+}
+
+impl Block {
+    fn qubits(&self) -> (usize, Option<usize>) {
+        match self {
+            Block::One { qubit, .. } => (*qubit, None),
+            Block::Two { hi, lo, .. } => (*hi, Some(*lo)),
+        }
+    }
+}
+
+/// The fusion pass state: per-qubit ownership of pending blocks plus the
+/// emitted tail.
+struct Fuser {
+    emitted: Vec<PlannedOp>,
+    /// `owner[q]` = arena index of the pending block holding qubit `q`.
+    owner: Vec<Option<usize>>,
+    /// Block arena; `None` marks flushed/absorbed slots. Indices are never
+    /// reused, so ascending index is creation order (deterministic flush
+    /// ordering).
+    blocks: Vec<Option<Block>>,
+}
+
+impl Fuser {
+    fn new(num_qubits: usize) -> Self {
+        Fuser {
+            emitted: Vec::new(),
+            owner: vec![None; num_qubits],
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Routes one gate op into the pending blocks.
+    fn push_gate(&mut self, gate: Gate, qubits: &[usize]) {
+        match gate.kind() {
+            GateKind::Identity => {}
+            GateKind::Diagonal1 { d0, d1 } => self.push_1q(qubits[0], [d0, z(), z(), d1]),
+            GateKind::FlipX => self.push_1q(qubits[0], [z(), o(), o(), z()]),
+            GateKind::Dense1 { m } => self.push_1q(qubits[0], m),
+            GateKind::ControlledDiagonal1 { .. }
+            | GateKind::ControlledFlipX
+            | GateKind::ControlledDense1 { .. }
+            | GateKind::Swap => {
+                let g = gate4_oriented(gate, qubits[0], qubits[1]);
+                self.push_2q(qubits[0], qubits[1], g);
+            }
+            GateKind::DoublyControlledFlipX => {
+                self.flush_qubits(qubits);
+                self.emitted.push(PlannedOp::Ccx {
+                    c0: qubits[0],
+                    c1: qubits[1],
+                    target: qubits[2],
+                });
+            }
+            GateKind::ControlledSwap => {
+                self.flush_qubits(qubits);
+                self.emitted.push(PlannedOp::CSwap {
+                    control: qubits[0],
+                    a: qubits[1],
+                    b: qubits[2],
+                });
+            }
+            GateKind::General => {
+                self.flush_qubits(qubits);
+                self.emitted.push(PlannedOp::DenseK {
+                    qubits: qubits.to_vec(),
+                    matrix: gate.matrix(),
+                });
+            }
+        }
+    }
+
+    /// Accumulates a 2×2 onto `q`'s pending block (left-multiplying: later
+    /// gates compose on the left).
+    fn push_1q(&mut self, q: usize, g: [C64; 4]) {
+        match self.owner[q] {
+            Some(idx) => match self.blocks[idx].as_mut().expect("owned blocks are live") {
+                Block::One { m, .. } => *m = mul2(&g, m),
+                Block::Two { hi, lo, m } => {
+                    let expanded = if q == *hi {
+                        expand_hi(&g)
+                    } else {
+                        debug_assert_eq!(q, *lo);
+                        expand_lo(&g)
+                    };
+                    *m = mul4(&expanded, m);
+                }
+            },
+            None => self.alloc(Block::One { qubit: q, m: g }, &[q]),
+        }
+    }
+
+    /// Accumulates a 4×4 (already oriented `hi = max(a, b)`) onto the pair's
+    /// pending block, absorbing any pending 1q blocks on its operands.
+    fn push_2q(&mut self, a: usize, b: usize, g: [C64; 16]) {
+        let (hi, lo) = (a.max(b), a.min(b));
+        // Same-pair Two block already open: compose in place.
+        if let (Some(ia), Some(ib)) = (self.owner[a], self.owner[b]) {
+            if ia == ib {
+                if let Some(Block::Two { m, .. }) = self.blocks[ia].as_mut() {
+                    *m = mul4(&g, m);
+                    return;
+                }
+            }
+        }
+        // Flush foreign Two blocks on either operand; absorb pending One
+        // blocks into the new superblock's right factor.
+        let mut base = IDENTITY4;
+        let mut absorbed = false;
+        for &q in &[a, b] {
+            if let Some(idx) = self.owner[q] {
+                match self.blocks[idx].as_ref().expect("owned blocks are live") {
+                    Block::One { m, .. } => {
+                        let expanded = if q == hi { expand_hi(m) } else { expand_lo(m) };
+                        base = mul4(&expanded, &base);
+                        self.blocks[idx] = None;
+                        self.owner[q] = None;
+                        absorbed = true;
+                    }
+                    Block::Two { .. } => self.flush_block(idx),
+                }
+            }
+        }
+        let m = if absorbed { mul4(&g, &base) } else { g };
+        self.alloc(Block::Two { hi, lo, m }, &[hi, lo]);
+    }
+
+    fn alloc(&mut self, block: Block, qubits: &[usize]) {
+        let idx = self.blocks.len();
+        self.blocks.push(Some(block));
+        for &q in qubits {
+            self.owner[q] = Some(idx);
+        }
+    }
+
+    /// Emits the pending block holding `q`, if any.
+    fn flush_qubit(&mut self, q: usize) {
+        if let Some(idx) = self.owner[q] {
+            self.flush_block(idx);
+        }
+    }
+
+    fn flush_qubits(&mut self, qubits: &[usize]) {
+        for &q in qubits {
+            self.flush_qubit(q);
+        }
+    }
+
+    /// Emits every pending block in creation order.
+    fn flush_all(&mut self) {
+        for idx in 0..self.blocks.len() {
+            if self.blocks[idx].is_some() {
+                self.flush_block(idx);
+            }
+        }
+    }
+
+    /// Classifies and emits one pending block, releasing its qubits.
+    fn flush_block(&mut self, idx: usize) {
+        let block = self.blocks[idx].take().expect("flushed block is live");
+        let (qa, qb) = block.qubits();
+        self.owner[qa] = None;
+        if let Some(qb) = qb {
+            self.owner[qb] = None;
+        }
+        match block {
+            Block::One { qubit, m } => {
+                if let Some(op) = classify_1q(qubit, &m) {
+                    self.emitted.push(op);
+                }
+            }
+            Block::Two { hi, lo, m } => {
+                if let Some(op) = classify_2q(hi, lo, &m) {
+                    self.emitted.push(op);
+                }
+            }
+        }
+    }
+}
+
+/// Classifies a fused 2×2 block into the cheapest exact kernel tier.
+/// Returns `None` for the exact identity (fused gates that cancelled).
+fn classify_1q(qubit: usize, m: &[C64; 4]) -> Option<PlannedOp> {
+    if m[1] == z() && m[2] == z() {
+        if m[0] == o() && m[3] == o() {
+            return None;
+        }
+        return Some(PlannedOp::Diag1 {
+            qubit,
+            d: [m[0], m[3]],
+        });
+    }
+    if m[0] == z() && m[3] == z() && m[1] == o() && m[2] == o() {
+        return Some(PlannedOp::FlipX { qubit });
+    }
+    Some(PlannedOp::Dense1 { qubit, m: *m })
+}
+
+/// Classifies a fused 4×4 block: diagonal, controlled, swap and identity
+/// structure are recovered through exact entry comparisons; anything else
+/// runs as a dense superblock.
+fn classify_2q(hi: usize, lo: usize, m: &[C64; 16]) -> Option<PlannedOp> {
+    let off_diag_zero = (0..4).all(|r| (0..4).all(|c| r == c || m[r * 4 + c] == z()));
+    if off_diag_zero {
+        let d = [m[0], m[5], m[10], m[15]];
+        if d.iter().all(|&x| x == o()) {
+            return None;
+        }
+        // Product-form diagonals drop back to a cheaper 1q pass.
+        if d[0] == d[1] && d[2] == d[3] {
+            return Some(PlannedOp::Diag1 {
+                qubit: hi,
+                d: [d[0], d[2]],
+            });
+        }
+        if d[0] == d[2] && d[1] == d[3] {
+            return Some(PlannedOp::Diag1 {
+                qubit: lo,
+                d: [d[0], d[1]],
+            });
+        }
+        return Some(PlannedOp::Diag2 { hi, lo, d });
+    }
+    // Controlled on `hi`: the hi=0 subspace (indices 0, 1) is identity and
+    // decoupled from the hi=1 subspace.
+    let zeros_hi = [1, 2, 3, 4, 6, 7, 8, 12, 9, 13];
+    if m[0] == o() && m[5] == o() && zeros_hi.iter().all(|&k| m[k] == z()) {
+        return Some(controlled_op(hi, lo, [m[10], m[11], m[14], m[15]]));
+    }
+    // Controlled on `lo`: the lo=0 subspace (indices 0, 2) is identity.
+    let zeros_lo = [1, 2, 3, 4, 6, 8, 9, 11, 12, 14];
+    if m[0] == o() && m[10] == o() && zeros_lo.iter().all(|&k| m[k] == z()) {
+        return Some(controlled_op(lo, hi, [m[5], m[7], m[13], m[15]]));
+    }
+    // Exact SWAP.
+    let swap_ones = [6, 9]; // rows 1->2 and 2->1, i.e. m[1*4+2] and m[2*4+1]
+    if m[0] == o()
+        && m[15] == o()
+        && swap_ones.iter().all(|&k| m[k] == o())
+        && (0..16).all(|k| k == 0 || k == 6 || k == 9 || k == 15 || m[k] == z())
+    {
+        return Some(PlannedOp::Swap { a: hi, b: lo });
+    }
+    Some(PlannedOp::Dense2 {
+        hi,
+        lo,
+        m: Box::new(*m),
+    })
+}
+
+/// The cheapest controlled-form op for a controlled 2×2 sub-block.
+fn controlled_op(control: usize, target: usize, sub: [C64; 4]) -> PlannedOp {
+    if sub[0] == z() && sub[3] == z() && sub[1] == o() && sub[2] == o() {
+        return PlannedOp::CFlipX { control, target };
+    }
+    PlannedOp::CDense1 {
+        control,
+        target,
+        m: sub,
+    }
+}
+
+/// Lowers one gate to a single planned op without fusion (the conditional-
+/// gate path). Returns `None` for the identity.
+fn lower_gate_solo(gate: Gate, qubits: &[usize]) -> Option<PlannedOp> {
+    match gate.kind() {
+        GateKind::Identity => None,
+        GateKind::Diagonal1 { d0, d1 } => Some(PlannedOp::Diag1 {
+            qubit: qubits[0],
+            d: [d0, d1],
+        }),
+        GateKind::FlipX => Some(PlannedOp::FlipX { qubit: qubits[0] }),
+        GateKind::Dense1 { m } => Some(PlannedOp::Dense1 {
+            qubit: qubits[0],
+            m,
+        }),
+        GateKind::ControlledDiagonal1 { .. }
+        | GateKind::ControlledFlipX
+        | GateKind::ControlledDense1 { .. }
+        | GateKind::Swap => {
+            let (hi, lo) = (qubits[0].max(qubits[1]), qubits[0].min(qubits[1]));
+            classify_2q(hi, lo, &gate4_oriented(gate, qubits[0], qubits[1]))
+        }
+        GateKind::DoublyControlledFlipX => Some(PlannedOp::Ccx {
+            c0: qubits[0],
+            c1: qubits[1],
+            target: qubits[2],
+        }),
+        GateKind::ControlledSwap => Some(PlannedOp::CSwap {
+            control: qubits[0],
+            a: qubits[1],
+            b: qubits[2],
+        }),
+        GateKind::General => Some(PlannedOp::DenseK {
+            qubits: qubits.to_vec(),
+            matrix: gate.matrix(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Small exact matrix algebra (compile-time only)
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn z() -> C64 {
+    C64::ZERO
+}
+
+#[inline]
+fn o() -> C64 {
+    C64::ONE
+}
+
+const IDENTITY4: [C64; 16] = {
+    let mut m = [C64::ZERO; 16];
+    m[0] = C64::ONE;
+    m[5] = C64::ONE;
+    m[10] = C64::ONE;
+    m[15] = C64::ONE;
+    m
+};
+
+/// `a · b` for row-major 2×2 matrices.
+fn mul2(a: &[C64; 4], b: &[C64; 4]) -> [C64; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// `a · b` for row-major 4×4 matrices, skipping exact-zero terms so
+/// structural zeros survive composition exactly.
+fn mul4(a: &[C64; 16], b: &[C64; 16]) -> [C64; 16] {
+    let mut out = [C64::ZERO; 16];
+    for r in 0..4 {
+        for k in 0..4 {
+            let ark = a[r * 4 + k];
+            if ark == C64::ZERO {
+                continue;
+            }
+            for c in 0..4 {
+                let bkc = b[k * 4 + c];
+                if bkc != C64::ZERO {
+                    out[r * 4 + c] += ark * bkc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `m ⊗ I`: the 2×2 acting on the `hi` bit of a 4×4.
+fn expand_hi(m: &[C64; 4]) -> [C64; 16] {
+    let mut out = [C64::ZERO; 16];
+    for r in 0..2 {
+        for c in 0..2 {
+            out[(r * 2) * 4 + c * 2] = m[r * 2 + c];
+            out[(r * 2 + 1) * 4 + c * 2 + 1] = m[r * 2 + c];
+        }
+    }
+    out
+}
+
+/// `I ⊗ m`: the 2×2 acting on the `lo` bit of a 4×4.
+fn expand_lo(m: &[C64; 4]) -> [C64; 16] {
+    let mut out = [C64::ZERO; 16];
+    for r in 0..2 {
+        for c in 0..2 {
+            out[r * 4 + c] = m[r * 2 + c];
+            out[(r + 2) * 4 + c + 2] = m[r * 2 + c];
+        }
+    }
+    out
+}
+
+/// The gate's 4×4 oriented so `max(q0, q1)` is the matrix MSB. Gate
+/// matrices put operand 0 in the MSB, so when operand 0 is the *smaller*
+/// qubit the two bit roles are transposed (an exact entry permutation).
+fn gate4_oriented(gate: Gate, q0: usize, q1: usize) -> [C64; 16] {
+    let matrix = gate.matrix();
+    debug_assert_eq!(matrix.dim(), 4);
+    let mut m = [C64::ZERO; 16];
+    let permute = q0 < q1;
+    for r in 0..4 {
+        for c in 0..4 {
+            let (pr, pc) = if permute {
+                (swap_bits2(r), swap_bits2(c))
+            } else {
+                (r, c)
+            };
+            m[pr * 4 + pc] = matrix.get(r, c);
+        }
+    }
+    m
+}
+
+/// Swaps the two bits of a 2-bit index.
+#[inline]
+fn swap_bits2(i: usize) -> usize {
+    ((i & 1) << 1) | (i >> 1)
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting and the plan cache
+// ---------------------------------------------------------------------------
+
+/// 128-bit FNV-1a content hash of a circuit: register sizes plus every
+/// op's tag, gate name, exact parameter bits and operand indices. Equal
+/// circuits hash equal; at 128 bits, accidental collisions are out of
+/// reach for any realistic workload.
+pub fn fingerprint(circuit: &Circuit) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_usize(circuit.num_qubits());
+    h.write_usize(circuit.num_clbits());
+    for op in circuit.ops() {
+        match op {
+            Op::Gate { gate, qubits } => {
+                h.write_u8(1);
+                h.write_gate(gate);
+                h.write_indices(qubits);
+            }
+            Op::Measure { qubit, clbit } => {
+                h.write_u8(2);
+                h.write_usize(*qubit);
+                h.write_usize(*clbit);
+            }
+            Op::Reset { qubit } => {
+                h.write_u8(3);
+                h.write_usize(*qubit);
+            }
+            Op::Barrier { qubits } => {
+                h.write_u8(4);
+                h.write_indices(qubits);
+            }
+            Op::CondGate {
+                gate,
+                qubits,
+                clbit,
+                value,
+            } => {
+                h.write_u8(5);
+                h.write_gate(gate);
+                h.write_indices(qubits);
+                h.write_usize(*clbit);
+                h.write_u8(u8::from(*value));
+            }
+        }
+    }
+    h.finish()
+}
+
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Self {
+        Fnv128(Self::OFFSET)
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u128::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        for b in (x as u64).to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_indices(&mut self, xs: &[usize]) {
+        self.write_usize(xs.len());
+        for &x in xs {
+            self.write_usize(x);
+        }
+    }
+
+    fn write_gate(&mut self, gate: &Gate) {
+        for b in gate.name().bytes() {
+            self.write_u8(b);
+        }
+        for p in gate.params() {
+            for b in p.to_bits().to_le_bytes() {
+                self.write_u8(b);
+            }
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+/// An LRU of compiled plans keyed by [`fingerprint`]. Wrap it in a mutex
+/// and share it (the executor does, via [`shared_cache`] by default): hits
+/// return the `Arc` without touching the circuit again.
+#[derive(Debug)]
+pub struct PlanCache {
+    cap: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    map: HashMap<u128, (u64, Arc<CircuitPlan>)>,
+}
+
+impl PlanCache {
+    /// An empty cache evicting least-recently-used entries past `cap`
+    /// (clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            cap: cap.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The cached plan for `circuit`, compiling and inserting on miss.
+    pub fn get_or_compile(&mut self, circuit: &Circuit) -> Arc<CircuitPlan> {
+        let key = fingerprint(circuit);
+        self.tick += 1;
+        if let Some((last_used, plan)) = self.map.get_mut(&key) {
+            *last_used = self.tick;
+            self.hits += 1;
+            return Arc::clone(plan);
+        }
+        self.misses += 1;
+        let plan = Arc::new(CircuitPlan::compile(circuit));
+        if self.map.len() >= self.cap {
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k) {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, Arc::clone(&plan)));
+        plan
+    }
+
+    /// Cached plan count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookup hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses (compiles) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// The process-wide plan cache every [`crate::exec::Executor`] uses unless
+/// given a private one — so the grader's fresh per-call executors still
+/// share compiled plans across repeated candidate/reference runs.
+pub fn shared_cache() -> Arc<Mutex<PlanCache>> {
+    static SHARED: OnceLock<Arc<Mutex<PlanCache>>> = OnceLock::new();
+    Arc::clone(SHARED.get_or_init(|| Arc::new(Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::math::Matrix;
+    use rand::SeedableRng;
+
+    /// Applies the plan and the unfused per-gate path to the same basis
+    /// states and requires identical final states to 1e-12.
+    fn assert_plan_matches(circuit: &Circuit) {
+        let plan = CircuitPlan::compile(circuit);
+        let n = circuit.num_qubits();
+        for basis in [0usize, (1 << n) - 1, 1] {
+            let mut fused = StateVector::basis(n, basis);
+            plan.apply_unitary(&mut fused);
+            let mut unfused = StateVector::basis(n, basis);
+            for op in circuit.ops() {
+                if let Op::Gate { gate, qubits } = op {
+                    unfused.apply_gate(*gate, qubits);
+                }
+            }
+            for (i, (a, b)) in fused
+                .amplitudes()
+                .iter()
+                .zip(unfused.amplitudes())
+                .enumerate()
+            {
+                assert!(a.approx_eq(*b, 1e-12), "basis {basis}, amp {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_1q_runs_fuse_to_one_block() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).t(0).push_gate(Gate::SX, &[0]).rz(0.3, 0).h(1);
+        let plan = CircuitPlan::compile(&qc);
+        // Qubit 0's four gates fuse to one block; qubit 1 keeps its H.
+        assert_eq!(plan.fused_unitaries(), 2);
+        assert_eq!(plan.source_gate_ops(), 5);
+        assert_plan_matches(&qc);
+    }
+
+    #[test]
+    fn disjoint_gates_commute_through_the_pending_blocks() {
+        // H(0), H(1), T(0): the T must fuse with qubit 0's H even though a
+        // gate on qubit 1 sits between them in program order.
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).h(1).t(0);
+        let plan = CircuitPlan::compile(&qc);
+        assert_eq!(plan.fused_unitaries(), 2);
+        assert_plan_matches(&qc);
+    }
+
+    #[test]
+    fn one_q_gates_fold_into_2q_superblocks() {
+        let mut qc = Circuit::new(2, 0);
+        qc.h(0).t(1).cx(0, 1).h(1);
+        let plan = CircuitPlan::compile(&qc);
+        // H(0) and T(1) absorb into the CX superblock; H(1) rides on top.
+        assert_eq!(plan.fused_unitaries(), 1);
+        assert!(matches!(plan.ops()[0], PlannedOp::Dense2 { .. }));
+        assert_plan_matches(&qc);
+    }
+
+    #[test]
+    fn cancelling_gates_vanish() {
+        let mut qc = Circuit::new(1, 0);
+        qc.x(0).x(0);
+        assert_eq!(CircuitPlan::compile(&qc).fused_unitaries(), 0);
+        let mut qc = Circuit::new(1, 0);
+        qc.t(0).tdg(0);
+        assert_eq!(CircuitPlan::compile(&qc).fused_unitaries(), 0);
+    }
+
+    #[test]
+    fn unfused_gates_keep_their_specialized_tiers() {
+        let mut qc = Circuit::new(3, 0);
+        qc.t(0).x(1).cx(0, 1).cz(1, 2).swap(0, 2).ccx(0, 1, 2);
+        // Force no fusion by interleaving a flushing 3q gate first.
+        let plan = CircuitPlan::compile(&qc);
+        assert_plan_matches(&qc);
+        // A lone CZ (diagonal) emitted from a plan must stay diagonal-tier:
+        let mut qc = Circuit::new(2, 0);
+        qc.cz(0, 1);
+        let plan2 = CircuitPlan::compile(&qc);
+        assert!(matches!(plan2.ops()[0], PlannedOp::Diag2 { .. }));
+        // A lone CX keeps the permutation tier.
+        let mut qc = Circuit::new(2, 0);
+        qc.cx(1, 0);
+        let plan3 = CircuitPlan::compile(&qc);
+        assert!(matches!(
+            plan3.ops()[0],
+            PlannedOp::CFlipX {
+                control: 1,
+                target: 0
+            }
+        ));
+        // A lone SWAP keeps the swap tier.
+        let mut qc = Circuit::new(2, 0);
+        qc.swap(0, 1);
+        assert!(matches!(
+            CircuitPlan::compile(&qc).ops()[0],
+            PlannedOp::Swap { .. }
+        ));
+        // A lone CH keeps the controlled-dense tier (control below target).
+        let mut qc = Circuit::new(2, 0);
+        qc.ch(0, 1);
+        assert!(matches!(
+            CircuitPlan::compile(&qc).ops()[0],
+            PlannedOp::CDense1 {
+                control: 0,
+                target: 1,
+                ..
+            }
+        ));
+        let _ = plan;
+    }
+
+    #[test]
+    fn same_pair_2q_gates_fuse() {
+        let mut qc = Circuit::new(2, 0);
+        qc.cx(0, 1).cx(1, 0).cx(0, 1); // = SWAP, exactly (permutation entries)
+        let plan = CircuitPlan::compile(&qc);
+        assert_eq!(plan.fused_unitaries(), 1);
+        assert!(matches!(plan.ops()[0], PlannedOp::Swap { .. }));
+        assert_plan_matches(&qc);
+    }
+
+    #[test]
+    fn measure_flushes_only_its_own_qubit() {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).h(1);
+        qc.measure(0, 0);
+        qc.t(1); // must still fuse with H(1) across the measurement
+        let plan = CircuitPlan::compile(&qc);
+        let fused: Vec<_> = plan
+            .ops()
+            .iter()
+            .filter(|op| !matches!(op, PlannedOp::Measure { .. }))
+            .collect();
+        assert_eq!(fused.len(), 2, "H(0) flushed, H·T fused on qubit 1");
+        assert_eq!(plan.measure_map(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn trajectory_semantics_cover_measure_reset_cond() {
+        let mut qc = Circuit::new(2, 2);
+        qc.x(0).measure(0, 0);
+        qc.cond_gate(Gate::X, &[1], 0, true);
+        qc.measure(1, 1);
+        qc.reset(0);
+        let plan = CircuitPlan::compile(&qc);
+        let mut sv = StateVector::zero(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut word = OutcomeWord::zero();
+        plan.run_trajectory(&mut sv, &mut rng, &mut word);
+        assert!(word.bit(0) && word.bit(1));
+        // Reset put qubit 0 back to |0>.
+        assert!(sv.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_circuits_and_params() {
+        let mut a = Circuit::new(2, 2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2, 2);
+        b.h(0).cx(0, 1);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        b.rz(0.5, 1);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        let mut c = Circuit::new(2, 2);
+        c.h(0).cx(0, 1);
+        c.rz(0.5000001, 1);
+        assert_ne!(fingerprint(&b), fingerprint(&c));
+        // Operand order matters.
+        let mut d = Circuit::new(2, 2);
+        d.h(0).cx(1, 0);
+        assert_ne!(fingerprint(&a), fingerprint(&d));
+    }
+
+    #[test]
+    fn plan_cache_hits_and_evicts() {
+        let mut cache = PlanCache::new(2);
+        let mut a = Circuit::new(1, 0);
+        a.h(0);
+        let mut b = Circuit::new(1, 0);
+        b.x(0);
+        let mut c = Circuit::new(1, 0);
+        c.t(0);
+        let pa = cache.get_or_compile(&a);
+        assert!(Arc::ptr_eq(&pa, &cache.get_or_compile(&a)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.get_or_compile(&b);
+        cache.get_or_compile(&c); // evicts `a` (least recently used)
+        assert_eq!(cache.len(), 2);
+        cache.get_or_compile(&a);
+        assert_eq!(cache.misses(), 4, "evicted plan recompiles");
+    }
+
+    #[test]
+    fn oriented_gate_matrices_match_the_reference_unitary() {
+        // Both operand orders of every 2q kind against Gate::matrix through
+        // the dense oracle.
+        for gate in [
+            Gate::CX,
+            Gate::CZ,
+            Gate::CH,
+            Gate::CY,
+            Gate::SWAP,
+            Gate::CRX(0.7),
+            Gate::CRZ(-0.4),
+            Gate::CP(1.1),
+        ] {
+            for (q0, q1) in [(0usize, 1usize), (1, 0), (0, 2), (2, 0)] {
+                let m = gate4_oriented(gate, q0, q1);
+                let (hi, lo) = (q0.max(q1), q0.min(q1));
+                let mut via_plan = StateVector::basis(3, 0b101);
+                via_plan.apply_gate(Gate::H, &[0]);
+                via_plan.apply_gate(Gate::T, &[1]);
+                let mut via_gate = via_plan.clone();
+                kernels::apply_dense2(via_plan.amps_mut(), hi, lo, &m);
+                via_gate.apply_gate(gate, &[q0, q1]);
+                for (a, b) in via_plan.amplitudes().iter().zip(via_gate.amplitudes()) {
+                    assert!(a.approx_eq(*b, 1e-12), "{gate:?} on ({q0},{q1})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_fallback_is_total() {
+        // No built-in gate classifies as General, but the solo path and the
+        // DenseK op must still execute one if a future gate does.
+        let op = PlannedOp::DenseK {
+            qubits: vec![0],
+            matrix: Matrix::identity(2),
+        };
+        let mut sv = StateVector::zero(1);
+        apply_unitary_op(&mut sv, &op);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+}

@@ -146,6 +146,13 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable amplitude access for the plan executor, which drives the
+    /// kernel layer directly from precompiled ops. Callers must preserve
+    /// normalization (plans only apply unitaries).
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
     /// Applies a gate to the given qubits (gate operand order).
     ///
     /// Dispatches on [`Gate::kind`] to the specialized kernels in

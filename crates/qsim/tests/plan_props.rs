@@ -1,0 +1,140 @@
+//! Property tests for the compile step: a fused [`CircuitPlan`] agrees
+//! with the unfused per-gate kernel path to 1e-12 on random circuits —
+//! including fusion across diagonal/dense/permutation tier boundaries —
+//! and cached-plan executor runs are bit-identical to cold-plan runs.
+
+use proptest::prelude::*;
+use qcir::circuit::Circuit;
+use qcir::gate::Gate;
+use qsim::exec::Executor;
+use qsim::plan::CircuitPlan;
+use qsim::state::StateVector;
+
+/// Strategy: an arbitrary gate covering every dispatch tier, so fused
+/// blocks routinely straddle diagonal (T/Z/RZ/CZ/CP), dense (H/U/CH) and
+/// permutation (X/CX/SWAP/CCX) boundaries.
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        Just(Gate::Id),
+        Just(Gate::H),
+        Just(Gate::X),
+        Just(Gate::Y),
+        Just(Gate::Z),
+        Just(Gate::S),
+        Just(Gate::Sdg),
+        Just(Gate::T),
+        Just(Gate::Tdg),
+        Just(Gate::SX),
+        (-6.3f64..6.3).prop_map(Gate::RX),
+        (-6.3f64..6.3).prop_map(Gate::RY),
+        (-6.3f64..6.3).prop_map(Gate::RZ),
+        (-6.3f64..6.3).prop_map(Gate::P),
+        (-3.2f64..3.2, -3.2f64..3.2, -3.2f64..3.2).prop_map(|(t, p, l)| Gate::U(t, p, l)),
+        Just(Gate::CX),
+        Just(Gate::CY),
+        Just(Gate::CZ),
+        Just(Gate::CH),
+        Just(Gate::SWAP),
+        (-6.3f64..6.3).prop_map(Gate::CRX),
+        (-6.3f64..6.3).prop_map(Gate::CRY),
+        (-6.3f64..6.3).prop_map(Gate::CRZ),
+        (-6.3f64..6.3).prop_map(Gate::CP),
+        Just(Gate::CCX),
+        Just(Gate::CSWAP),
+    ]
+}
+
+/// Strategy: a gate list with raw operand draws (made distinct later).
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<(Gate, Vec<usize>)>> {
+    prop::collection::vec(
+        (arb_gate(), prop::collection::vec(0..usize::MAX, 3)),
+        0..max_len,
+    )
+}
+
+/// Builds distinct operand qubits on `n` wires from the raw draw, wrapping
+/// duplicates to the next free qubit so every draw is a valid operand list.
+fn distinct_operands(raw: &[usize], arity: usize, n: usize) -> Vec<usize> {
+    let mut qubits: Vec<usize> = Vec::with_capacity(arity);
+    for &r in raw.iter().take(arity) {
+        let mut q = r % n;
+        while qubits.contains(&q) {
+            q = (q + 1) % n;
+        }
+        qubits.push(q);
+    }
+    qubits
+}
+
+/// Builds the circuit a raw draw describes on `n` qubits.
+fn build_circuit(n: usize, ops: &[(Gate, Vec<usize>)]) -> Circuit {
+    let mut qc = Circuit::new(n, n);
+    for (gate, raw) in ops {
+        qc.push_gate(*gate, &distinct_operands(raw, gate.num_qubits(), n));
+    }
+    qc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole invariant: the fused plan and the unfused per-gate
+    /// kernel path produce identical amplitudes (1e-12) for random
+    /// circuits up to 12 qubits, from multiple starting basis states.
+    #[test]
+    fn fused_plans_agree_with_unfused_kernels(
+        n in 3usize..=12,
+        ops in arb_ops(24),
+    ) {
+        let qc = build_circuit(n, &ops);
+        let plan = CircuitPlan::compile(&qc);
+        prop_assert!(plan.fused_unitaries() <= plan.source_gate_ops());
+        for basis in [0usize, (1 << n) - 1, 1] {
+            let mut fused = StateVector::basis(n, basis);
+            plan.apply_unitary(&mut fused);
+            let mut unfused = StateVector::basis(n, basis);
+            for op in qc.ops() {
+                if let qcir::circuit::Op::Gate { gate, qubits } = op {
+                    unfused.apply_gate(*gate, qubits);
+                }
+            }
+            for (i, (a, b)) in fused
+                .amplitudes()
+                .iter()
+                .zip(unfused.amplitudes())
+                .enumerate()
+            {
+                prop_assert!(
+                    a.approx_eq(*b, 1e-12),
+                    "{n} qubits, basis {basis}, amplitude {i} diverged: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// Compilation is deterministic: compiling the same circuit twice
+    /// yields structurally equal plans with equal fingerprints, and a
+    /// warm-cache executor run is bit-identical to the cold-cache run.
+    #[test]
+    fn cached_plan_runs_are_bit_identical_to_cold_runs(
+        n in 3usize..=8,
+        ops in arb_ops(16),
+        seed in 0u64..1000,
+    ) {
+        let mut qc = build_circuit(n, &ops);
+        qc.measure_all();
+        let a = CircuitPlan::compile(&qc);
+        let b = CircuitPlan::compile(&qc);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let cold = Executor::ideal()
+            .with_private_plan_cache()
+            .try_run(&qc, 256, seed)
+            .unwrap();
+        let exec = Executor::ideal().with_private_plan_cache();
+        let _ = exec.plan_for(&qc); // pre-warm the cache
+        let warm = exec.try_run(&qc, 256, seed).unwrap();
+        prop_assert_eq!(cold, warm);
+    }
+}

@@ -82,7 +82,9 @@ fn bench_env_selected_backend(c: &mut Criterion) {
     // short-range general circuit densely at 20 qubits). Engines that
     // cannot run the workload at all (tableau: non-Clifford) are skipped
     // rather than failing the sweep.
-    let choice = qsim::backend::choice_from_env();
+    // Strict reader: a misspelled CI matrix entry should fail the job,
+    // not silently benchmark the wrong backend.
+    let choice = qsim::backend::try_choice_from_env().expect("QUGEN_BACKEND");
     let qc = brickwork(20, DEPTH, 7);
     let exec = Executor::ideal().with_backend(choice);
     if let Err(e) = exec.try_run(&qc, 1, 0) {
