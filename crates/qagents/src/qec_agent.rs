@@ -12,7 +12,7 @@ use qec::agent_iface::{synthesize, DecoderSpec, SynthesisError};
 use qec::topology::Topology;
 use qsim::backend::SimError;
 use qsim::dist::Counts;
-use qsim::exec::Executor;
+use qsim::exec::{Executor, ExecutorConfig};
 use qsim::noise::NoiseModel;
 use std::fmt;
 
@@ -131,12 +131,16 @@ impl QecAgent {
         let spec = self.synthesize_decoder(seed)?;
         let threads = qsim::exec::recommended_threads();
         let ideal = Executor::try_ideal_distribution_threaded(circuit, seed, threads)?;
-        let noisy = Executor::with_noise(noise.clone())
-            .with_threads(threads)
+        let noisy = ExecutorConfig::new()
+            .noise(noise.clone())
+            .threads(threads)
+            .build()
             .try_run(circuit, shots, seed)?;
         let corrected_noise = noise.scaled(spec.noise_reduction_factor());
-        let corrected = Executor::with_noise(corrected_noise)
-            .with_threads(threads)
+        let corrected = ExecutorConfig::new()
+            .noise(corrected_noise)
+            .threads(threads)
+            .build()
             .try_run(circuit, shots, seed ^ 0xC0DE)?;
         Ok(QecComparison {
             spec,

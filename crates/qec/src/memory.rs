@@ -6,7 +6,8 @@
 //! [`phenomenological_experiment`] (noisy syndrome rounds, classical
 //! sampling), and [`circuit_level_experiment`] — which lowers the code to
 //! an executable Clifford circuit ([`SurfaceCode::memory_circuit`]) and
-//! runs it through `qsim`'s [`Executor`] on the stabilizer-tableau backend,
+//! runs it through `qsim`'s [`qsim::exec::Executor`] on the
+//! stabilizer-tableau backend,
 //! so gate-level depolarizing noise propagates through the actual
 //! extraction circuit. That path is polynomial in the distance, and
 //! outcome words are multi-word, which together make distance-5 (49-qubit)
@@ -20,7 +21,7 @@ use crate::decoder::{
 use crate::surface::SurfaceCode;
 use crate::syndrome;
 use qsim::backend::{BackendChoice, SimError};
-use qsim::exec::Executor;
+use qsim::exec::ExecutorConfig;
 use qsim::noise::NoiseModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,9 +193,11 @@ pub fn circuit_level_experiment(
 ) -> Result<MemoryResult, SimError> {
     let code = SurfaceCode::new(d);
     let mem = code.memory_circuit(rounds);
-    let counts = Executor::with_noise(noise.clone())
-        .with_backend(BackendChoice::Tableau)
-        .with_threads(qsim::exec::recommended_threads())
+    let counts = ExecutorConfig::new()
+        .noise(noise.clone())
+        .backend(BackendChoice::Tableau)
+        .threads(qsim::exec::recommended_threads())
+        .build()
         .try_run(&mem.circuit, trials, seed)?;
     let graph = DecodingGraph::spacetime_x(&code, rounds + 1);
     let decoder = GreedyMatchingDecoder::new(graph);

@@ -14,7 +14,8 @@ use qcir::circuit::Circuit;
 use qcir::diag::Diagnostic;
 use qlm::spec::TaskSpec;
 use qsim::backend::{self, BackendChoice, SimError};
-use qsim::exec::Executor;
+use qsim::exec::{Executor, ExecutorConfig};
+use qsim::job::JobSpec;
 
 /// Total-variation tolerance for exact-distribution comparisons.
 pub const TVD_TOLERANCE_EXACT: f64 = 0.05;
@@ -197,32 +198,22 @@ pub fn grade_source_with_threads(source: &str, spec: &TaskSpec, sim_threads: usi
     } else {
         // Sampled path: [`grading_backend`] routes each circuit to its
         // class's engine (tableau for large Clifford, MPS for short-range
-        // large general circuits), and the candidate/reference pair runs
-        // through one `try_run_batch` call when the backends agree, so
-        // backend resolution and worker-pool spin-up happen once per grade.
+        // large general circuits). Each job pins its own backend, so the
+        // candidate/reference pair always runs through one `try_run_batch`
+        // call — backend resolution and worker-pool spin-up happen once per
+        // grade even when the two circuits land on different engines.
         let shots = if small {
             GRADING_SHOTS
         } else {
             GRADING_SHOTS_LARGE
         };
-        let exec = Executor::ideal().with_threads(sim_threads.max(1));
-        let (candidate, reference_counts) = if choice_c == choice_r {
-            let mut results = exec.with_backend(choice_c).try_run_batch(&[
-                (&circuit, shots, GRADING_SEED),
-                (&reference, shots, GRADING_SEED ^ 0x5555),
-            ]);
-            let second = results.pop().expect("two batch results");
-            let first = results.pop().expect("two batch results");
-            (first, second)
-        } else {
-            (
-                exec.clone()
-                    .with_backend(choice_c)
-                    .try_run(&circuit, shots, GRADING_SEED),
-                exec.with_backend(choice_r)
-                    .try_run(&reference, shots, GRADING_SEED ^ 0x5555),
-            )
-        };
+        let exec = ExecutorConfig::new().threads(sim_threads.max(1)).build();
+        let mut results = exec.try_run_batch(&[
+            JobSpec::new(circuit, shots, GRADING_SEED).with_backend(choice_c),
+            JobSpec::new(reference, shots, GRADING_SEED ^ 0x5555).with_backend(choice_r),
+        ]);
+        let reference_counts = results.pop().expect("two batch results");
+        let candidate = results.pop().expect("two batch results");
         let (Ok(candidate), Ok(reference_counts)) = (candidate, reference_counts) else {
             // A run-time refusal (e.g. the MPS truncation budget tripping
             // on a candidate that entangles far more than its class

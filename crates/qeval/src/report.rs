@@ -5,14 +5,15 @@
 //! per-task partial results are folded in task order, so the outcome is
 //! bit-identical to [`evaluate`] for every thread count.
 //!
-//! Within each graded sample, the candidate/reference circuit pair routes
-//! through [`qsim::exec::Executor::try_run_batch`] (see
+//! Within each graded sample, the candidate/reference circuit pair is
+//! submitted as two [`qsim::job::JobSpec`]s — each pinning its own grading
+//! backend — through one [`qsim::exec::Executor::try_run_batch`] call (see
 //! [`crate::grade::grade_source_with_threads`]). When a grade runs with
 //! multiple simulator worker threads — the serial [`evaluate`] path, which
 //! grades with the host's full width — backend resolution and shot-pool
 //! spin-up happen once per grade instead of once per circuit. Parallel
 //! eval workers grade with one simulator thread (so pools do not nest),
-//! where the batch call degrades to two sequential `try_run`s by design.
+//! where the batch call degrades to two sequential job runs by design.
 
 use crate::grade::grade_source_with_threads;
 use crate::suite::Task;

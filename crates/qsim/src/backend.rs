@@ -97,11 +97,20 @@ pub const AUTO_MPS_MAX_RANGE: usize = 8;
 /// A typed simulation failure, returned by the fallible execution entry
 /// points ([`crate::exec::Executor::try_run`] and friends) instead of the
 /// panics the pre-backend-layer API used.
+///
+/// Every variant carries a machine-readable payload: [`SimError::code`] is
+/// a stable identifier for the failure class, and the fields name the
+/// concrete limit in force (e.g. a refusal from the MPS engine carries
+/// `backend: "mps", cap: 1024` — the resolved backend and *its* cap, not a
+/// generic message), so services can surface refusals over the wire
+/// without string-matching [`fmt::Display`] output.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The circuit needs more qubits than the chosen engine can represent.
     QubitCapExceeded {
-        /// Engine that refused (`"dense"` / `"tableau"` / a caller label).
+        /// Engine that refused, as a stable machine-readable identifier
+        /// (`"dense"` / `"tableau"` / `"mps"`; grading guards substitute
+        /// their own label).
         backend: &'static str,
         /// Qubits the circuit declares.
         num_qubits: usize,
@@ -130,6 +139,20 @@ pub enum SimError {
         /// The budget that was exceeded.
         budget: f64,
     },
+}
+
+impl SimError {
+    /// Stable machine-readable identifier for the failure class
+    /// (`qubit_cap` / `non_clifford` / `truncation_budget`) — the `code`
+    /// field wire protocols key error handling on, so adding a message
+    /// detail never breaks a client.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SimError::QubitCapExceeded { .. } => "qubit_cap",
+            SimError::NonCliffordGate { .. } => "non_clifford",
+            SimError::TruncationBudgetExceeded { .. } => "truncation_budget",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -249,7 +272,10 @@ pub fn interaction_range(circuit: &Circuit) -> usize {
 }
 
 /// Caller-facing backend selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Hashable so it can be part of a result-cache identity
+/// ([`crate::job::JobKey`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendChoice {
     /// Pick automatically from the circuit class and size (see the module
     /// docs for the dispatch table).
@@ -383,7 +409,7 @@ pub fn choice_from_env() -> BackendChoice {
 }
 
 /// A concrete engine, after [`resolve`] has applied the dispatch rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
     /// Dense state-vector simulation.
     Dense,
@@ -1018,6 +1044,38 @@ mod tests {
             state.reinit();
             assert!(!state.measure(0, &mut rng), "{kind} after reinit");
         }
+    }
+
+    #[test]
+    fn error_codes_and_payloads_are_machine_readable() {
+        // A short-range general circuit past the MPS qubit cap must name
+        // the resolved backend ("mps") and its cap (1024) in the payload —
+        // no string matching needed to route the refusal.
+        let mut huge = Circuit::new(MPS_QUBIT_CAP + 1, 0);
+        huge.t(0);
+        let err = resolve(BackendChoice::Auto, &huge).unwrap_err();
+        assert_eq!(err.code(), "qubit_cap");
+        assert!(matches!(
+            err,
+            SimError::QubitCapExceeded {
+                backend: "mps",
+                cap: MPS_QUBIT_CAP,
+                num_qubits,
+            } if num_qubits == MPS_QUBIT_CAP + 1
+        ));
+        assert_eq!(
+            SimError::NonCliffordGate { gate: Gate::T }.code(),
+            "non_clifford"
+        );
+        assert_eq!(
+            SimError::TruncationBudgetExceeded {
+                max_bond: 8,
+                error_bound: 0.25,
+                budget: 0.01,
+            }
+            .code(),
+            "truncation_budget"
+        );
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! per-chunk [`Counts`] are merged by commutative outcome-wise addition.
 //! Because the partition and the seeds depend only on `(shots, seed)` —
 //! never on thread scheduling or merge order — a run with
-//! [`Executor::with_threads`]`(n)` is bit-identical to the single-threaded
-//! run for every `n`.
+//! [`ExecutorConfig::threads`]`(n)` is bit-identical to the
+//! single-threaded run for every `n`.
 
 use crate::backend::{self, BackendChoice, BackendKind, BackendState, SimError};
 use crate::dist::{Counts, Distribution};
+use crate::job::JobSpec;
 use crate::mps::{MpsSampler, MpsState};
 use crate::noise::NoiseModel;
 use crate::plan::{self, CircuitPlan, PlanCache};
@@ -33,8 +34,8 @@ pub const SHOT_CHUNK: u64 = 1024;
 /// rigorous per-trajectory infidelity bound `(Σ√(2δ))²` over the
 /// trajectory's discarded weights δ, so counts that pass the default are
 /// genuinely high-fidelity; override with
-/// [`Executor::with_truncation_budget`] (e.g. `f64::INFINITY` for
-/// best-effort runs).
+/// [`ExecutorConfig::truncation_budget`] (e.g. `f64::INFINITY` for
+/// best-effort runs) or per job with [`JobSpec::with_budget`].
 pub const DEFAULT_TRUNCATION_BUDGET: f64 = 1e-2;
 
 /// Shots used by the sampled [`Executor::ideal_distribution`] fallback.
@@ -50,6 +51,140 @@ pub fn recommended_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// How an executor sources its compiled-plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanCacheMode {
+    /// Share the process-wide [`plan::shared_cache`] (the default): even
+    /// short-lived executors — the grader builds a fresh one per call —
+    /// reuse warm plans.
+    #[default]
+    Shared,
+    /// A private LRU per built executor, for benchmarks and tests that
+    /// need cold-start compile behavior on demand.
+    Private,
+}
+
+/// Typed executor configuration: every knob in one place, replacing the
+/// accreting `with_*` builder chain on [`Executor`] itself.
+///
+/// All fields are public and `Default` matches [`Executor::ideal`], so
+/// struct-update syntax, the chainable setters, and
+/// [`ExecutorConfig::from_env`] all compose:
+///
+/// ```
+/// use qsim::backend::BackendChoice;
+/// use qsim::exec::ExecutorConfig;
+///
+/// let exec = ExecutorConfig::new()
+///     .backend(BackendChoice::Dense)
+///     .threads(4)
+///     .build();
+/// assert_eq!(exec.threads(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Noise model applied per gate/idle/readout (default: ideal).
+    pub noise: NoiseModel,
+    /// Backend dispatch choice (default: [`BackendChoice::Auto`]). Jobs
+    /// may override it per spec ([`JobSpec::with_backend`]).
+    pub backend: BackendChoice,
+    /// Worker threads for shot execution (clamped to ≥ 1 at build time).
+    /// Results never depend on this; see the module docs.
+    pub threads: usize,
+    /// MPS truncation budget: the worst rigorous truncation-infidelity
+    /// bound any trajectory may reach before the run fails with
+    /// [`SimError::TruncationBudgetExceeded`]. Default
+    /// [`DEFAULT_TRUNCATION_BUDGET`]; `f64::INFINITY` means best-effort.
+    /// Jobs may override it per spec ([`JobSpec::with_budget`]).
+    pub truncation_budget: f64,
+    /// Compiled-plan cache mode (default: the shared process-wide LRU).
+    pub plan_cache: PlanCacheMode,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            noise: NoiseModel::ideal(),
+            backend: BackendChoice::Auto,
+            threads: 1,
+            truncation_budget: DEFAULT_TRUNCATION_BUDGET,
+            plan_cache: PlanCacheMode::Shared,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The default configuration (ideal noise, auto backend, one thread).
+    pub fn new() -> Self {
+        ExecutorConfig::default()
+    }
+
+    /// Reads the execution environment in one place: `QUGEN_BACKEND`
+    /// (`auto|dense|tableau|mps[:χ]`), `QUGEN_THREADS` (positive integer),
+    /// and `QUGEN_TRUNCATION_BUDGET` (`f64`; `inf` for best-effort).
+    /// Malformed values warn to stderr and keep the default, so a typo in
+    /// a deployment environment cannot abort a long batch run.
+    pub fn from_env() -> Self {
+        let mut config = ExecutorConfig::new();
+        config.backend = backend::choice_from_env();
+        if let Ok(raw) = std::env::var("QUGEN_THREADS") {
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => config.threads = n,
+                _ => eprintln!(
+                    "warning: QUGEN_THREADS: `{raw}` is not a positive integer; keeping {}",
+                    config.threads
+                ),
+            }
+        }
+        if let Ok(raw) = std::env::var("QUGEN_TRUNCATION_BUDGET") {
+            match raw.trim().parse::<f64>() {
+                Ok(b) if b >= 0.0 => config.truncation_budget = b,
+                _ => eprintln!(
+                    "warning: QUGEN_TRUNCATION_BUDGET: `{raw}` is not a non-negative float; \
+                     keeping {}",
+                    config.truncation_budget
+                ),
+            }
+        }
+        config
+    }
+
+    /// Sets the noise model.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the backend dispatch choice.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the MPS truncation budget.
+    pub fn truncation_budget(mut self, budget: f64) -> Self {
+        self.truncation_budget = budget;
+        self
+    }
+
+    /// Sets the compiled-plan cache mode.
+    pub fn plan_cache(mut self, mode: PlanCacheMode) -> Self {
+        self.plan_cache = mode;
+        self
+    }
+
+    /// Builds the executor.
+    pub fn build(self) -> Executor {
+        Executor::new(self)
+    }
+}
+
 /// Executes circuits against a noise model on an automatically or
 /// explicitly chosen simulation backend.
 ///
@@ -61,14 +196,10 @@ pub fn recommended_threads() -> usize {
 /// rules in [`crate::backend`], which keeps large QEC workloads polynomial.
 #[derive(Debug, Clone)]
 pub struct Executor {
-    noise: NoiseModel,
-    backend: BackendChoice,
-    threads: usize,
-    truncation_budget: f64,
-    /// Compiled-plan LRU driving the noiseless dense paths. Defaults to the
-    /// process-wide [`plan::shared_cache`], so even short-lived executors
-    /// (the grader builds a fresh one per call) reuse warm plans; clones
-    /// share the same cache.
+    config: ExecutorConfig,
+    /// Compiled-plan LRU driving the noiseless dense paths. Under
+    /// [`PlanCacheMode::Shared`] this is the process-wide
+    /// [`plan::shared_cache`]; clones share the same cache either way.
     plan_cache: Arc<Mutex<PlanCache>>,
 }
 
@@ -79,71 +210,100 @@ impl Default for Executor {
 }
 
 impl Executor {
-    /// A noiseless executor (auto backend, single-threaded).
-    pub fn ideal() -> Self {
-        Executor {
-            noise: NoiseModel::ideal(),
-            backend: BackendChoice::Auto,
-            threads: 1,
-            truncation_budget: DEFAULT_TRUNCATION_BUDGET,
-            plan_cache: plan::shared_cache(),
-        }
+    /// Builds an executor from a typed configuration (the threads field is
+    /// clamped to ≥ 1).
+    pub fn new(mut config: ExecutorConfig) -> Self {
+        config.threads = config.threads.max(1);
+        let plan_cache = match config.plan_cache {
+            PlanCacheMode::Shared => plan::shared_cache(),
+            PlanCacheMode::Private => {
+                Arc::new(Mutex::new(PlanCache::new(plan::PLAN_CACHE_CAPACITY)))
+            }
+        };
+        Executor { config, plan_cache }
     }
 
-    /// An executor with the given noise model.
+    /// A noiseless executor (auto backend, single-threaded) — shorthand
+    /// for `ExecutorConfig::new().build()`.
+    pub fn ideal() -> Self {
+        ExecutorConfig::new().build()
+    }
+
+    /// An executor with the given noise model — shorthand for
+    /// `ExecutorConfig::new().noise(noise).build()`.
     pub fn with_noise(noise: NoiseModel) -> Self {
-        Executor {
-            noise,
-            ..Executor::ideal()
-        }
+        ExecutorConfig::new().noise(noise).build()
     }
 
     /// Overrides the automatic backend dispatch.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure through `ExecutorConfig` (e.g. \
+                `ExecutorConfig::new().backend(..).build()`) or pin it per \
+                job with `JobSpec::with_backend`"
+    )]
     pub fn with_backend(mut self, backend: BackendChoice) -> Self {
-        self.backend = backend;
+        self.config.backend = backend;
         self
     }
 
     /// Sets the worker-thread count for shot execution (clamped to ≥ 1).
     /// Results are independent of this setting; see the module docs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure through `ExecutorConfig` (e.g. \
+                `ExecutorConfig::new().threads(..).build()`)"
+    )]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.config.threads = threads.max(1);
         self
     }
 
-    /// Sets the MPS truncation budget: the worst rigorous truncation-
-    /// infidelity bound any trajectory of a run may reach before the run
-    /// fails with [`SimError::TruncationBudgetExceeded`]. Defaults to
-    /// [`DEFAULT_TRUNCATION_BUDGET`]; pass `f64::INFINITY` for best-effort
-    /// truncated runs. Exact engines never trip it.
+    /// Sets the MPS truncation budget (see
+    /// [`ExecutorConfig::truncation_budget`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure through `ExecutorConfig` (e.g. \
+                `ExecutorConfig::new().truncation_budget(..).build()`) or \
+                pin it per job with `JobSpec::with_budget`"
+    )]
     pub fn with_truncation_budget(mut self, budget: f64) -> Self {
-        self.truncation_budget = budget;
+        self.config.truncation_budget = budget;
         self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
     }
 
     /// The active noise model.
     pub fn noise(&self) -> &NoiseModel {
-        &self.noise
+        &self.config.noise
     }
 
     /// The configured backend choice.
     pub fn backend_choice(&self) -> BackendChoice {
-        self.backend
+        self.config.backend
     }
 
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.config.threads
     }
 
     /// The configured MPS truncation budget.
     pub fn truncation_budget(&self) -> f64 {
-        self.truncation_budget
+        self.config.truncation_budget
     }
 
     /// Detaches this executor from the process-wide plan cache and gives it
-    /// a private one (mainly for benchmarks and tests that need cold-start
-    /// compile behavior on demand).
+    /// a private one.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure through `ExecutorConfig` (e.g. \
+                `ExecutorConfig::new().plan_cache(PlanCacheMode::Private).build()`)"
+    )]
     pub fn with_private_plan_cache(mut self) -> Self {
         self.plan_cache = Arc::new(Mutex::new(PlanCache::new(plan::PLAN_CACHE_CAPACITY)));
         self
@@ -165,48 +325,51 @@ impl Executor {
     /// circuit (qubit caps, or non-Clifford gates on a forced tableau) —
     /// conditions the pre-backend-layer API turned into panics — or when
     /// an MPS run truncates past the configured
-    /// [`Executor::with_truncation_budget`]. Classical-register width is
+    /// [`ExecutorConfig::truncation_budget`]. Classical-register width is
     /// unbounded: outcomes are multi-word.
     pub fn try_run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Result<Counts, SimError> {
         // Same two phases as the batch path, for a batch of one: the
         // backend/fast-path dispatch rule lives in `prepare` alone.
-        let task = self.prepare(circuit, shots, seed)?;
+        let task = self.prepare(
+            circuit,
+            shots,
+            seed,
+            self.config.backend,
+            self.config.truncation_budget,
+        )?;
         self.run_task(&task)
     }
 
-    /// Panicking wrapper around [`Executor::try_run`] — prefer the fallible
-    /// API anywhere a cap or budget violation is a reachable condition
-    /// rather than a programming error. `#[track_caller]` makes the panic
-    /// report the call site, not this wrapper.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the circuit cannot be simulated (see
-    /// [`Executor::try_run`]).
-    #[track_caller]
-    pub fn run(&self, circuit: &Circuit, shots: u64, seed: u64) -> Counts {
-        match self.try_run(circuit, shots, seed) {
-            Ok(counts) => counts,
-            Err(e) => panic!("simulation failed: {e}"),
-        }
+    /// Runs one [`JobSpec`], honoring its per-job backend and truncation-
+    /// budget overrides (falling back to this executor's configuration).
+    /// Equivalent to [`Executor::try_run`] when the spec carries no
+    /// overrides.
+    pub fn try_run_job(&self, spec: &JobSpec) -> Result<Counts, SimError> {
+        let task = self.prepare(
+            spec.circuit(),
+            spec.shots(),
+            spec.seed(),
+            spec.effective_backend(self.config.backend),
+            spec.effective_budget(self.config.truncation_budget),
+        )?;
+        self.run_task(&task)
     }
 
-    /// Runs a batch of `(circuit, shots, seed)` tasks, resolving each
-    /// task's backend once and driving every task's shot chunks through one
-    /// shared worker pool — so a suite of small tasks amortizes thread
-    /// spin-up instead of paying it per circuit, and a straggler task keeps
-    /// all workers busy rather than serializing behind it.
+    /// Runs a batch of [`JobSpec`]s, resolving each job's backend once and
+    /// driving every job's shot chunks through one shared worker pool — so
+    /// a suite of small jobs amortizes thread spin-up instead of paying it
+    /// per circuit, and a straggler job keeps all workers busy rather than
+    /// serializing behind it. Per-job backend and budget overrides are
+    /// honored, so heterogeneous batches (the grader's candidate/reference
+    /// pairs) share one pool.
     ///
-    /// Each task's counts are bit-identical to running
-    /// [`Executor::try_run`] on it alone, for every thread count: chunk
-    /// seeds depend only on the task's own `(seed, chunk index)` and merges
+    /// Each job's counts are bit-identical to running
+    /// [`Executor::try_run_job`] on it alone, for every thread count: chunk
+    /// seeds depend only on the job's own `(seed, chunk index)` and merges
     /// are commutative.
-    pub fn try_run_batch(&self, tasks: &[(&Circuit, u64, u64)]) -> Vec<Result<Counts, SimError>> {
-        if self.threads <= 1 || tasks.len() <= 1 {
-            return tasks
-                .iter()
-                .map(|&(circuit, shots, seed)| self.try_run(circuit, shots, seed))
-                .collect();
+    pub fn try_run_batch(&self, tasks: &[JobSpec]) -> Vec<Result<Counts, SimError>> {
+        if self.config.threads <= 1 || tasks.len() <= 1 {
+            return tasks.iter().map(|spec| self.try_run_job(spec)).collect();
         }
         // Phase 1: resolve every backend and evolve every fast-path prefix
         // exactly once per task. Prefix evolution is the dominant cost for
@@ -217,7 +380,7 @@ impl Executor {
             let slots: Vec<Mutex<Option<Result<BatchTask, SimError>>>> =
                 tasks.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
-            let prep_threads = self.threads.min(tasks.len());
+            let prep_threads = self.config.threads.min(tasks.len());
             std::thread::scope(|scope| {
                 for _ in 0..prep_threads {
                     scope.spawn(|| loop {
@@ -225,9 +388,14 @@ impl Executor {
                         if t >= tasks.len() {
                             break;
                         }
-                        let (circuit, shots, seed) = tasks[t];
-                        *slots[t].lock().expect("prepare slot poisoned") =
-                            Some(self.prepare(circuit, shots, seed));
+                        let spec = &tasks[t];
+                        *slots[t].lock().expect("prepare slot poisoned") = Some(self.prepare(
+                            spec.circuit(),
+                            spec.shots(),
+                            spec.seed(),
+                            spec.effective_backend(self.config.backend),
+                            spec.effective_budget(self.config.truncation_budget),
+                        ));
                     });
                 }
             });
@@ -256,7 +424,7 @@ impl Executor {
         // keeping results bit-identical to the serial path.
         let cancelled: Vec<AtomicBool> = tasks.iter().map(|_| AtomicBool::new(false)).collect();
         let next = AtomicUsize::new(0);
-        let threads = self.threads.min(items.len().max(1));
+        let threads = self.config.threads.min(items.len().max(1));
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
@@ -318,7 +486,7 @@ impl Executor {
                                     chunk_shots,
                                     &mut rng,
                                 );
-                                if state.truncation_error() > self.truncation_budget {
+                                if state.truncation_error() > task.budget {
                                     cancelled[t].store(true, Ordering::Relaxed);
                                 }
                                 counts
@@ -363,7 +531,7 @@ impl Executor {
                     let worst = *worst_truncation[t]
                         .lock()
                         .expect("truncation slot poisoned");
-                    self.check_truncation(max_bond, worst)?;
+                    check_truncation(task.budget, max_bond, worst)?;
                 }
                 let counts = slots[t]
                     .lock()
@@ -376,14 +544,18 @@ impl Executor {
     }
 
     /// Resolves one batch task's backend and evolves its fast-path prefix.
+    /// `choice` and `budget` are the task's *effective* backend choice and
+    /// truncation budget (per-job overrides already folded in).
     fn prepare<'c>(
         &self,
         circuit: &'c Circuit,
         shots: u64,
         seed: u64,
+        choice: BackendChoice,
+        budget: f64,
     ) -> Result<BatchTask<'c>, SimError> {
-        let kind = backend::resolve(self.backend, circuit)?;
-        let sampling_ok = !self.noise.is_noisy() && measures_only_at_end(circuit);
+        let kind = backend::resolve(choice, circuit)?;
+        let sampling_ok = !self.config.noise.is_noisy() && measures_only_at_end(circuit);
         let plan = match kind {
             BackendKind::Dense if sampling_ok => {
                 let plan = self.plan_for(circuit);
@@ -399,7 +571,7 @@ impl Executor {
             // the cached fused plan instead of per-gate classification.
             // (Noisy runs stay on the unfused path: noise channels attach
             // per gate, which fusion would reassociate.)
-            BackendKind::Dense if !self.noise.is_noisy() => BatchPlan::PlannedTrajectory {
+            BackendKind::Dense if !self.config.noise.is_noisy() => BatchPlan::PlannedTrajectory {
                 plan: self.plan_for(circuit),
             },
             // Basis words are multi-word `OutcomeWord`s, so measure-at-end
@@ -408,7 +580,7 @@ impl Executor {
             // per-shot trajectory replay past 64 qubits).
             BackendKind::Mps { max_bond } if sampling_ok => {
                 let (state, measure_map) = evolve_mps_prefix(circuit, max_bond);
-                self.check_truncation(max_bond, state.truncation_error())?;
+                check_truncation(budget, max_bond, state.truncation_error())?;
                 BatchPlan::Sampling {
                     sampler: Sampler::Mps(state.into_sampler()),
                     measure_map,
@@ -421,6 +593,7 @@ impl Executor {
             num_clbits: circuit.num_clbits(),
             shots,
             seed,
+            budget,
         })
     }
 
@@ -461,7 +634,7 @@ impl Executor {
                 &AtomicBool::new(false),
             )),
             BatchPlan::Trajectory { kind, circuit } => {
-                self.run_trajectories(*kind, circuit, task.shots, task.seed)
+                self.run_trajectories(*kind, circuit, task.shots, task.seed, task.budget)
             }
         }
     }
@@ -479,6 +652,7 @@ impl Executor {
         circuit: &Circuit,
         shots: u64,
         seed: u64,
+        budget: f64,
     ) -> Result<Counts, SimError> {
         let engine = kind.build();
         let engine = &engine;
@@ -501,7 +675,7 @@ impl Executor {
                     chunk_shots,
                     rng,
                 );
-                if state.truncation_error() > self.truncation_budget {
+                if state.truncation_error() > budget {
                     cancel.store(true, Ordering::Relaxed);
                 }
                 counts
@@ -517,7 +691,7 @@ impl Executor {
             let worst = worst_truncation
                 .into_inner()
                 .expect("truncation slot poisoned");
-            self.check_truncation(max_bond, worst)?;
+            check_truncation(budget, max_bond, worst)?;
         }
         Ok(counts)
     }
@@ -540,20 +714,6 @@ impl Executor {
             counts.record_word(&word);
         }
         counts
-    }
-
-    /// The truncation budget check MPS runs pass through: `error_bound` is
-    /// the worst per-trajectory rigorous infidelity bound observed.
-    fn check_truncation(&self, max_bond: usize, error_bound: f64) -> Result<(), SimError> {
-        if error_bound > self.truncation_budget {
-            Err(SimError::TruncationBudgetExceeded {
-                max_bond,
-                error_bound,
-                budget: self.truncation_budget,
-            })
-        } else {
-            Ok(())
-        }
     }
 
     /// Partitions `shots` into [`SHOT_CHUNK`]-sized chunks and runs them on
@@ -594,7 +754,7 @@ impl Executor {
         let num_chunks = shots.div_ceil(SHOT_CHUNK) as usize;
         let chunk_shots = |i: usize| (shots - i as u64 * SHOT_CHUNK).min(SHOT_CHUNK);
         let mut merged = Counts::new(num_clbits);
-        let threads = self.threads.min(num_chunks);
+        let threads = self.config.threads.min(num_chunks);
         if threads <= 1 {
             let mut ctx = make_ctx();
             for i in 0..num_chunks {
@@ -651,7 +811,7 @@ impl Executor {
             match op {
                 Op::Gate { gate, qubits } => {
                     state.apply_gate(*gate, qubits);
-                    for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
+                    for (q, pauli) in self.config.noise.sample_gate_errors(gate, qubits, rng) {
                         state.apply_pauli(q, pauli);
                     }
                 }
@@ -663,21 +823,25 @@ impl Executor {
                 } => {
                     if clbits.bit(*clbit) == *value {
                         state.apply_gate(*gate, qubits);
-                        for (q, pauli) in self.noise.sample_gate_errors(gate, qubits, rng) {
+                        for (q, pauli) in self.config.noise.sample_gate_errors(gate, qubits, rng) {
                             state.apply_pauli(q, pauli);
                         }
                     }
                 }
                 Op::Measure { qubit, clbit } => {
                     let raw = state.measure(*qubit, rng);
-                    let reported = self.noise.sample_readout(raw, rng);
+                    let reported = self.config.noise.sample_readout(raw, rng);
                     clbits.set_bit(*clbit, reported);
                 }
                 Op::Reset { qubit } => {
                     state.reset(*qubit, rng);
                 }
                 Op::Barrier { .. } => {
-                    for (q, pauli) in self.noise.sample_idle_errors(state.num_qubits(), rng) {
+                    for (q, pauli) in self
+                        .config
+                        .noise
+                        .sample_idle_errors(state.num_qubits(), rng)
+                    {
                         state.apply_pauli(q, pauli);
                     }
                 }
@@ -736,8 +900,9 @@ impl Executor {
             }
             Ok(dist)
         } else {
-            Executor::ideal()
-                .with_threads(threads)
+            ExecutorConfig::new()
+                .threads(threads)
+                .build()
                 .try_run(circuit, DISTRIBUTION_SHOTS, seed)
                 .map(|counts| counts.to_distribution())
         }
@@ -821,6 +986,23 @@ struct BatchTask<'c> {
     num_clbits: usize,
     shots: u64,
     seed: u64,
+    /// Effective MPS truncation budget (per-job override or executor
+    /// default, folded in at `prepare` time).
+    budget: f64,
+}
+
+/// The truncation budget check MPS runs pass through: `error_bound` is the
+/// worst per-trajectory rigorous infidelity bound observed.
+fn check_truncation(budget: f64, max_bond: usize, error_bound: f64) -> Result<(), SimError> {
+    if error_bound > budget {
+        Err(SimError::TruncationBudgetExceeded {
+            max_bond,
+            error_bound,
+            budget,
+        })
+    } else {
+        Ok(())
+    }
 }
 
 /// Per-worker reusable simulation context in the batch loop: a boxed
@@ -966,9 +1148,14 @@ mod tests {
         qc
     }
 
+    /// Forced-backend executor shorthand for the tests below.
+    fn on_backend(choice: BackendChoice) -> Executor {
+        ExecutorConfig::new().backend(choice).build()
+    }
+
     #[test]
     fn ideal_bell_is_correlated() {
-        let counts = Executor::ideal().run(&bell(), 2000, 9);
+        let counts = Executor::ideal().try_run(&bell(), 2000, 9).unwrap();
         assert_eq!(counts.shots(), 2000);
         assert_eq!(counts.count(0b01) + counts.count(0b10), 0);
         let p00 = counts.probability(0b00);
@@ -978,13 +1165,17 @@ mod tests {
     #[test]
     fn fast_and_trajectory_paths_agree() {
         let qc = bell();
-        let fast = Executor::ideal().run(&qc, 4000, 1).to_distribution();
+        let fast = Executor::ideal()
+            .try_run(&qc, 4000, 1)
+            .unwrap()
+            .to_distribution();
         // Force the trajectory path with a zero-rate "noisy" model.
         let mut zero = NoiseModel::uniform_depolarizing(0.0);
         zero.idle_error = 0.0;
         zero.readout_error = 1e-300; // non-zero flag, negligible effect
         let slow = Executor::with_noise(zero)
-            .run(&qc, 4000, 1)
+            .try_run(&qc, 4000, 1)
+            .unwrap()
             .to_distribution();
         assert!(fast.tvd(&slow) < 0.05);
     }
@@ -998,8 +1189,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = Executor::ideal().run(&bell(), 100, 42);
-        let b = Executor::ideal().run(&bell(), 100, 42);
+        let a = Executor::ideal().try_run(&bell(), 100, 42).unwrap();
+        let b = Executor::ideal().try_run(&bell(), 100, 42).unwrap();
         assert_eq!(a, b);
     }
 
@@ -1014,7 +1205,7 @@ mod tests {
             idle_error: 0.0,
             label: "ro".into(),
         };
-        let counts = Executor::with_noise(nm).run(&qc, 20_000, 5);
+        let counts = Executor::with_noise(nm).try_run(&qc, 20_000, 5).unwrap();
         let p_wrong = counts.probability(0b0);
         assert!((p_wrong - 0.2).abs() < 0.02, "p_wrong = {p_wrong}");
     }
@@ -1026,7 +1217,7 @@ mod tests {
         qc.x(0).measure(0, 0);
         qc.cond_gate(Gate::X, &[1], 0, true);
         qc.measure(1, 1);
-        let counts = Executor::ideal().run(&qc, 200, 3);
+        let counts = Executor::ideal().try_run(&qc, 200, 3).unwrap();
         assert_eq!(counts.count(0b11), 200);
     }
 
@@ -1034,14 +1225,16 @@ mod tests {
     fn reset_mid_circuit() {
         let mut qc = Circuit::new(1, 1);
         qc.x(0).reset(0).measure(0, 0);
-        let counts = Executor::ideal().run(&qc, 100, 4);
+        let counts = Executor::ideal().try_run(&qc, 100, 4).unwrap();
         assert_eq!(counts.count(0), 100);
     }
 
     #[test]
     fn depolarizing_noise_reduces_fidelity() {
         let qc = bell();
-        let noisy = Executor::with_noise(profiles::noisy_nisq()).run(&qc, 5000, 6);
+        let noisy = Executor::with_noise(profiles::noisy_nisq())
+            .try_run(&qc, 5000, 6)
+            .unwrap();
         let ideal = Executor::ideal_distribution(&qc, 0);
         let tvd = noisy.to_distribution().tvd(&ideal);
         assert!(tvd > 0.02, "noise should be visible, tvd = {tvd}");
@@ -1079,13 +1272,13 @@ mod tests {
 
     #[test]
     fn forced_backends_agree_on_bell() {
-        let dense = Executor::ideal()
-            .with_backend(BackendChoice::Dense)
-            .run(&bell(), 4000, 11)
+        let dense = on_backend(BackendChoice::Dense)
+            .try_run(&bell(), 4000, 11)
+            .unwrap()
             .to_distribution();
-        let tableau = Executor::ideal()
-            .with_backend(BackendChoice::Tableau)
-            .run(&bell(), 4000, 11)
+        let tableau = on_backend(BackendChoice::Tableau)
+            .try_run(&bell(), 4000, 11)
+            .unwrap()
             .to_distribution();
         assert!(dense.tvd(&tableau) < 0.05);
     }
@@ -1093,7 +1286,7 @@ mod tests {
     #[test]
     fn auto_dispatch_runs_large_clifford_circuits() {
         // 49 qubits: far past the dense cap, fine on the tableau.
-        let counts = Executor::ideal().run(&ghz(49), 256, 13);
+        let counts = Executor::ideal().try_run(&ghz(49), 256, 13).unwrap();
         assert_eq!(counts.shots(), 256);
         assert_eq!(counts.distinct_outcomes(), 2);
         let all_ones = (1u64 << 49) - 1;
@@ -1117,9 +1310,7 @@ mod tests {
         let mut t = Circuit::new(1, 1);
         t.t(0).measure(0, 0);
         assert!(matches!(
-            Executor::ideal()
-                .with_backend(BackendChoice::Tableau)
-                .try_run(&t, 16, 0),
+            on_backend(BackendChoice::Tableau).try_run(&t, 16, 0),
             Err(SimError::NonCliffordGate { gate: Gate::T })
         ));
     }
@@ -1138,8 +1329,9 @@ mod tests {
         expected.set_bit(69, true);
         assert_eq!(counts.count_word(&expected), 300);
         // Parallel chunking stays bit-identical on wide registers.
-        let parallel = Executor::ideal()
-            .with_threads(4)
+        let parallel = ExecutorConfig::new()
+            .threads(4)
+            .build()
             .try_run(&qc, 3000, 9)
             .unwrap();
         let serial = Executor::ideal().try_run(&qc, 3000, 9).unwrap();
@@ -1147,40 +1339,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "simulation failed")]
-    fn run_panics_with_the_error_message() {
-        let mut big = Circuit::new(30, 30);
-        big.h(0).t(0).cp(0.4, 0, 29).measure(0, 0);
-        Executor::ideal().run(&big, 16, 0);
-    }
-
-    #[test]
     fn parallel_shots_are_bit_identical_to_serial() {
         let qc = ghz(8);
         let noisy = profiles::noisy_nisq();
         for threads in [2usize, 4, 7] {
-            let serial = Executor::with_noise(noisy.clone()).run(&qc, 5000, 21);
-            let parallel = Executor::with_noise(noisy.clone())
-                .with_threads(threads)
-                .run(&qc, 5000, 21);
+            let serial = Executor::with_noise(noisy.clone())
+                .try_run(&qc, 5000, 21)
+                .unwrap();
+            let parallel = ExecutorConfig::new()
+                .noise(noisy.clone())
+                .threads(threads)
+                .build()
+                .try_run(&qc, 5000, 21)
+                .unwrap();
             assert_eq!(serial, parallel, "threads = {threads}");
         }
         // Also on the dense sampling fast path and the tableau path.
-        let fast_serial = Executor::ideal().run(&qc, 5000, 22);
-        let fast_parallel = Executor::ideal().with_threads(4).run(&qc, 5000, 22);
+        let fast_serial = Executor::ideal().try_run(&qc, 5000, 22).unwrap();
+        let fast_parallel = ExecutorConfig::new()
+            .threads(4)
+            .build()
+            .try_run(&qc, 5000, 22)
+            .unwrap();
         assert_eq!(fast_serial, fast_parallel);
-        let tab = Executor::ideal().with_backend(BackendChoice::Tableau);
+        let tab = ExecutorConfig::new().backend(BackendChoice::Tableau);
         assert_eq!(
-            tab.clone().run(&qc, 3000, 23),
-            tab.with_threads(3).run(&qc, 3000, 23)
+            tab.clone().build().try_run(&qc, 3000, 23).unwrap(),
+            tab.threads(3).build().try_run(&qc, 3000, 23).unwrap()
         );
     }
 
     #[test]
     fn shot_totals_survive_chunking() {
         // Shot counts that are not multiples of SHOT_CHUNK partition cleanly.
+        let exec = ExecutorConfig::new().threads(4).build();
         for shots in [0u64, 1, SHOT_CHUNK - 1, SHOT_CHUNK, SHOT_CHUNK + 1, 2500] {
-            let counts = Executor::ideal().with_threads(4).run(&bell(), shots, 30);
+            let counts = exec.try_run(&bell(), shots, 30).unwrap();
             assert_eq!(counts.shots(), shots);
         }
     }
@@ -1198,13 +1392,11 @@ mod tests {
 
     #[test]
     fn forced_mps_agrees_with_dense_on_bell() {
-        let dense = Executor::ideal()
-            .with_backend(BackendChoice::Dense)
+        let dense = on_backend(BackendChoice::Dense)
             .try_run(&bell(), 4000, 11)
             .unwrap()
             .to_distribution();
-        let mps = Executor::ideal()
-            .with_backend(BackendChoice::Mps { max_bond: 4 })
+        let mps = on_backend(BackendChoice::Mps { max_bond: 4 })
             .try_run(&bell(), 4000, 12)
             .unwrap()
             .to_distribution();
@@ -1236,8 +1428,7 @@ mod tests {
         qc.x(0).t(0).measure(0, 0);
         qc.cond_gate(Gate::X, &[1], 0, true);
         qc.measure(1, 1);
-        let counts = Executor::ideal()
-            .with_backend(BackendChoice::Mps { max_bond: 4 })
+        let counts = on_backend(BackendChoice::Mps { max_bond: 4 })
             .try_run(&qc, 200, 3)
             .unwrap();
         assert_eq!(counts.count(0b11), 200);
@@ -1246,15 +1437,16 @@ mod tests {
     #[test]
     fn truncation_budget_is_enforced_and_typed() {
         // χ = 1 cannot hold a Bell pair: the run must refuse, not lie.
-        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: 1 });
+        let exec = on_backend(BackendChoice::Mps { max_bond: 1 });
         assert!(matches!(
             exec.try_run(&bell(), 100, 5),
             Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
         ));
         // An explicit infinite budget lets the truncated run through.
-        let counts = exec
-            .clone()
-            .with_truncation_budget(f64::INFINITY)
+        let counts = ExecutorConfig::new()
+            .backend(BackendChoice::Mps { max_bond: 1 })
+            .truncation_budget(f64::INFINITY)
+            .build()
             .try_run(&bell(), 100, 5)
             .unwrap();
         assert_eq!(counts.shots(), 100);
@@ -1275,19 +1467,25 @@ mod tests {
         // the serial and the parallel chunk loop, and on the batch path.
         let mut mid = Circuit::new(2, 2);
         mid.h(0).cx(0, 1).measure(0, 0).measure(1, 1).reset(0);
-        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: 1 });
+        let exec = on_backend(BackendChoice::Mps { max_bond: 1 });
         let shots = 16 * SHOT_CHUNK;
         assert!(matches!(
             exec.try_run(&mid, shots, 5),
             Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
         ));
+        let parallel = ExecutorConfig::new()
+            .backend(BackendChoice::Mps { max_bond: 1 })
+            .threads(4)
+            .build();
         assert!(matches!(
-            exec.clone().with_threads(4).try_run(&mid, shots, 5),
+            parallel.try_run(&mid, shots, 5),
             Err(SimError::TruncationBudgetExceeded { max_bond: 1, .. })
         ));
-        let batch = exec
-            .with_threads(4)
-            .try_run_batch(&[(&mid, shots, 5), (&mid, shots, 6)]);
+        let mid = Arc::new(mid);
+        let batch = parallel.try_run_batch(&[
+            JobSpec::new(Arc::clone(&mid), shots, 5),
+            JobSpec::new(Arc::clone(&mid), shots, 6),
+        ]);
         for result in batch {
             assert!(matches!(
                 result,
@@ -1307,9 +1505,15 @@ mod tests {
             qc.cx(q, q + 1);
         }
         qc.measure_all();
-        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: 8 });
-        let serial = exec.clone().try_run(&qc, 5000, 21).unwrap();
-        let parallel = exec.with_threads(4).try_run(&qc, 5000, 21).unwrap();
+        let serial = on_backend(BackendChoice::Mps { max_bond: 8 })
+            .try_run(&qc, 5000, 21)
+            .unwrap();
+        let parallel = ExecutorConfig::new()
+            .backend(BackendChoice::Mps { max_bond: 8 })
+            .threads(4)
+            .build()
+            .try_run(&qc, 5000, 21)
+            .unwrap();
         assert_eq!(serial, parallel);
     }
 
@@ -1323,17 +1527,25 @@ mod tests {
         qc.h(0).t(0).measure(0, 0);
         qc.cond_gate(Gate::X, &[1], 0, true);
         qc.h(2).cx(2, 1).measure(1, 1).measure(2, 2).reset(2);
-        let planned = Executor::ideal().run(&qc, 6000, 31).to_distribution();
+        let planned = Executor::ideal()
+            .try_run(&qc, 6000, 31)
+            .unwrap()
+            .to_distribution();
         let mut zero = NoiseModel::uniform_depolarizing(0.0);
         zero.idle_error = 0.0;
         zero.readout_error = 1e-300;
         let unfused = Executor::with_noise(zero)
-            .run(&qc, 6000, 31)
+            .try_run(&qc, 6000, 31)
+            .unwrap()
             .to_distribution();
         assert!(planned.tvd(&unfused) < 0.05);
         // The planned path stays bit-identical across thread counts.
-        let serial = Executor::ideal().run(&qc, 5000, 32);
-        let parallel = Executor::ideal().with_threads(4).run(&qc, 5000, 32);
+        let serial = Executor::ideal().try_run(&qc, 5000, 32).unwrap();
+        let parallel = ExecutorConfig::new()
+            .threads(4)
+            .build()
+            .try_run(&qc, 5000, 32)
+            .unwrap();
         assert_eq!(serial, parallel);
     }
 
@@ -1344,23 +1556,22 @@ mod tests {
         qc.cond_gate(Gate::X, &[2], 0, true);
         qc.cx(1, 2).h(3).cx(2, 3).measure_all();
         // Cold: fresh private cache compiles the plan during the run.
-        let cold = Executor::ideal()
-            .with_private_plan_cache()
-            .try_run(&qc, 3000, 77)
-            .unwrap();
+        let private = || {
+            ExecutorConfig::new()
+                .plan_cache(PlanCacheMode::Private)
+                .build()
+        };
+        let cold = private().try_run(&qc, 3000, 77).unwrap();
         // Warm: the plan is compiled and cached before the run starts.
-        let exec = Executor::ideal().with_private_plan_cache();
+        let exec = private();
         let _ = exec.plan_for(&qc);
         let warm = exec.try_run(&qc, 3000, 77).unwrap();
         assert_eq!(cold, warm);
         // Both cold and warm runs on the sampling fast path, too.
         let mut end = Circuit::new(3, 3);
         end.h(0).cx(0, 1).t(1).cx(1, 2).measure_all();
-        let cold = Executor::ideal()
-            .with_private_plan_cache()
-            .try_run(&end, 3000, 78)
-            .unwrap();
-        let exec = Executor::ideal().with_private_plan_cache();
+        let cold = private().try_run(&end, 3000, 78).unwrap();
+        let exec = private();
         let _ = exec.plan_for(&end);
         assert_eq!(cold, exec.try_run(&end, 3000, 78).unwrap());
     }
@@ -1384,26 +1595,113 @@ mod tests {
         qc_mps.measure_all();
         let mut qc_bad = Circuit::new(30, 30);
         qc_bad.h(0).t(0).cp(0.4, 0, 29).measure(0, 0);
-        let tasks: Vec<(&Circuit, u64, u64)> = vec![
-            (&qc_bell, 3000, 1),
-            (&qc_ghz, 2500, 2),
-            (&qc_mid, 1500, 3),
-            (&qc_mps, 2000, 4),
-            (&qc_bad, 100, 5),
-            (&qc_bell, 0, 6),
+        let qc_bell = Arc::new(qc_bell);
+        let tasks: Vec<JobSpec> = vec![
+            JobSpec::new(Arc::clone(&qc_bell), 3000, 1),
+            JobSpec::new(qc_ghz, 2500, 2),
+            JobSpec::new(qc_mid, 1500, 3),
+            JobSpec::new(qc_mps, 2000, 4),
+            JobSpec::new(qc_bad, 100, 5),
+            JobSpec::new(qc_bell, 0, 6),
         ];
         for (noise, threads) in [
             (NoiseModel::ideal(), 1usize),
             (NoiseModel::ideal(), 4),
             (profiles::noisy_nisq(), 3),
         ] {
-            let exec = Executor::with_noise(noise).with_threads(threads);
+            let exec = ExecutorConfig::new().noise(noise).threads(threads).build();
             let batch = exec.try_run_batch(&tasks);
-            for (i, &(circuit, shots, seed)) in tasks.iter().enumerate() {
-                let single = exec.try_run(circuit, shots, seed);
+            for (i, spec) in tasks.iter().enumerate() {
+                let single = exec.try_run_job(spec);
                 assert_eq!(batch[i], single, "task {i}, threads {threads}");
             }
             assert!(matches!(batch[4], Err(SimError::QubitCapExceeded { .. })));
         }
+    }
+
+    #[test]
+    fn per_job_overrides_beat_the_executor_config_in_batches() {
+        // One executor, heterogeneous backends: the bell job forced onto
+        // the tableau must match a tableau-configured executor exactly,
+        // while its neighbor inherits the executor's dense default.
+        let qc = Arc::new(bell());
+        let exec = ExecutorConfig::new()
+            .backend(BackendChoice::Dense)
+            .threads(4)
+            .build();
+        let batch = exec.try_run_batch(&[
+            JobSpec::new(Arc::clone(&qc), 3000, 7).with_backend(BackendChoice::Tableau),
+            JobSpec::new(Arc::clone(&qc), 3000, 7),
+        ]);
+        let tableau = on_backend(BackendChoice::Tableau)
+            .try_run(&qc, 3000, 7)
+            .unwrap();
+        let dense = on_backend(BackendChoice::Dense)
+            .try_run(&qc, 3000, 7)
+            .unwrap();
+        assert_eq!(batch[0].as_ref().unwrap(), &tableau);
+        assert_eq!(batch[1].as_ref().unwrap(), &dense);
+        // A per-job budget override rescues an otherwise-refused MPS job.
+        let exec = on_backend(BackendChoice::Mps { max_bond: 1 });
+        assert!(exec
+            .try_run_job(&JobSpec::new(Arc::clone(&qc), 100, 5))
+            .is_err());
+        let rescued = exec
+            .try_run_job(&JobSpec::new(Arc::clone(&qc), 100, 5).with_budget(f64::INFINITY))
+            .unwrap();
+        assert_eq!(rescued.shots(), 100);
+    }
+
+    #[test]
+    fn executor_config_from_env_parses_and_survives_garbage() {
+        // Env-var tests share process state: one test covers all cases
+        // sequentially rather than racing parallel test threads.
+        let keys = ["QUGEN_BACKEND", "QUGEN_THREADS", "QUGEN_TRUNCATION_BUDGET"];
+        let saved: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
+        std::env::set_var("QUGEN_BACKEND", "mps:32");
+        std::env::set_var("QUGEN_THREADS", "8");
+        std::env::set_var("QUGEN_TRUNCATION_BUDGET", "0.5");
+        let config = ExecutorConfig::from_env();
+        assert_eq!(config.backend, BackendChoice::Mps { max_bond: 32 });
+        assert_eq!(config.threads, 8);
+        assert_eq!(config.truncation_budget, 0.5);
+        std::env::set_var("QUGEN_THREADS", "zero");
+        std::env::set_var("QUGEN_TRUNCATION_BUDGET", "-3");
+        let config = ExecutorConfig::from_env();
+        assert_eq!(config.threads, 1, "garbage keeps the default");
+        assert_eq!(config.truncation_budget, DEFAULT_TRUNCATION_BUDGET);
+        std::env::set_var("QUGEN_TRUNCATION_BUDGET", "inf");
+        assert_eq!(ExecutorConfig::from_env().truncation_budget, f64::INFINITY);
+        for (k, v) in keys.iter().zip(saved) {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_configure_the_executor() {
+        // The one-release migration path: the old chained builders must
+        // keep behaving exactly like the typed config they shim onto.
+        let exec = Executor::ideal()
+            .with_backend(BackendChoice::Tableau)
+            .with_threads(3)
+            .with_truncation_budget(0.25)
+            .with_private_plan_cache();
+        assert_eq!(exec.backend_choice(), BackendChoice::Tableau);
+        assert_eq!(exec.threads(), 3);
+        assert_eq!(exec.truncation_budget(), 0.25);
+        let shimmed = exec.try_run(&bell(), 2000, 9).unwrap();
+        let typed = ExecutorConfig::new()
+            .backend(BackendChoice::Tableau)
+            .threads(3)
+            .truncation_budget(0.25)
+            .plan_cache(PlanCacheMode::Private)
+            .build()
+            .try_run(&bell(), 2000, 9)
+            .unwrap();
+        assert_eq!(shimmed, typed);
     }
 }

@@ -1,0 +1,260 @@
+//! The typed job vocabulary shared by in-process batch execution, the
+//! `qugen-serve` daemon, and (eventually) multi-process shard coordinators.
+//!
+//! A [`JobSpec`] replaces the ad-hoc `(&Circuit, u64, u64)` tuples the
+//! batch API grew up on: one value that names everything a simulation job
+//! is — the circuit, the shot budget, the seed, and (optionally) a backend
+//! override and an MPS truncation budget. [`JobStatus`] and [`JobResult`]
+//! complete the vocabulary for services that track jobs through a queue.
+//!
+//! # Determinism contract
+//!
+//! A job is a *pure function of its spec*: running the same [`JobSpec`]
+//! (same circuit content, shots, seed, effective backend and effective
+//! truncation budget) produces bit-identical [`Counts`] on every run, for
+//! every executor worker-thread count, on every host — shot chunks are
+//! seeded from `(seed, chunk index)` alone and merged by commutative
+//! outcome-wise addition (see [`crate::exec`]). This is what makes result
+//! caching by [`JobKey`] sound, and what lets a service or a shard
+//! coordinator replay, dedupe, or relocate jobs freely.
+
+use crate::backend::{BackendChoice, BackendKind};
+use crate::dist::Counts;
+use crate::plan;
+use qcir::circuit::Circuit;
+use std::fmt;
+use std::sync::Arc;
+
+/// One simulation job: a circuit plus everything needed to reproduce its
+/// counts exactly (see the module docs for the determinism contract).
+///
+/// The circuit is held behind an [`Arc`] so a spec is cheap to clone into
+/// queues, worker threads and job tables without copying the op list.
+/// `backend` and `budget` are *overrides*: `None` inherits the executing
+/// [`crate::exec::Executor`]'s configured choice and truncation budget, so
+/// library callers that configure the executor once keep their behavior,
+/// while services can pin per-job values.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    circuit: Arc<Circuit>,
+    shots: u64,
+    seed: u64,
+    backend: Option<BackendChoice>,
+    budget: Option<f64>,
+}
+
+impl JobSpec {
+    /// A job running `circuit` for `shots` shots from `seed`, inheriting
+    /// the executor's backend choice and truncation budget.
+    pub fn new(circuit: impl Into<Arc<Circuit>>, shots: u64, seed: u64) -> Self {
+        JobSpec {
+            circuit: circuit.into(),
+            shots,
+            seed,
+            backend: None,
+            budget: None,
+        }
+    }
+
+    /// Pins the job to a backend choice, overriding the executor's.
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Pins the job's MPS truncation budget, overriding the executor's.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The circuit to simulate.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// Shots to run.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// The deterministic base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The backend override, if any.
+    pub fn backend(&self) -> Option<BackendChoice> {
+        self.backend
+    }
+
+    /// The truncation-budget override, if any.
+    pub fn budget(&self) -> Option<f64> {
+        self.budget
+    }
+
+    /// The backend choice this job runs under, given an executor default.
+    pub fn effective_backend(&self, default: BackendChoice) -> BackendChoice {
+        self.backend.unwrap_or(default)
+    }
+
+    /// The truncation budget this job runs under, given an executor
+    /// default.
+    pub fn effective_budget(&self, default: f64) -> f64 {
+        self.budget.unwrap_or(default)
+    }
+
+    /// The job's cache identity under the given executor defaults: equal
+    /// keys imply bit-identical counts (the determinism contract), so a
+    /// result cache keyed on [`JobKey`] never has to re-execute a repeat.
+    ///
+    /// The circuit enters through its 128-bit structural fingerprint
+    /// ([`crate::plan::fingerprint`]); the budget enters through its exact
+    /// bit pattern so `0.01` and `0.010000001` are distinct keys.
+    pub fn key(&self, default_backend: BackendChoice, default_budget: f64) -> JobKey {
+        JobKey {
+            fingerprint: plan::fingerprint(&self.circuit),
+            shots: self.shots,
+            seed: self.seed,
+            backend: self.effective_backend(default_backend),
+            budget_bits: self.effective_budget(default_budget).to_bits(),
+        }
+    }
+}
+
+/// The identity a job's counts depend on — and nothing more. See
+/// [`JobSpec::key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// 128-bit structural fingerprint of the circuit
+    /// ([`crate::plan::fingerprint`]).
+    pub fingerprint: u128,
+    /// Shots requested.
+    pub shots: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Effective backend choice the job resolves under.
+    pub backend: BackendChoice,
+    /// Effective truncation budget, as exact `f64` bits.
+    pub budget_bits: u64,
+}
+
+/// Where a job is in its lifecycle (`queued → running → done | failed`).
+///
+/// A cache hit goes straight to `Done`; a submit-time refusal never enters
+/// the table at all (the submission itself returns the typed error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted and waiting in the bounded work queue.
+    Queued,
+    /// Claimed by a worker; counts are being produced.
+    Running,
+    /// Finished successfully; a [`JobResult`] is available.
+    Done,
+    /// Finished with a typed [`crate::backend::SimError`] (e.g. an MPS
+    /// truncation budget tripped at run time).
+    Failed,
+}
+
+impl JobStatus {
+    /// Stable machine-readable name (`queued|running|done|failed`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// `true` once the job can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A finished job's payload.
+///
+/// By the determinism contract (module docs), `counts` depends only on the
+/// job's [`JobKey`] — which is why `cached` is an honest flag and not a
+/// semantic difference: a cached result is bit-identical to re-executing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// The measurement counts.
+    pub counts: Counts,
+    /// The engine that (first) produced them.
+    pub backend: BackendKind,
+    /// `true` when served from a result cache instead of executed.
+    pub cached: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendChoice;
+
+    fn bell() -> Circuit {
+        let mut qc = Circuit::new(2, 2);
+        qc.h(0).cx(0, 1).measure_all();
+        qc
+    }
+
+    #[test]
+    fn key_depends_on_every_field_and_nothing_else() {
+        let spec = JobSpec::new(bell(), 100, 7);
+        let base = spec.key(BackendChoice::Auto, 0.01);
+        // A structurally equal circuit in a different allocation: same key.
+        let twin = JobSpec::new(bell(), 100, 7).key(BackendChoice::Auto, 0.01);
+        assert_eq!(base, twin);
+        // Every field perturbs the key.
+        assert_ne!(
+            base,
+            JobSpec::new(bell(), 101, 7).key(BackendChoice::Auto, 0.01)
+        );
+        assert_ne!(
+            base,
+            JobSpec::new(bell(), 100, 8).key(BackendChoice::Auto, 0.01)
+        );
+        assert_ne!(base, spec.key(BackendChoice::Dense, 0.01));
+        assert_ne!(base, spec.key(BackendChoice::Auto, 0.02));
+        let mut other = bell();
+        other.x(0);
+        assert_ne!(
+            base,
+            JobSpec::new(other, 100, 7).key(BackendChoice::Auto, 0.01)
+        );
+    }
+
+    #[test]
+    fn overrides_beat_executor_defaults() {
+        let spec = JobSpec::new(bell(), 10, 0)
+            .with_backend(BackendChoice::Tableau)
+            .with_budget(0.5);
+        assert_eq!(
+            spec.effective_backend(BackendChoice::Auto),
+            BackendChoice::Tableau
+        );
+        assert_eq!(spec.effective_budget(0.01), 0.5);
+        let plain = JobSpec::new(bell(), 10, 0);
+        assert_eq!(
+            plain.effective_backend(BackendChoice::Dense),
+            BackendChoice::Dense
+        );
+        assert_eq!(plain.effective_budget(0.01), 0.01);
+    }
+
+    #[test]
+    fn status_names_are_stable() {
+        assert_eq!(JobStatus::Queued.as_str(), "queued");
+        assert_eq!(JobStatus::Running.to_string(), "running");
+        assert!(!JobStatus::Running.is_terminal());
+        assert!(JobStatus::Done.is_terminal());
+        assert!(JobStatus::Failed.is_terminal());
+    }
+}

@@ -29,7 +29,12 @@
 //!   classification entirely.
 //! * [`exec`] — the circuit executor: shot sampling, trajectories,
 //!   conditionals and mid-circuit measurement, driven by cached plans on
-//!   the noiseless dense path.
+//!   the noiseless dense path. Configured through the typed
+//!   [`exec::ExecutorConfig`].
+//! * [`job`] — the typed job vocabulary ([`job::JobSpec`] /
+//!   [`job::JobStatus`] / [`job::JobResult`]) shared by in-process batch
+//!   calls, the `qugen-serve` daemon and future shard coordinators, with
+//!   the [`job::JobKey`] cache identity.
 //! * [`dist`] — measurement-outcome distributions and distance metrics.
 //! * [`word`] — the packed multi-word [`word::OutcomeWord`] classical
 //!   registers those distributions are keyed on: allocation-free inline up
@@ -55,6 +60,7 @@
 pub mod backend;
 pub mod dist;
 pub mod exec;
+pub mod job;
 pub mod kernels;
 pub mod mps;
 pub mod noise;
@@ -67,7 +73,8 @@ pub mod word;
 
 pub use backend::{BackendChoice, SimError};
 pub use dist::Counts;
-pub use exec::Executor;
+pub use exec::{Executor, ExecutorConfig};
+pub use job::{JobKey, JobResult, JobSpec, JobStatus};
 pub use noise::NoiseModel;
 pub use state::StateVector;
 pub use word::OutcomeWord;

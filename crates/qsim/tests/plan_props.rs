@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use qcir::circuit::Circuit;
 use qcir::gate::Gate;
-use qsim::exec::Executor;
+use qsim::exec::{ExecutorConfig, PlanCacheMode};
 use qsim::plan::CircuitPlan;
 use qsim::state::StateVector;
 
@@ -128,11 +128,14 @@ proptest! {
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.fingerprint(), b.fingerprint());
 
-        let cold = Executor::ideal()
-            .with_private_plan_cache()
+        let cold = ExecutorConfig::new()
+            .plan_cache(PlanCacheMode::Private)
+            .build()
             .try_run(&qc, 256, seed)
             .unwrap();
-        let exec = Executor::ideal().with_private_plan_cache();
+        let exec = ExecutorConfig::new()
+            .plan_cache(PlanCacheMode::Private)
+            .build();
         let _ = exec.plan_for(&qc); // pre-warm the cache
         let warm = exec.try_run(&qc, 256, seed).unwrap();
         prop_assert_eq!(cold, warm);

@@ -17,7 +17,7 @@
 use qcir::circuit::Circuit;
 use qcir::gate::Gate;
 use qsim::dist::Counts;
-use qsim::exec::Executor;
+use qsim::exec::{ExecutorConfig, PlanCacheMode};
 use qsim::state::StateVector;
 use qsim::word::OutcomeWord;
 use rand::rngs::StdRng;
@@ -72,7 +72,9 @@ fn workload() -> Circuit {
 #[test]
 fn warm_cached_plan_runs_skip_classification_and_allocation() {
     let qc = workload();
-    let exec = Executor::ideal().with_private_plan_cache();
+    let exec = ExecutorConfig::new()
+        .plan_cache(PlanCacheMode::Private)
+        .build();
 
     // Cold: compiles the plan (classifying each gate exactly once there).
     let cold = exec.try_run(&qc, 64, 5).unwrap();

@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qcir::circuit::Circuit;
 use qec::surface::SurfaceCode;
 use qsim::backend::BackendChoice;
-use qsim::exec::Executor;
+use qsim::exec::ExecutorConfig;
 use qsim::noise::NoiseModel;
 
 const MEMORY_SHOTS: u64 = 16;
@@ -26,15 +26,24 @@ fn bench_clifford_surface_memory(c: &mut Criterion) {
     let d5 = SurfaceCode::new(5).memory_circuit(2).circuit;
     let mut group = c.benchmark_group("clifford_surface_memory");
     group.bench_function("tableau_d3", |b| {
-        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
+        let exec = ExecutorConfig::new()
+            .noise(noise.clone())
+            .backend(BackendChoice::Tableau)
+            .build();
         b.iter(|| std::hint::black_box(exec.try_run(&d3, MEMORY_SHOTS, 1).unwrap()))
     });
     group.bench_function("dense_d3", |b| {
-        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Dense);
+        let exec = ExecutorConfig::new()
+            .noise(noise.clone())
+            .backend(BackendChoice::Dense)
+            .build();
         b.iter(|| std::hint::black_box(exec.try_run(&d3, MEMORY_SHOTS, 1).unwrap()))
     });
     group.bench_function("tableau_d5", |b| {
-        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
+        let exec = ExecutorConfig::new()
+            .noise(noise.clone())
+            .backend(BackendChoice::Tableau)
+            .build();
         b.iter(|| std::hint::black_box(exec.try_run(&d5, MEMORY_SHOTS, 1).unwrap()))
     });
     // Wide-counts row: distance-7 memory records 97-bit outcome words, so
@@ -43,7 +52,10 @@ fn bench_clifford_surface_memory(c: &mut Criterion) {
     let d7 = SurfaceCode::new(7).memory_circuit(2).circuit;
     assert!(d7.num_clbits() > 64, "d7 must cross the one-word boundary");
     group.bench_function("tableau_d7_wide_counts", |b| {
-        let exec = Executor::with_noise(noise.clone()).with_backend(BackendChoice::Tableau);
+        let exec = ExecutorConfig::new()
+            .noise(noise.clone())
+            .backend(BackendChoice::Tableau)
+            .build();
         b.iter(|| std::hint::black_box(exec.try_run(&d7, MEMORY_SHOTS, 1).unwrap()))
     });
     group.finish();
@@ -63,9 +75,11 @@ fn bench_parallel_exec(c: &mut Criterion) {
     let choice = qsim::backend::try_choice_from_env().expect("QUGEN_BACKEND");
     let mut group = c.benchmark_group("parallel_exec");
     for &threads in &[1usize, 8] {
-        let exec = Executor::with_noise(noise.clone())
-            .with_backend(choice)
-            .with_threads(threads);
+        let exec = ExecutorConfig::new()
+            .noise(noise.clone())
+            .backend(choice)
+            .threads(threads)
+            .build();
         let name = format!("ghz10_noisy_10k_shots/backend={choice}/threads={threads}");
         group.bench_function(&name, |b| {
             b.iter(|| std::hint::black_box(exec.try_run(&ghz, 10_000, 1).unwrap()))

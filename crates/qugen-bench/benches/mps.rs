@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use qcir::circuit::Circuit;
 use qsim::backend::{BackendChoice, SimError};
-use qsim::exec::{derive_seed, Executor};
+use qsim::exec::{derive_seed, ExecutorConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,11 +47,13 @@ fn bench_mps_brickwork(c: &mut Criterion) {
     // Crossover rows: sizes both engines can run.
     for &n in &[16usize, 20] {
         let qc = brickwork(n, DEPTH, 7);
-        let dense = Executor::ideal().with_backend(BackendChoice::Dense);
+        let dense = ExecutorConfig::new().backend(BackendChoice::Dense).build();
         group.bench_function(&format!("dense_{n}q"), |b| {
             b.iter(|| std::hint::black_box(dense.try_run(&qc, SHOTS, 1).unwrap()))
         });
-        let mps = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: CHI });
+        let mps = ExecutorConfig::new()
+            .backend(BackendChoice::Mps { max_bond: CHI })
+            .build();
         group.bench_function(&format!("mps_{n}q_chi{CHI}"), |b| {
             b.iter(|| std::hint::black_box(mps.try_run(&qc, SHOTS, 1).unwrap()))
         });
@@ -59,14 +61,16 @@ fn bench_mps_brickwork(c: &mut Criterion) {
     // Past the dense cap: MPS only.
     for &n in &[30usize, 36, 40] {
         let qc = brickwork(n, DEPTH, 7);
-        let mps = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: CHI });
+        let mps = ExecutorConfig::new()
+            .backend(BackendChoice::Mps { max_bond: CHI })
+            .build();
         group.bench_function(&format!("mps_{n}q_chi{CHI}"), |b| {
             b.iter(|| std::hint::black_box(mps.try_run(&qc, SHOTS, 1).unwrap()))
         });
     }
     // The same 30-qubit circuit is refused outright by the dense engine.
     let qc30 = brickwork(30, DEPTH, 7);
-    let dense = Executor::ideal().with_backend(BackendChoice::Dense);
+    let dense = ExecutorConfig::new().backend(BackendChoice::Dense).build();
     group.bench_function("dense_refused_30q", |b| {
         b.iter(|| {
             let err = dense.try_run(&qc30, SHOTS, 1).unwrap_err();
@@ -86,7 +90,7 @@ fn bench_env_selected_backend(c: &mut Criterion) {
     // not silently benchmark the wrong backend.
     let choice = qsim::backend::try_choice_from_env().expect("QUGEN_BACKEND");
     let qc = brickwork(20, DEPTH, 7);
-    let exec = Executor::ideal().with_backend(choice);
+    let exec = ExecutorConfig::new().backend(choice).build();
     if let Err(e) = exec.try_run(&qc, 1, 0) {
         println!("bench: mps_env_backend/brickwork_20q/{choice} skipped ({e})");
         return;

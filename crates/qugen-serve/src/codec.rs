@@ -1,0 +1,471 @@
+//! A minimal hand-rolled JSON codec for the wire protocol.
+//!
+//! The repo takes no external dependencies (see `vendor/README.md`), so the
+//! service carries its own small JSON layer rather than pulling in serde.
+//! Two properties matter more than generality:
+//!
+//! * **Integers stay exact.** Numbers without a fraction or exponent parse
+//!   into [`Json::Int`] (an `i128`), so full-range `u64` seeds and shot
+//!   counts round-trip bit-exactly — an `f64` path would silently corrupt
+//!   seeds above 2⁵³ and break the determinism contract.
+//! * **Serialization is canonical.** Objects are [`BTreeMap`]s, so the
+//!   same value always serializes to the same byte string — clients (and
+//!   the CI smoke job) can compare service counts against library counts
+//!   by comparing encoded lines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Nesting depth bound for the parser: the service reads untrusted lines,
+/// and a few KB of `[[[[…` must return a typed error, not blow the stack.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent, kept exact.
+    Int(i128),
+    /// A fractional or exponent-form number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, canonically ordered by key.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Where and why a line failed to parse as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable reason.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Json {
+    /// Parses one complete JSON value (trailing garbage is an error).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, if it is a non-negative in-range integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` (integers widen; may round past 2⁵³).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an object (`None` for other shapes or absent keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|map| map.get(key))
+    }
+
+    /// Serializes canonically (sorted object keys, no whitespace).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Float(f) => {
+                // Non-finite floats have no JSON form; the proto layer
+                // encodes an infinite budget as the string "inf" instead.
+                if f.is_finite() {
+                    let mut text = f.to_string();
+                    // `1.0f64.to_string()` is "1": keep the float marker so
+                    // the value round-trips as a Float, not an Int.
+                    if !text.contains(['.', 'e', 'E']) {
+                        text.push_str(".0");
+                    }
+                    out.push_str(&text);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builds a [`Json::Obj`] from key/value pairs (the proto layer's idiom).
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Ok(Json::Arr(items));
+                    }
+                    if !self.eat(b',') {
+                        return Err(self.err("expected `,` or `]` in array"));
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return Err(self.err("expected `:` after object key"));
+                    }
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    if self.eat(b'}') {
+                        return Ok(Json::Obj(map));
+                    }
+                    if !self.eat(b',') {
+                        return Err(self.err("expected `,` or `}` in object"));
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is valid UTF-8 (it came in as &str) and the run
+                // breaks only at ASCII boundaries, so the slice is valid.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are rejected rather than paired:
+                            // the protocol never emits them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid \\u code point"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if !self.eat(b'-') {
+                let _ = self.eat(b'+');
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_exactly_at_u64_range() {
+        let seed = u64::MAX - 1;
+        let line = format!("{{\"seed\":{seed}}}");
+        let value = Json::parse(&line).unwrap();
+        assert_eq!(value.get("seed").unwrap().as_u64(), Some(seed));
+        assert_eq!(value.encode(), line);
+    }
+
+    #[test]
+    fn canonical_encoding_sorts_keys() {
+        let value = Json::parse("{\"b\":1, \"a\": [true, null, \"x\"]}").unwrap();
+        assert_eq!(value.encode(), "{\"a\":[true,null,\"x\"],\"b\":1}");
+    }
+
+    #[test]
+    fn floats_keep_their_marker() {
+        let value = Json::parse("{\"budget\":1.0}").unwrap();
+        assert!(matches!(value.get("budget"), Some(Json::Float(_))));
+        let enc = value.encode();
+        assert!(enc.contains("1.0") || enc.contains("1e"), "{enc}");
+        assert_eq!(Json::parse(&enc).unwrap(), value);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let value = Json::Str("a\"b\\c\nd\u{0001}".into());
+        let enc = value.encode();
+        assert_eq!(Json::parse(&enc).unwrap(), value);
+        assert_eq!(
+            Json::parse("\"\\u0041\\t\"").unwrap(),
+            Json::Str("A\t".into())
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_a_typed_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "nul",
+            "{\"a\":1}garbage",
+            "1e",
+            "\"\\u12\"",
+            "\u{7f}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Deep nesting hits the depth bound instead of the stack.
+        let deep = "[".repeat(100_000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers_parse() {
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("2.5e3").unwrap(), Json::Float(2500.0));
+        assert_eq!(Json::parse("1E-2").unwrap(), Json::Float(0.01));
+    }
+}

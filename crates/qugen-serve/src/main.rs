@@ -1,0 +1,93 @@
+//! The `qugen-serve` binary: a line-delimited-JSON simulation job daemon.
+//!
+//! ```text
+//! qugen-serve --listen 127.0.0.1:7878   # TCP transport
+//! qugen-serve --stdio                   # one request per stdin line
+//! ```
+//!
+//! The executor configuration comes from the environment
+//! ([`ExecutorConfig::from_env`]: `QUGEN_BACKEND`, `QUGEN_THREADS`,
+//! `QUGEN_TRUNCATION_BUDGET`), then flags shape the service around it.
+
+use qsim::exec::ExecutorConfig;
+use qugen_serve::server::{Server, ServerConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: qugen-serve [--stdio | --listen ADDR] \
+                     [--workers N] [--queue N] [--cache N]";
+
+enum Transport {
+    Stdio,
+    Tcp(String),
+}
+
+fn main() -> ExitCode {
+    let mut transport = Transport::Stdio;
+    let mut config = ServerConfig {
+        // Per-worker simulator threads default to 1 (parallelism comes
+        // from concurrent jobs); QUGEN_THREADS raises it explicitly.
+        executor: ExecutorConfig::from_env(),
+        ..ServerConfig::default()
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => transport = Transport::Stdio,
+            "--listen" => match args.next() {
+                Some(addr) => transport = Transport::Tcp(addr),
+                None => return usage_error("--listen needs an ADDR"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return usage_error("--workers needs a number"),
+            },
+            "--queue" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.queue_capacity = n,
+                None => return usage_error("--queue needs a number"),
+            },
+            "--cache" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.cache_capacity = n,
+                None => return usage_error("--cache needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let server = Arc::new(Server::new(config));
+    let outcome = match transport {
+        Transport::Stdio => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            server.serve_lines(stdin.lock(), stdout.lock())
+        }
+        Transport::Tcp(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                eprintln!("qugen-serve listening on {addr}");
+                server.serve_tcp(listener)
+            }
+            Err(e) => {
+                eprintln!("qugen-serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qugen-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("qugen-serve: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}

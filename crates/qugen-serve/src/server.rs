@@ -1,0 +1,690 @@
+//! The job service: submit-time validation, a bounded queue, a worker
+//! pool over the deterministic [`Executor`], and a result cache.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! submit ──parse/check──resolve──▶ refused (typed error, never enters the table)
+//!    │
+//!    ├── cache hit ──▶ Done (cached: true, no execution)
+//!    │
+//!    └── cache miss ─▶ try_push ──full──▶ QueueFull (typed, prompt — never a hang)
+//!                         │
+//!                         ▼
+//!                      Queued ──worker──▶ Running ──▶ Done | Failed
+//! ```
+//!
+//! Validation is front-loaded: a program that cannot parse, check, or
+//! resolve onto a backend is refused in the submit reply itself, so
+//! clients never poll a job that was doomed from the start. Run-time
+//! failures still exist (an MPS truncation budget trips only while
+//! executing) and surface as `Failed` with the same typed
+//! [`SimError`](qsim::backend::SimError) payload.
+//!
+//! # Determinism and caching
+//!
+//! Workers drive [`Executor::try_run_job`], whose counts are a pure
+//! function of the [`JobKey`] (see [`qsim::job`]). The server exploits
+//! this twice: results are cached process-wide by key, and concurrent
+//! submission order cannot change any job's counts — a serve deployment
+//! returns bit-identical counts to a local [`Executor`] run of the same
+//! spec.
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::codec::{obj, Json};
+use crate::error::ServeError;
+use crate::proto::{counts_to_json, Request};
+use crate::queue::BoundedQueue;
+use qsim::backend::{self, BackendKind};
+use qsim::exec::{recommended_threads, Executor, ExecutorConfig};
+use qsim::job::{JobKey, JobResult, JobSpec, JobStatus};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the service is shaped: worker count, queue and cache bounds, and
+/// the executor the workers share.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs. `0` spawns none — jobs queue but
+    /// never run, which is how the backpressure tests freeze the queue.
+    pub workers: usize,
+    /// Bounded work-queue capacity; a full queue refuses with
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Result-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// The executor configuration workers run under. Defaults to one
+    /// simulator thread per worker so the two pools do not nest
+    /// multiplicatively — parallelism comes from concurrent jobs.
+    pub executor: ExecutorConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: recommended_threads(),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            executor: ExecutorConfig::new().threads(1),
+        }
+    }
+}
+
+/// Everything the server remembers about one accepted job.
+struct JobEntry {
+    spec: JobSpec,
+    key: JobKey,
+    backend: BackendKind,
+    tag: Option<String>,
+    status: JobStatus,
+    result: Option<JobResult>,
+    error: Option<ServeError>,
+}
+
+struct Inner {
+    exec: Executor,
+    queue: BoundedQueue<u64>,
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    /// Signalled whenever a job reaches a terminal status (for
+    /// `{"op":"result","wait":true}` blockers).
+    done: Condvar,
+    cache: Mutex<ResultCache>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// A running job service. Dropping it drains the queue and joins the
+/// workers.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the service and spawns its worker pool.
+    pub fn new(config: ServerConfig) -> Self {
+        let inner = Arc::new(Inner {
+            exec: Executor::new(config.executor),
+            queue: BoundedQueue::new(config.queue_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            next_id: AtomicU64::new(1),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// A service with [`ServerConfig::default`].
+    pub fn with_defaults() -> Self {
+        Server::new(ServerConfig::default())
+    }
+
+    /// Handles one request line and returns the one response line
+    /// (without trailing newline). Transport-agnostic: the TCP and stdio
+    /// loops, tests, and in-process clients all call this.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Json::parse(line) {
+            Err(e) => ServeError::Parse(e).to_json(),
+            Ok(value) => match Request::from_json(&value) {
+                Err(e) => e.to_json(),
+                Ok(request) => self.handle(request),
+            },
+        };
+        response.encode()
+    }
+
+    /// Typed request dispatch; returns the wire-ready response object.
+    pub fn handle(&self, request: Request) -> Json {
+        match request {
+            Request::Submit {
+                source,
+                shots,
+                seed,
+                backend,
+                budget,
+                tag,
+            } => match self.submit(&source, shots, seed, backend, budget, tag) {
+                Ok(json) => json,
+                Err(e) => e.to_json(),
+            },
+            Request::Status { job } => match self.status(job) {
+                Ok(json) => json,
+                Err(e) => e.to_json(),
+            },
+            Request::Result { job, wait } => match self.result(job, wait) {
+                Ok(json) => json,
+                Err(e) => e.to_json(),
+            },
+            Request::Stats => self.stats(),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                obj([("ok", Json::Bool(true)), ("status", str_json("draining"))])
+            }
+        }
+    }
+
+    /// Validates, classifies, caches or enqueues one job. See the module
+    /// docs for the lifecycle this implements.
+    fn submit(
+        &self,
+        source: &str,
+        shots: u64,
+        seed: u64,
+        backend_override: Option<backend::BackendChoice>,
+        budget: Option<f64>,
+        tag: Option<String>,
+    ) -> Result<Json, ServeError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Front-loaded validation: parse, check, and resolve before the
+        // job can consume a queue slot.
+        let program = qcir::dsl::parse(source).map_err(|d| ServeError::Check(vec![d]))?;
+        let outcome = qcir::check::check(&program, &qcir::api::ApiRegistry::standard());
+        let circuit = match outcome.circuit {
+            Some(c) => c,
+            None => return Err(ServeError::Check(outcome.diagnostics)),
+        };
+        let mut spec = JobSpec::new(circuit, shots, seed);
+        if let Some(choice) = backend_override {
+            spec = spec.with_backend(choice);
+        }
+        if let Some(b) = budget {
+            spec = spec.with_budget(b);
+        }
+        let config = inner.exec.config();
+        let choice = spec.effective_backend(config.backend);
+        let resolved = backend::resolve(choice, spec.circuit())?;
+        let key = spec.key(config.backend, config.truncation_budget);
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        // Cache hit: the job is born terminal, no execution, no queue slot.
+        if let Some(hit) = inner.cache.lock().expect("cache lock poisoned").get(&key) {
+            let result = JobResult {
+                counts: hit.counts.clone(),
+                backend: hit.backend,
+                cached: true,
+            };
+            let entry = JobEntry {
+                spec,
+                key,
+                backend: hit.backend,
+                tag: tag.clone(),
+                status: JobStatus::Done,
+                result: Some(result),
+                error: None,
+            };
+            inner
+                .jobs
+                .lock()
+                .expect("job table poisoned")
+                .insert(id, entry);
+            inner.done.notify_all();
+            return Ok(submit_reply(id, JobStatus::Done, true, &tag));
+        }
+
+        let entry = JobEntry {
+            spec,
+            key,
+            backend: resolved,
+            tag: tag.clone(),
+            status: JobStatus::Queued,
+            result: None,
+            error: None,
+        };
+        inner
+            .jobs
+            .lock()
+            .expect("job table poisoned")
+            .insert(id, entry);
+        if inner.queue.try_push(id).is_err() {
+            // Give the slot back atomically with the refusal: the job id
+            // was never visible to the client, so remove the entry.
+            inner.jobs.lock().expect("job table poisoned").remove(&id);
+            return Err(ServeError::QueueFull {
+                capacity: inner.queue.capacity(),
+            });
+        }
+        Ok(submit_reply(id, JobStatus::Queued, false, &tag))
+    }
+
+    fn status(&self, id: u64) -> Result<Json, ServeError> {
+        let jobs = self.inner.jobs.lock().expect("job table poisoned");
+        let entry = jobs.get(&id).ok_or(ServeError::UnknownJob { id })?;
+        Ok(obj([
+            ("ok", Json::Bool(true)),
+            ("job", Json::Int(id as i128)),
+            ("status", str_json(entry.status.as_str())),
+            ("backend", str_json(entry.backend.name())),
+        ]))
+    }
+
+    /// A job's counts. With `wait`, blocks until the job is terminal; a
+    /// non-terminal job without `wait` answers with its status and no
+    /// counts.
+    fn result(&self, id: u64, wait: bool) -> Result<Json, ServeError> {
+        let inner = &self.inner;
+        let mut jobs = inner.jobs.lock().expect("job table poisoned");
+        loop {
+            let entry = jobs.get(&id).ok_or(ServeError::UnknownJob { id })?;
+            if entry.status.is_terminal() {
+                return Ok(render_terminal(id, entry));
+            }
+            if !wait {
+                return Ok(obj([
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::Int(id as i128)),
+                    ("status", str_json(entry.status.as_str())),
+                ]));
+            }
+            jobs = inner.done.wait(jobs).expect("job table poisoned");
+        }
+    }
+
+    fn stats(&self) -> Json {
+        let inner = &self.inner;
+        let cache = inner.cache.lock().expect("cache lock poisoned");
+        let cache_stats = cache.stats();
+        let cache_len = cache.len();
+        drop(cache);
+        obj([
+            ("ok", Json::Bool(true)),
+            ("workers", Json::Int(self.workers.len() as i128)),
+            ("queue_depth", Json::Int(inner.queue.len() as i128)),
+            ("queue_capacity", Json::Int(inner.queue.capacity() as i128)),
+            (
+                "jobs",
+                Json::Int(inner.jobs.lock().expect("job table poisoned").len() as i128),
+            ),
+            (
+                "submitted",
+                Json::Int(inner.submitted.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "executed",
+                Json::Int(inner.executed.load(Ordering::Relaxed) as i128),
+            ),
+            ("cache_hits", Json::Int(cache_stats.hits as i128)),
+            ("cache_misses", Json::Int(cache_stats.misses as i128)),
+            ("cache_len", Json::Int(cache_len as i128)),
+            (
+                "shutting_down",
+                Json::Bool(inner.shutting_down.load(Ordering::SeqCst)),
+            ),
+        ])
+    }
+
+    /// Stops accepting submissions and closes the queue; workers drain
+    /// what was already accepted.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+    }
+
+    /// `true` once [`Server::begin_shutdown`] (or a `shutdown` request)
+    /// has been seen.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Serves line-delimited JSON over TCP until a `shutdown` request
+    /// arrives. Each connection gets its own handler thread; the accept
+    /// loop polls so it can observe shutdown promptly.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the listener setup; per-connection errors just end
+    /// that connection.
+    pub fn serve_tcp(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let server = Arc::clone(self);
+                    handlers.push(std::thread::spawn(move || {
+                        let _ = handle_connection(&server, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Serves line-delimited JSON over a reader/writer pair (the
+    /// `--stdio` transport) until EOF or a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors; a read error ends the loop cleanly.
+    pub fn serve_lines(&self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writeln!(output, "{response}")?;
+            output.flush()?;
+            if self.is_shutting_down() {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: pop → Running → execute → cache → Done/Failed → notify.
+fn worker_loop(inner: &Inner) {
+    while let Some(id) = inner.queue.pop() {
+        let spec = {
+            let mut jobs = inner.jobs.lock().expect("job table poisoned");
+            match jobs.get_mut(&id) {
+                Some(entry) => {
+                    entry.status = JobStatus::Running;
+                    entry.spec.clone()
+                }
+                None => continue,
+            }
+        };
+        // Execute outside the table lock so status queries stay live.
+        let outcome = inner.exec.try_run_job(&spec);
+        inner.executed.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = inner.jobs.lock().expect("job table poisoned");
+        if let Some(entry) = jobs.get_mut(&id) {
+            match outcome {
+                Ok(counts) => {
+                    inner.cache.lock().expect("cache lock poisoned").insert(
+                        entry.key,
+                        Arc::new(CachedResult {
+                            counts: counts.clone(),
+                            backend: entry.backend,
+                        }),
+                    );
+                    entry.result = Some(JobResult {
+                        counts,
+                        backend: entry.backend,
+                        cached: false,
+                    });
+                    entry.status = JobStatus::Done;
+                }
+                Err(e) => {
+                    entry.error = Some(ServeError::Sim(e));
+                    entry.status = JobStatus::Failed;
+                }
+            }
+        }
+        drop(jobs);
+        inner.done.notify_all();
+    }
+}
+
+fn handle_connection(server: &Arc<Server>, stream: TcpStream) -> std::io::Result<()> {
+    // Finite read timeout so this thread notices server shutdown even on
+    // an idle connection.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client hung up
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = server.handle_line(line.trim_end());
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if server.is_shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn submit_reply(id: u64, status: JobStatus, cached: bool, tag: &Option<String>) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("job", Json::Int(id as i128)),
+        ("status", str_json(status.as_str())),
+        ("cached", Json::Bool(cached)),
+    ];
+    if let Some(tag) = tag {
+        fields.push(("tag", Json::Str(tag.clone())));
+    }
+    obj(fields)
+}
+
+/// Renders a terminal job: counts for `Done`, the stored typed error
+/// (plus the job id) for `Failed`.
+fn render_terminal(id: u64, entry: &JobEntry) -> Json {
+    match (&entry.result, &entry.error) {
+        (Some(result), _) => {
+            let mut fields = vec![
+                ("ok", Json::Bool(true)),
+                ("job", Json::Int(id as i128)),
+                ("status", str_json(JobStatus::Done.as_str())),
+                ("backend", str_json(result.backend.name())),
+                ("cached", Json::Bool(result.cached)),
+                ("shots", Json::Int(result.counts.shots() as i128)),
+                ("clbits", Json::Int(result.counts.num_clbits() as i128)),
+                ("counts", counts_to_json(&result.counts)),
+            ];
+            if let Some(tag) = &entry.tag {
+                fields.push(("tag", Json::Str(tag.clone())));
+            }
+            obj(fields)
+        }
+        (None, Some(error)) => {
+            let mut json = error.to_json();
+            if let Json::Obj(map) = &mut json {
+                map.insert("job".to_string(), Json::Int(id as i128));
+                map.insert("status".to_string(), str_json(JobStatus::Failed.as_str()));
+            }
+            json
+        }
+        (None, None) => unreachable!("terminal job with neither result nor error"),
+    }
+}
+
+fn str_json(s: &str) -> Json {
+    Json::Str(s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BELL: &str = "import qasmlite 2.1;\nqreg q[2];\ncreg c[2];\nh q[0];\n\
+                        cx q[0], q[1];\nmeasure q -> c;\n";
+
+    fn submit_line(shots: u64, seed: u64) -> String {
+        format!(
+            "{{\"op\":\"submit\",\"source\":{},\"shots\":{shots},\"seed\":{seed}}}",
+            Json::Str(BELL.to_string()).encode()
+        )
+    }
+
+    fn parse(response: &str) -> Json {
+        Json::parse(response).expect("response is valid JSON")
+    }
+
+    #[test]
+    fn submit_wait_result_round_trip() {
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let reply = parse(&server.handle_line(&submit_line(512, 7)));
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+        let id = reply.get("job").unwrap().as_u64().unwrap();
+        let result = parse(
+            &server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}")),
+        );
+        assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(result.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(result.get("shots").unwrap().as_u64(), Some(512));
+        let counts = result.get("counts").unwrap().as_obj().unwrap();
+        // A Bell pair only ever measures 00 or 11.
+        assert!(counts.keys().all(|k| k == "00" || k == "11"), "{counts:?}");
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_typed_errors() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let parse_err = parse(&server.handle_line("{nope"));
+        assert_eq!(parse_err.get("error").unwrap().as_str(), Some("parse"));
+        let unknown = parse(&server.handle_line("{\"op\":\"status\",\"job\":999}"));
+        assert_eq!(unknown.get("error").unwrap().as_str(), Some("unknown_job"));
+        let bad_program = parse(
+            &server.handle_line("{\"op\":\"submit\",\"source\":\"hq[0];\",\"shots\":1,\"seed\":0}"),
+        );
+        assert_eq!(bad_program.get("error").unwrap().as_str(), Some("check"));
+    }
+
+    #[test]
+    fn submit_time_refusals_carry_the_sim_payload() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        // 40 qubits forced dense: over the cap, refused at submit time.
+        let line = format!(
+            "{{\"op\":\"submit\",\"source\":{},\"shots\":1,\"seed\":0,\"backend\":\"dense\"}}",
+            Json::Str(
+                "import qasmlite 2.1;\nqreg q[40];\ncreg c[1];\nh q[0];\n\
+                 measure q[0] -> c[0];\n"
+                    .into()
+            )
+            .encode()
+        );
+        let reply = parse(&server.handle_line(&line));
+        assert_eq!(reply.get("error").unwrap().as_str(), Some("sim"));
+        let sim = reply.get("sim").unwrap();
+        assert_eq!(sim.get("code").unwrap().as_str(), Some("qubit_cap"));
+        assert_eq!(sim.get("backend").unwrap().as_str(), Some("dense"));
+    }
+
+    #[test]
+    fn cache_hit_skips_execution_and_says_so() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let first = parse(&server.handle_line(&submit_line(256, 3)));
+        let id = first.get("job").unwrap().as_u64().unwrap();
+        let first_result = parse(
+            &server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}")),
+        );
+        // Same spec again: terminal at submit, served from cache.
+        let second = parse(&server.handle_line(&submit_line(256, 3)));
+        assert_eq!(second.get("status").unwrap().as_str(), Some("done"));
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        let id2 = second.get("job").unwrap().as_u64().unwrap();
+        let second_result =
+            parse(&server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id2}}}")));
+        assert_eq!(
+            second_result.get("counts"),
+            first_result.get("counts"),
+            "cached counts are bit-identical"
+        );
+        let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
+        assert_eq!(stats.get("executed").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn full_queue_refuses_with_queue_full() {
+        // No workers: nothing drains, so capacity 2 fills at once.
+        let server = Server::new(ServerConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        });
+        for seed in 0..2 {
+            let reply = parse(&server.handle_line(&submit_line(64, seed)));
+            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "seed {seed}");
+        }
+        let refused = parse(&server.handle_line(&submit_line(64, 99)));
+        assert_eq!(refused.get("error").unwrap().as_str(), Some("queue_full"));
+        assert_eq!(refused.get("capacity").unwrap().as_u64(), Some(2));
+        // The refused job left no trace in the table: 2 live jobs.
+        let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
+        assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn shutdown_drains_and_refuses_new_work() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let accepted = parse(&server.handle_line(&submit_line(128, 1)));
+        let id = accepted.get("job").unwrap().as_u64().unwrap();
+        let bye = parse(&server.handle_line("{\"op\":\"shutdown\"}"));
+        assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+        let refused = parse(&server.handle_line(&submit_line(128, 2)));
+        assert_eq!(
+            refused.get("error").unwrap().as_str(),
+            Some("shutting_down")
+        );
+        // The already-accepted job still completes.
+        let result = parse(
+            &server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}")),
+        );
+        assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+    }
+}

@@ -19,7 +19,7 @@
 
 use qugen::qcir::circuit::Circuit;
 use qugen::qsim::backend::{choice_from_env, BackendChoice};
-use qugen::qsim::exec::Executor;
+use qugen::qsim::exec::{Executor, ExecutorConfig};
 use qugen::qsim::mps::MpsState;
 
 /// A 1D brickwork circuit: `depth` layers of RY rotations + alternating
@@ -44,15 +44,17 @@ pub fn main() {
     println!("{n}-qubit brickwork, depth 4, {} ops", qc.len());
 
     // 1. The dense engine refuses — with a typed error, not a panic.
-    let refusal = Executor::ideal()
-        .with_backend(BackendChoice::Dense)
+    let refusal = ExecutorConfig::new()
+        .backend(BackendChoice::Dense)
+        .build()
         .try_run(&qc, 256, 1)
         .expect_err("32 qubits is past the dense cap");
     println!("dense engine: {refusal}");
 
     // 2. Auto dispatch routes the short-range general circuit to MPS.
-    let counts = Executor::ideal()
-        .with_threads(2)
+    let counts = ExecutorConfig::new()
+        .threads(2)
+        .build()
         .try_run(&qc, 256, 1)
         .expect("short-range general circuits dispatch to the MPS engine");
     println!(
@@ -82,8 +84,9 @@ pub fn main() {
     let choice = choice_from_env();
     let exact = Executor::try_ideal_distribution(&small, 2)
         .expect("8 qubits fits the dense engine exactly");
-    match Executor::ideal()
-        .with_backend(choice)
+    match ExecutorConfig::new()
+        .backend(choice)
+        .build()
         .try_run(&small, 8192, 3)
     {
         Ok(counts) => {

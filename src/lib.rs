@@ -12,6 +12,7 @@
 //! - [`qlm`] — mechanistic simulated code LLM (templates + corruption channels)
 //! - [`qagents`] — the three-agent framework and multi-pass optimization loop
 //! - [`qeval`] — evaluation suites, grader and pass@k
+//! - [`qugen_serve`] — simulation-as-a-service job daemon over the executor
 //!
 //! # Quickstart
 //!
@@ -32,3 +33,4 @@ pub use qec;
 pub use qeval;
 pub use qlm;
 pub use qsim;
+pub use qugen_serve;

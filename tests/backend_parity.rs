@@ -14,7 +14,7 @@ use qugen::qcir::circuit::Circuit;
 use qugen::qcir::gate::Gate;
 use qugen::qsim::backend::BackendChoice;
 use qugen::qsim::dist::Counts;
-use qugen::qsim::exec::Executor;
+use qugen::qsim::exec::ExecutorConfig;
 use qugen::qsim::noise::NoiseModel;
 
 const N: usize = 5;
@@ -140,8 +140,9 @@ fn general_circuit(ops: &[(u8, usize, usize)]) -> Circuit {
 }
 
 fn run_forced(backend: BackendChoice, qc: &Circuit, shots: u64, seed: u64) -> Counts {
-    Executor::ideal()
-        .with_backend(backend)
+    ExecutorConfig::new()
+        .backend(backend)
+        .build()
         .try_run(qc, shots, seed)
         .expect("parity circuits fit every forced backend")
 }
@@ -213,11 +214,12 @@ proptest! {
             NoiseModel::ideal()
         };
         for backend in [BackendChoice::Dense, BackendChoice::Tableau] {
-            let exec = Executor::with_noise(noise.clone()).with_backend(backend);
-            let serial = exec.clone().try_run(&qc, 3000, seed).expect("runnable");
-            let parallel = exec
+            let config = ExecutorConfig::new().noise(noise.clone()).backend(backend);
+            let serial = config.clone().build().try_run(&qc, 3000, seed).expect("runnable");
+            let parallel = config
                 .clone()
-                .with_threads(threads)
+                .threads(threads)
+                .build()
                 .try_run(&qc, 3000, seed)
                 .expect("runnable");
             prop_assert_eq!(&serial, &parallel, "backend {:?}", backend);
@@ -286,10 +288,11 @@ proptest! {
         threads in 2usize..5,
     ) {
         let qc = general_circuit(&ops);
-        let exec = Executor::ideal().with_backend(BackendChoice::Mps { max_bond: EXACT_CHI });
-        let serial = exec.clone().try_run(&qc, 1500, seed).expect("runnable");
-        let parallel = exec
-            .with_threads(threads)
+        let config = ExecutorConfig::new().backend(BackendChoice::Mps { max_bond: EXACT_CHI });
+        let serial = config.clone().build().try_run(&qc, 1500, seed).expect("runnable");
+        let parallel = config
+            .threads(threads)
+            .build()
             .try_run(&qc, 1500, seed)
             .expect("runnable");
         prop_assert_eq!(&serial, &parallel);
@@ -303,8 +306,10 @@ fn distance5_memory_circuit_runs_end_to_end() {
     let code = qugen::qec::surface::SurfaceCode::new(5);
     let mem = code.memory_circuit(2);
     assert_eq!(mem.circuit.num_qubits(), 49);
-    let counts = Executor::with_noise(NoiseModel::uniform_depolarizing(0.002))
-        .with_threads(4)
+    let counts = ExecutorConfig::new()
+        .noise(NoiseModel::uniform_depolarizing(0.002))
+        .threads(4)
+        .build()
         .try_run(&mem.circuit, 200, 31)
         .expect("tableau dispatch handles 49-qubit Clifford circuits");
     assert_eq!(counts.shots(), 200);
@@ -328,16 +333,18 @@ fn brickwork_30q_runs_on_mps_but_not_dense() {
     }
     qc.measure_all();
     assert!(matches!(
-        Executor::ideal()
-            .with_backend(BackendChoice::Dense)
+        ExecutorConfig::new()
+            .backend(BackendChoice::Dense)
+            .build()
             .try_run(&qc, 64, 9),
         Err(SimError::QubitCapExceeded {
             backend: "dense",
             ..
         })
     ));
-    let counts = Executor::ideal()
-        .with_threads(2)
+    let counts = ExecutorConfig::new()
+        .threads(2)
+        .build()
         .try_run(&qc, 64, 9)
         .expect("auto dispatch routes short-range general circuits to MPS");
     assert_eq!(counts.shots(), 64);

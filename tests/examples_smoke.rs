@@ -23,6 +23,9 @@ mod mps_low_entanglement;
 #[path = "../examples/technique_shootout.rs"]
 mod technique_shootout;
 
+#[path = "../examples/serve_client.rs"]
+mod serve_client;
+
 #[test]
 fn quickstart_runs() {
     quickstart::main();
@@ -51,4 +54,9 @@ fn mps_low_entanglement_runs() {
 #[test]
 fn technique_shootout_runs() {
     technique_shootout::main();
+}
+
+#[test]
+fn serve_client_runs() {
+    serve_client::main();
 }
