@@ -16,7 +16,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "usage: qugen-serve [--stdio | --listen ADDR] \
-                     [--workers N] [--queue N] [--cache N]";
+                     [--workers N] [--queue N] [--cache N] [--retain N]";
 
 enum Transport {
     Stdio,
@@ -51,6 +51,10 @@ fn main() -> ExitCode {
             "--cache" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.cache_capacity = n,
                 None => return usage_error("--cache needs a number"),
+            },
+            "--retain" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.terminal_retention = n,
+                None => return usage_error("--retain needs a number"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -29,6 +29,20 @@
 //! submission order cannot change any job's counts — a serve deployment
 //! returns bit-identical counts to a local [`Executor`] run of the same
 //! spec.
+//!
+//! # Bounded everything
+//!
+//! Every resource a client can consume is bounded: the work queue
+//! refuses past its capacity, the result cache evicts LRU, terminal
+//! jobs are retained in a bounded window
+//! ([`ServerConfig::terminal_retention`]) so the job table cannot grow
+//! with lifetime submissions, and `result` waits park in finite
+//! intervals — giving up with the job's current status once no live
+//! worker can make progress — so no handler thread blocks forever.
+//!
+//! Lock discipline: the job-table and cache mutexes are never held at
+//! the same time (cache lookups/inserts bracket the jobs lock on both
+//! the submit and worker paths), so there is no lock-order cycle.
 
 use crate::cache::{CachedResult, ResultCache};
 use crate::codec::{obj, Json};
@@ -38,10 +52,10 @@ use crate::queue::BoundedQueue;
 use qsim::backend::{self, BackendKind};
 use qsim::exec::{recommended_threads, Executor, ExecutorConfig};
 use qsim::job::{JobKey, JobResult, JobSpec, JobStatus};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -58,6 +72,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity (entries).
     pub cache_capacity: usize,
+    /// How many terminal (`Done`/`Failed`) jobs stay queryable. Once a
+    /// job is terminal it only exists for `status`/`result` lookups, so
+    /// the table evicts the oldest terminal entries beyond this bound —
+    /// a long-running daemon's memory stays proportional to in-flight
+    /// work plus this window, not to lifetime submissions.
+    pub terminal_retention: usize,
     /// The executor configuration workers run under. Defaults to one
     /// simulator thread per worker so the two pools do not nest
     /// multiplicatively — parallelism comes from concurrent jobs.
@@ -70,6 +90,7 @@ impl Default for ServerConfig {
             workers: recommended_threads(),
             queue_capacity: 256,
             cache_capacity: 1024,
+            terminal_retention: 1024,
             executor: ExecutorConfig::new().threads(1),
         }
     }
@@ -86,17 +107,53 @@ struct JobEntry {
     error: Option<ServeError>,
 }
 
+/// The job map plus a bounded window of terminal entries. Terminal jobs
+/// are evicted oldest-first past [`ServerConfig::terminal_retention`],
+/// so sustained submissions cannot grow the table without bound.
+struct JobTable {
+    map: HashMap<u64, JobEntry>,
+    /// Terminal job ids in completion order — the eviction queue.
+    terminal: VecDeque<u64>,
+    retention: usize,
+}
+
+impl JobTable {
+    fn new(retention: usize) -> Self {
+        JobTable {
+            map: HashMap::new(),
+            terminal: VecDeque::new(),
+            retention,
+        }
+    }
+
+    /// Records `id` as terminal and evicts the oldest terminal entries
+    /// beyond the retention bound. With `retention` 0 the job is evicted
+    /// immediately — legal, but its result is only reachable via the
+    /// submit reply or the cache.
+    fn mark_terminal(&mut self, id: u64) {
+        self.terminal.push_back(id);
+        while self.terminal.len() > self.retention {
+            if let Some(old) = self.terminal.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+    }
+}
+
 struct Inner {
     exec: Executor,
     queue: BoundedQueue<u64>,
-    jobs: Mutex<HashMap<u64, JobEntry>>,
-    /// Signalled whenever a job reaches a terminal status (for
-    /// `{"op":"result","wait":true}` blockers).
+    jobs: Mutex<JobTable>,
+    /// Signalled whenever a job reaches a terminal status or a worker
+    /// exits (for `{"op":"result","wait":true}` blockers).
     done: Condvar,
     cache: Mutex<ResultCache>,
     next_id: AtomicU64,
     submitted: AtomicU64,
     executed: AtomicU64,
+    /// Workers still running their loop; when this hits zero no queued
+    /// or running job can ever progress, so waiters stop blocking.
+    live_workers: AtomicUsize,
     shutting_down: AtomicBool,
 }
 
@@ -113,12 +170,13 @@ impl Server {
         let inner = Arc::new(Inner {
             exec: Executor::new(config.executor),
             queue: BoundedQueue::new(config.queue_capacity),
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(JobTable::new(config.terminal_retention)),
             done: Condvar::new(),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             next_id: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
+            live_workers: AtomicUsize::new(config.workers),
             shutting_down: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
@@ -216,11 +274,16 @@ impl Server {
         let choice = spec.effective_backend(config.backend);
         let resolved = backend::resolve(choice, spec.circuit())?;
         let key = spec.key(config.backend, config.truncation_budget);
-        inner.submitted.fetch_add(1, Ordering::Relaxed);
 
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
-        // Cache hit: the job is born terminal, no execution, no queue slot.
-        if let Some(hit) = inner.cache.lock().expect("cache lock poisoned").get(&key) {
+        // Cache hit: the job is born terminal, no execution, no queue
+        // slot. The lookup is bound to a local so the cache guard drops
+        // before the jobs lock below — no thread ever holds both mutexes
+        // (workers insert into the cache outside the jobs lock for the
+        // same reason), so there is no lock-order cycle.
+        let hit = inner.cache.lock().expect("cache lock poisoned").get(&key);
+        if let Some(hit) = hit {
+            inner.submitted.fetch_add(1, Ordering::Relaxed);
             let result = JobResult {
                 counts: hit.counts.clone(),
                 backend: hit.backend,
@@ -235,11 +298,10 @@ impl Server {
                 result: Some(result),
                 error: None,
             };
-            inner
-                .jobs
-                .lock()
-                .expect("job table poisoned")
-                .insert(id, entry);
+            let mut jobs = inner.jobs.lock().expect("job table poisoned");
+            jobs.map.insert(id, entry);
+            jobs.mark_terminal(id);
+            drop(jobs);
             inner.done.notify_all();
             return Ok(submit_reply(id, JobStatus::Done, true, &tag));
         }
@@ -257,21 +319,29 @@ impl Server {
             .jobs
             .lock()
             .expect("job table poisoned")
+            .map
             .insert(id, entry);
         if inner.queue.try_push(id).is_err() {
             // Give the slot back atomically with the refusal: the job id
-            // was never visible to the client, so remove the entry.
-            inner.jobs.lock().expect("job table poisoned").remove(&id);
+            // was never visible to the client, so remove the entry. A
+            // refused submission never counts as submitted.
+            inner
+                .jobs
+                .lock()
+                .expect("job table poisoned")
+                .map
+                .remove(&id);
             return Err(ServeError::QueueFull {
                 capacity: inner.queue.capacity(),
             });
         }
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(submit_reply(id, JobStatus::Queued, false, &tag))
     }
 
     fn status(&self, id: u64) -> Result<Json, ServeError> {
         let jobs = self.inner.jobs.lock().expect("job table poisoned");
-        let entry = jobs.get(&id).ok_or(ServeError::UnknownJob { id })?;
+        let entry = jobs.map.get(&id).ok_or(ServeError::UnknownJob { id })?;
         Ok(obj([
             ("ok", Json::Bool(true)),
             ("job", Json::Int(id as i128)),
@@ -283,22 +353,31 @@ impl Server {
     /// A job's counts. With `wait`, blocks until the job is terminal; a
     /// non-terminal job without `wait` answers with its status and no
     /// counts.
+    ///
+    /// The wait is bounded: it parks in finite intervals and gives up —
+    /// answering with the job's current (non-terminal) status — once no
+    /// worker is left to make progress (`workers: 0`, a panicked pool,
+    /// or a drained shutdown). Clients are never parked forever.
     fn result(&self, id: u64, wait: bool) -> Result<Json, ServeError> {
         let inner = &self.inner;
         let mut jobs = inner.jobs.lock().expect("job table poisoned");
         loop {
-            let entry = jobs.get(&id).ok_or(ServeError::UnknownJob { id })?;
+            let entry = jobs.map.get(&id).ok_or(ServeError::UnknownJob { id })?;
             if entry.status.is_terminal() {
                 return Ok(render_terminal(id, entry));
             }
-            if !wait {
+            if !wait || inner.live_workers.load(Ordering::SeqCst) == 0 {
                 return Ok(obj([
                     ("ok", Json::Bool(true)),
                     ("job", Json::Int(id as i128)),
                     ("status", str_json(entry.status.as_str())),
                 ]));
             }
-            jobs = inner.done.wait(jobs).expect("job table poisoned");
+            let (guard, _timed_out) = inner
+                .done
+                .wait_timeout(jobs, Duration::from_millis(100))
+                .expect("job table poisoned");
+            jobs = guard;
         }
     }
 
@@ -315,7 +394,11 @@ impl Server {
             ("queue_capacity", Json::Int(inner.queue.capacity() as i128)),
             (
                 "jobs",
-                Json::Int(inner.jobs.lock().expect("job table poisoned").len() as i128),
+                Json::Int(inner.jobs.lock().expect("job table poisoned").map.len() as i128),
+            ),
+            (
+                "live_workers",
+                Json::Int(inner.live_workers.load(Ordering::SeqCst) as i128),
             ),
             (
                 "submitted",
@@ -415,15 +498,30 @@ impl Drop for Server {
     }
 }
 
+/// Decrements [`Inner::live_workers`] when a worker exits — normally
+/// *or* by panic — and wakes `result` waiters so nobody blocks on a
+/// pool that can no longer make progress.
+struct WorkerGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.inner.live_workers.fetch_sub(1, Ordering::SeqCst);
+        self.inner.done.notify_all();
+    }
+}
+
 /// One worker: pop → Running → execute → cache → Done/Failed → notify.
 fn worker_loop(inner: &Inner) {
+    let _guard = WorkerGuard { inner };
     while let Some(id) = inner.queue.pop() {
-        let spec = {
+        let (spec, key, backend) = {
             let mut jobs = inner.jobs.lock().expect("job table poisoned");
-            match jobs.get_mut(&id) {
+            match jobs.map.get_mut(&id) {
                 Some(entry) => {
                     entry.status = JobStatus::Running;
-                    entry.spec.clone()
+                    (entry.spec.clone(), entry.key, entry.backend)
                 }
                 None => continue,
             }
@@ -431,17 +529,22 @@ fn worker_loop(inner: &Inner) {
         // Execute outside the table lock so status queries stay live.
         let outcome = inner.exec.try_run_job(&spec);
         inner.executed.fetch_add(1, Ordering::Relaxed);
+        // Cache insert happens before (not inside) the jobs lock: every
+        // site holds at most one of the two mutexes at a time, so the
+        // cache/jobs pair cannot form a lock-order cycle with `submit`.
+        if let Ok(counts) = &outcome {
+            inner.cache.lock().expect("cache lock poisoned").insert(
+                key,
+                Arc::new(CachedResult {
+                    counts: counts.clone(),
+                    backend,
+                }),
+            );
+        }
         let mut jobs = inner.jobs.lock().expect("job table poisoned");
-        if let Some(entry) = jobs.get_mut(&id) {
+        if let Some(entry) = jobs.map.get_mut(&id) {
             match outcome {
                 Ok(counts) => {
-                    inner.cache.lock().expect("cache lock poisoned").insert(
-                        entry.key,
-                        Arc::new(CachedResult {
-                            counts: counts.clone(),
-                            backend: entry.backend,
-                        }),
-                    );
                     entry.result = Some(JobResult {
                         counts,
                         backend: entry.backend,
@@ -454,6 +557,7 @@ fn worker_loop(inner: &Inner) {
                     entry.status = JobStatus::Failed;
                 }
             }
+            jobs.mark_terminal(id);
         }
         drop(jobs);
         inner.done.notify_all();
@@ -664,6 +768,103 @@ mod tests {
         // The refused job left no trace in the table: 2 live jobs.
         let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
         assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn cache_hit_submissions_race_worker_completions_without_deadlock() {
+        // Regression: a cache-hit submit (cache lock → jobs lock) racing
+        // a worker completion (jobs lock → cache lock) used to ABBA
+        // deadlock. Hammer the same key from several threads while
+        // workers complete fresh keys; completion within the timeout is
+        // the assertion.
+        let server = Arc::new(Server::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        }));
+        // Prime the cache so submitters take the cache-hit path.
+        let primed = parse(&server.handle_line(&submit_line(64, 42)));
+        let id = primed.get("job").unwrap().as_u64().unwrap();
+        server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}"));
+        let hammers: Vec<_> = (0..4)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        if t % 2 == 0 {
+                            // Cache hits on the primed key.
+                            let reply = parse(&server.handle_line(&submit_line(64, 42)));
+                            assert_eq!(reply.get("cached"), Some(&Json::Bool(true)));
+                        } else {
+                            // Fresh keys that workers must execute.
+                            let seed = 1_000 + t as u64 * 100 + i;
+                            let reply = parse(&server.handle_line(&submit_line(64, seed)));
+                            assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in hammers {
+            h.join().expect("no deadlock, no panic");
+        }
+    }
+
+    #[test]
+    fn terminal_jobs_are_evicted_past_the_retention_window() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            terminal_retention: 2,
+            ..ServerConfig::default()
+        });
+        let mut ids = Vec::new();
+        for seed in 0..4 {
+            let reply = parse(&server.handle_line(&submit_line(32, seed)));
+            let id = reply.get("job").unwrap().as_u64().unwrap();
+            // Wait each job to terminal so completion order is the
+            // submission order.
+            server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}"));
+            ids.push(id);
+        }
+        let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
+        assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(2));
+        // The oldest terminal jobs are gone; the newest are queryable.
+        let oldest = parse(&server.handle_line(&format!("{{\"op\":\"status\",\"job\":{}}}", ids[0])));
+        assert_eq!(oldest.get("error").unwrap().as_str(), Some("unknown_job"));
+        let newest = parse(&server.handle_line(&format!("{{\"op\":\"status\",\"job\":{}}}", ids[3])));
+        assert_eq!(newest.get("status").unwrap().as_str(), Some("done"));
+    }
+
+    #[test]
+    fn wait_on_a_workerless_server_returns_instead_of_hanging() {
+        // With no workers a queued job can never progress; `wait: true`
+        // must answer with the current status, not park forever.
+        let server = Server::new(ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        });
+        let reply = parse(&server.handle_line(&submit_line(64, 5)));
+        let id = reply.get("job").unwrap().as_u64().unwrap();
+        let result = parse(
+            &server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}")),
+        );
+        assert_eq!(result.get("status").unwrap().as_str(), Some("queued"));
+        assert!(result.get("counts").is_none());
+    }
+
+    #[test]
+    fn refused_submissions_do_not_count_as_submitted() {
+        let server = Server::new(ServerConfig {
+            workers: 0,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        });
+        let accepted = parse(&server.handle_line(&submit_line(64, 0)));
+        assert_eq!(accepted.get("ok"), Some(&Json::Bool(true)));
+        let refused = parse(&server.handle_line(&submit_line(64, 1)));
+        assert_eq!(refused.get("error").unwrap().as_str(), Some("queue_full"));
+        let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
+        assert_eq!(stats.get("submitted").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(1));
     }
 
     #[test]
