@@ -191,12 +191,36 @@ pub fn circuit_level_experiment(
     trials: u64,
     seed: u64,
 ) -> Result<MemoryResult, SimError> {
+    circuit_level_experiment_threaded(
+        d,
+        noise,
+        rounds,
+        trials,
+        seed,
+        qsim::exec::recommended_threads(),
+    )
+}
+
+/// [`circuit_level_experiment`] with an explicit simulator thread count.
+///
+/// Results are thread-count independent (the executor's determinism
+/// contract); the knob exists so multi-process drivers like `qugen-shard`
+/// can run each worker single-threaded and let process fan-out be the only
+/// parallelism, instead of nesting a full-width shot pool per worker.
+pub fn circuit_level_experiment_threaded(
+    d: usize,
+    noise: &NoiseModel,
+    rounds: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<MemoryResult, SimError> {
     let code = SurfaceCode::new(d);
     let mem = code.memory_circuit(rounds);
     let counts = ExecutorConfig::new()
         .noise(noise.clone())
         .backend(BackendChoice::Tableau)
-        .threads(qsim::exec::recommended_threads())
+        .threads(threads.max(1))
         .build()
         .try_run(&mem.circuit, trials, seed)?;
     let graph = DecodingGraph::spacetime_x(&code, rounds + 1);

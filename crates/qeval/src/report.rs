@@ -66,13 +66,20 @@ impl EvalOutcome {
     }
 }
 
-/// One task's graded slice of the evaluation grid.
-#[derive(Debug, Clone)]
-struct TaskEval {
-    difficulty: Difficulty,
-    samples: usize,
-    syntactic_ok: usize,
-    passed: usize,
+/// One task's graded slice of the evaluation grid — the unit of both
+/// thread-parallel and multi-process (sharded) work. Public so external
+/// coordinators (`qugen-shard`) can carry partial results over a wire and
+/// fold them with [`fold_outcome`] exactly as the in-process path does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskEval {
+    /// Difficulty band of the task (folded into `per_difficulty`).
+    pub difficulty: Difficulty,
+    /// Samples graded for this task.
+    pub samples: usize,
+    /// Samples that parsed and checked.
+    pub syntactic_ok: usize,
+    /// Samples that also matched the reference behaviour.
+    pub passed: usize,
 }
 
 /// Grades every sample of one task (the unit of parallel work).
@@ -108,8 +115,71 @@ fn evaluate_task(
     }
 }
 
+/// Grades a contiguous task range `[start, end)` of the grid, keeping the
+/// *global* task indices so per-sample seeds are placement-independent:
+/// the row for task `t` is identical whether it was graded by the serial
+/// path, a thread, or a worker process holding any enclosing range.
+///
+/// Sharded evaluation is therefore a pure merge problem: concatenate the
+/// ranges' rows in task order and apply [`fold_outcome`].
+///
+/// # Panics
+///
+/// Panics if `start > end` or `end > tasks.len()`.
+#[allow(clippy::too_many_arguments)] // the grid coordinates are the signature
+pub fn evaluate_range(
+    llm: &CodeLlm,
+    tasks: &[Task],
+    config: &GenConfig,
+    samples_per_task: usize,
+    seed: u64,
+    start: usize,
+    end: usize,
+    sim_threads: usize,
+) -> Vec<TaskEval> {
+    assert!(
+        start <= end && end <= tasks.len(),
+        "range {start}..{end} out of bounds for {} tasks",
+        tasks.len()
+    );
+    (start..end)
+        .map(|t_idx| {
+            evaluate_task(
+                llm,
+                &tasks[t_idx],
+                t_idx,
+                config,
+                samples_per_task,
+                seed,
+                sim_threads,
+            )
+        })
+        .collect()
+}
+
+/// Splits `len` units into contiguous `(start, end)` ranges of at most
+/// `range_size` (clamped to ≥ 1), in order. The shard coordinator hands
+/// these out to workers; concatenating the results in range order
+/// reconstructs the serial grading order exactly.
+pub fn partition_ranges(len: usize, range_size: usize) -> Vec<(usize, usize)> {
+    let range_size = range_size.max(1);
+    let mut ranges = Vec::with_capacity(len.div_ceil(range_size));
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + range_size).min(len);
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
 /// Folds per-task partial results (in task order) into an [`EvalOutcome`].
-fn fold_outcome(label: &str, task_evals: Vec<TaskEval>) -> EvalOutcome {
+///
+/// This is the single merge seam shared by [`evaluate`],
+/// [`evaluate_parallel`] and the `qugen-shard` coordinator: every path
+/// produces the same `Vec<TaskEval>` in task order, so every path folds to
+/// a bit-identical outcome.
+pub fn fold_outcome(label: &str, task_evals: Vec<TaskEval>) -> EvalOutcome {
     let mut syntactic_ok = 0usize;
     let mut passed = 0usize;
     let mut samples = 0usize;
@@ -288,6 +358,39 @@ mod tests {
             let parallel =
                 evaluate_parallel(&llm, &tasks, &GenConfig::fine_tuned(), 2, 11, threads);
             assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partition_ranges_covers_exactly_once() {
+        for (len, size) in [(0usize, 3usize), (1, 1), (5, 2), (34, 7), (8, 100), (6, 0)] {
+            let ranges = partition_ranges(len, size);
+            let mut expect = 0usize;
+            for &(start, end) in &ranges {
+                assert_eq!(start, expect, "len={len} size={size}");
+                assert!(end > start && end - start <= size.max(1));
+                expect = end;
+            }
+            assert_eq!(expect, len, "len={len} size={size}");
+        }
+    }
+
+    #[test]
+    fn range_merge_matches_serial_for_any_split() {
+        let llm = CodeLlm::new();
+        let tasks: Vec<Task> = test_suite().into_iter().take(7).collect();
+        let config = GenConfig::fine_tuned();
+        let serial = evaluate(&llm, &tasks, &config, 2, 23);
+        // Range size 1 (maximal sharding), an uneven mid split, and one
+        // range covering everything all fold to the identical outcome.
+        for size in [1usize, 3, 7] {
+            let rows: Vec<TaskEval> = partition_ranges(tasks.len(), size)
+                .into_iter()
+                .flat_map(|(start, end)| {
+                    evaluate_range(&llm, &tasks, &config, 2, 23, start, end, 1)
+                })
+                .collect();
+            assert_eq!(fold_outcome(config.label, rows), serial, "size={size}");
         }
     }
 

@@ -99,6 +99,11 @@ pub struct ExecutorConfig {
     pub truncation_budget: f64,
     /// Compiled-plan cache mode (default: the shared process-wide LRU).
     pub plan_cache: PlanCacheMode,
+    /// Capacity of a [`PlanCacheMode::Private`] cache, clamped to ≥ 1 at
+    /// build time (default: [`plan::PLAN_CACHE_CAPACITY`]). The shared
+    /// cache sizes itself once from `QUGEN_PLAN_CACHE` at first use
+    /// instead; see [`plan::shared_cache`].
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -109,6 +114,7 @@ impl Default for ExecutorConfig {
             threads: 1,
             truncation_budget: DEFAULT_TRUNCATION_BUDGET,
             plan_cache: PlanCacheMode::Shared,
+            plan_cache_capacity: plan::PLAN_CACHE_CAPACITY,
         }
     }
 }
@@ -121,12 +127,14 @@ impl ExecutorConfig {
 
     /// Reads the execution environment in one place: `QUGEN_BACKEND`
     /// (`auto|dense|tableau|mps[:χ]`), `QUGEN_THREADS` (positive integer),
-    /// and `QUGEN_TRUNCATION_BUDGET` (`f64`; `inf` for best-effort).
-    /// Malformed values warn to stderr and keep the default, so a typo in
-    /// a deployment environment cannot abort a long batch run.
+    /// `QUGEN_TRUNCATION_BUDGET` (`f64`; `inf` for best-effort), and
+    /// `QUGEN_PLAN_CACHE` (positive integer). Malformed values warn to
+    /// stderr and keep the default, so a typo in a deployment environment
+    /// cannot abort a long batch run.
     pub fn from_env() -> Self {
         let mut config = ExecutorConfig::new();
         config.backend = backend::choice_from_env();
+        config.plan_cache_capacity = plan::capacity_from_env();
         if let Ok(raw) = std::env::var("QUGEN_THREADS") {
             match raw.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => config.threads = n,
@@ -179,6 +187,13 @@ impl ExecutorConfig {
         self
     }
 
+    /// Sets the capacity used when [`PlanCacheMode::Private`] builds its
+    /// cache (clamped to ≥ 1 at build time).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
     /// Builds the executor.
     pub fn build(self) -> Executor {
         Executor::new(self)
@@ -217,7 +232,7 @@ impl Executor {
         let plan_cache = match config.plan_cache {
             PlanCacheMode::Shared => plan::shared_cache(),
             PlanCacheMode::Private => {
-                Arc::new(Mutex::new(PlanCache::new(plan::PLAN_CACHE_CAPACITY)))
+                Arc::new(Mutex::new(PlanCache::new(config.plan_cache_capacity)))
             }
         };
         Executor { config, plan_cache }
@@ -305,7 +320,7 @@ impl Executor {
                 `ExecutorConfig::new().plan_cache(PlanCacheMode::Private).build()`)"
     )]
     pub fn with_private_plan_cache(mut self) -> Self {
-        self.plan_cache = Arc::new(Mutex::new(PlanCache::new(plan::PLAN_CACHE_CAPACITY)));
+        self.plan_cache = Arc::new(Mutex::new(PlanCache::new(self.config.plan_cache_capacity)));
         self
     }
 
@@ -1656,20 +1671,46 @@ mod tests {
     fn executor_config_from_env_parses_and_survives_garbage() {
         // Env-var tests share process state: one test covers all cases
         // sequentially rather than racing parallel test threads.
-        let keys = ["QUGEN_BACKEND", "QUGEN_THREADS", "QUGEN_TRUNCATION_BUDGET"];
+        let keys = [
+            "QUGEN_BACKEND",
+            "QUGEN_THREADS",
+            "QUGEN_TRUNCATION_BUDGET",
+            "QUGEN_PLAN_CACHE",
+        ];
         let saved: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
         std::env::set_var("QUGEN_BACKEND", "mps:32");
         std::env::set_var("QUGEN_THREADS", "8");
         std::env::set_var("QUGEN_TRUNCATION_BUDGET", "0.5");
+        std::env::set_var("QUGEN_PLAN_CACHE", "128");
         let config = ExecutorConfig::from_env();
         assert_eq!(config.backend, BackendChoice::Mps { max_bond: 32 });
         assert_eq!(config.threads, 8);
         assert_eq!(config.truncation_budget, 0.5);
+        assert_eq!(config.plan_cache_capacity, 128);
+        // The configured capacity reaches a private cache verbatim.
+        let exec = config.plan_cache(PlanCacheMode::Private).build();
+        assert_eq!(
+            exec.plan_cache.lock().unwrap().capacity(),
+            128,
+            "private cache must be sized from the config"
+        );
         std::env::set_var("QUGEN_THREADS", "zero");
         std::env::set_var("QUGEN_TRUNCATION_BUDGET", "-3");
+        std::env::set_var("QUGEN_PLAN_CACHE", "many");
         let config = ExecutorConfig::from_env();
         assert_eq!(config.threads, 1, "garbage keeps the default");
         assert_eq!(config.truncation_budget, DEFAULT_TRUNCATION_BUDGET);
+        assert_eq!(config.plan_cache_capacity, plan::PLAN_CACHE_CAPACITY);
+        std::env::set_var("QUGEN_PLAN_CACHE", "0");
+        assert_eq!(
+            plan::try_capacity_from_env(),
+            Err(plan::PlanCacheParseError::ZeroCapacity)
+        );
+        assert_eq!(
+            ExecutorConfig::from_env().plan_cache_capacity,
+            plan::PLAN_CACHE_CAPACITY,
+            "zero warns and keeps the default"
+        );
         std::env::set_var("QUGEN_TRUNCATION_BUDGET", "inf");
         assert_eq!(ExecutorConfig::from_env().truncation_budget, f64::INFINITY);
         for (k, v) in keys.iter().zip(saved) {

@@ -42,9 +42,23 @@ pub fn insert_zero_bit(x: usize, bit: usize) -> usize {
 /// (two independent butterflies per iteration, straight-line) so the
 /// compiler can keep both lanes in registers and autovectorize the
 /// multiply-adds; `qubit == 0`, whose pairs are adjacent, gets its own
-/// 4-amplitude chunking.
+/// 4-amplitude chunking. On x86-64 with runtime-detected AVX2+FMA the
+/// update takes the packed-lane path instead (same dispatch shape as
+/// [`apply_dense2`]); the scalar loops below remain the portable fallback.
 pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
     let step = 1usize << qubit;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        // SAFETY: gated on runtime AVX2+FMA detection.
+        unsafe {
+            if step >= 2 {
+                simd::butterfly1_lanes_avx(amps, step, m);
+            } else {
+                simd::butterfly1_tiles_avx(amps, m);
+            }
+        }
+        return;
+    }
     if step == 1 {
         let mut quads = amps.chunks_exact_mut(4);
         for quad in &mut quads {
@@ -424,12 +438,14 @@ fn sort3(a: usize, b: usize, c: usize) -> [usize; 3] {
 
 /// Runtime-dispatched AVX2+FMA lane kernels.
 ///
-/// The scalar two-qubit update is arithmetic-bound (four complex
-/// multiply-adds per amplitude), which is exactly where fused 4x4 blocks
-/// concentrate the work — so this path packs two adjacent complex
-/// amplitudes per 256-bit vector and issues each complex product as one
-/// `vfmaddsub` plus one multiply, cutting the instruction count per
-/// amplitude by roughly 2x and pushing the sweep toward memory bandwidth.
+/// The scalar dense updates are arithmetic-bound (two complex
+/// multiply-adds per amplitude for the 1q butterfly, four for fused 4x4
+/// blocks) — so these paths pack two adjacent complex amplitudes per
+/// 256-bit vector and issue each complex product as one `vfmaddsub` plus
+/// one multiply, cutting the instruction count per amplitude by roughly
+/// 2x and pushing the sweep toward memory bandwidth. Both the shared 1q
+/// butterfly ([`super::apply_1q`]) and the two-qubit superblock kernel
+/// ([`super::apply_dense2`]) dispatch here.
 ///
 /// Baseline builds (or non-x86 targets) keep the portable scalar loops;
 /// detection is cached so the dispatch check is a relaxed load.
@@ -525,6 +541,63 @@ mod simd {
                     _mm256_storeu_pd(p3, r3);
                 }
             }
+        }
+    }
+
+    /// The `step >= 2` half walk of [`super::apply_1q`]: each iteration
+    /// loads two adjacent complex amplitudes from the low half and their
+    /// partners from the high half, and issues the 2x2 butterfly as four
+    /// packed complex products.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn butterfly1_lanes_avx(amps: &mut [C64], step: usize, m: &[C64; 4]) {
+        debug_assert!(step >= 2);
+        let mut mr = [_mm256_setzero_pd(); 4];
+        let mut mi = [_mm256_setzero_pd(); 4];
+        for k in 0..4 {
+            mr[k] = _mm256_set1_pd(m[k].re);
+            mi[k] = _mm256_set1_pd(m[k].im);
+        }
+        for block in amps.chunks_exact_mut(step << 1) {
+            let (lo, hi) = block.split_at_mut(step);
+            for j in (0..step).step_by(2) {
+                let pl = lo.as_mut_ptr().add(j).cast::<f64>();
+                let ph = hi.as_mut_ptr().add(j).cast::<f64>();
+                let x = _mm256_loadu_pd(pl);
+                let y = _mm256_loadu_pd(ph);
+                let xs = _mm256_permute_pd(x, 0b0101);
+                let ys = _mm256_permute_pd(y, 0b0101);
+                let rl = _mm256_add_pd(cmul2(x, xs, mr[0], mi[0]), cmul2(y, ys, mr[1], mi[1]));
+                let rh = _mm256_add_pd(cmul2(x, xs, mr[2], mi[2]), cmul2(y, ys, mr[3], mi[3]));
+                _mm256_storeu_pd(pl, rl);
+                _mm256_storeu_pd(ph, rh);
+            }
+        }
+    }
+
+    /// The `step == 1` tile walk of [`super::apply_1q`]: pairs are
+    /// adjacent, so the 2x2 matrix is repacked into column vectors
+    /// (`[m[0], m[2]]`, `[m[1], m[3]]`) and each input amplitude is
+    /// broadcast against them — one 256-bit vector per butterfly.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn butterfly1_tiles_avx(amps: &mut [C64], m: &[C64; 4]) {
+        let col0 = _mm256_setr_pd(m[0].re, m[0].im, m[2].re, m[2].im);
+        let col1 = _mm256_setr_pd(m[1].re, m[1].im, m[3].re, m[3].im);
+        let col0_s = _mm256_permute_pd(col0, 0b0101);
+        let col1_s = _mm256_permute_pd(col1, 0b0101);
+        for pair in amps.chunks_exact_mut(2) {
+            let p = pair.as_mut_ptr().cast::<f64>();
+            let (x, y) = (pair[0], pair[1]);
+            let r = _mm256_add_pd(
+                cmul2(col0, col0_s, _mm256_set1_pd(x.re), _mm256_set1_pd(x.im)),
+                cmul2(col1, col1_s, _mm256_set1_pd(y.re), _mm256_set1_pd(y.im)),
+            );
+            _mm256_storeu_pd(p, r);
         }
     }
 

@@ -10,10 +10,10 @@
 //!
 //! The crate is deliberately layered so each policy is testable alone:
 //!
-//! * [`codec`] — a minimal hand-rolled JSON layer (the repo takes no
-//!   external dependencies); integers stay exact so `u64` seeds survive
-//!   the wire, and serialization is canonical so replies compare
-//!   byte-for-byte.
+//! * [`codec`] — the shared JSON wire layer, re-exported from
+//!   [`qugen_wire`] so `qugen-serve` and `qugen-shard` speak one
+//!   protocol; integers stay exact so `u64` seeds survive the wire, and
+//!   serialization is canonical so replies compare byte-for-byte.
 //! * [`proto`] — the typed request vocabulary and wire shapes.
 //! * [`error`] — [`error::ServeError`], every refusal a client can see,
 //!   each with a stable machine-readable code.
@@ -34,7 +34,6 @@
 //! service-level tests assert over 64-way concurrent submissions.
 
 pub mod cache;
-pub mod codec;
 pub mod error;
 pub mod proto;
 pub mod queue;
@@ -42,5 +41,8 @@ pub mod server;
 
 pub use codec::Json;
 pub use error::ServeError;
+// The wire value layer moved to `qugen-wire` (shared with `qugen-shard`);
+// the `qugen_serve::codec` path keeps working for existing callers.
 pub use proto::Request;
+pub use qugen_wire::codec;
 pub use server::{Server, ServerConfig};

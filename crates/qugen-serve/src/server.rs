@@ -828,9 +828,11 @@ mod tests {
         let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
         assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(2));
         // The oldest terminal jobs are gone; the newest are queryable.
-        let oldest = parse(&server.handle_line(&format!("{{\"op\":\"status\",\"job\":{}}}", ids[0])));
+        let oldest =
+            parse(&server.handle_line(&format!("{{\"op\":\"status\",\"job\":{}}}", ids[0])));
         assert_eq!(oldest.get("error").unwrap().as_str(), Some("unknown_job"));
-        let newest = parse(&server.handle_line(&format!("{{\"op\":\"status\",\"job\":{}}}", ids[3])));
+        let newest =
+            parse(&server.handle_line(&format!("{{\"op\":\"status\",\"job\":{}}}", ids[3])));
         assert_eq!(newest.get("status").unwrap().as_str(), Some("done"));
     }
 

@@ -1,0 +1,75 @@
+//! Criterion bench: the 1→N process scaling curve for sharded evaluation.
+//!
+//! Emits `shard_eval/workers_{1,2,4}` (the flagship paper-suite workload)
+//! and `shard_qec_d7/workers_{1,4}` (the distance-7 memory sweep) so CI's
+//! `BENCH_shard.json` tracks the speedup curve over time. The curve is
+//! **tracked, not asserted**: the acceptance bar (≥ 2.5x at 4 workers vs
+//! 1 on the eval workload) only means anything on a multi-core runner,
+//! and a single-CPU host would fail it for reasons that have nothing to
+//! do with the code. What *is* asserted — here, once, before timing —
+//! is the determinism contract: the 4-worker merged report must be
+//! byte-identical to the single-process reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qugen_shard::coordinator::{run_sharded, ShardConfig};
+use qugen_shard::workload::{Technique, WorkloadSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn config(workers: usize) -> ShardConfig {
+    ShardConfig {
+        workers,
+        range_size: 1,
+        timeout: Duration::from_secs(600),
+        worker_binary: Some(PathBuf::from(env!("CARGO_BIN_EXE_qugen-shard"))),
+        worker_env: Vec::new(),
+    }
+}
+
+fn bench_shard_eval(c: &mut Criterion) {
+    // The flagship workload: the full 34-task paper suite. 64 samples per
+    // task keeps a 1-worker pass in the hundreds of milliseconds, so the
+    // process fan-out (not spawn overhead) dominates the measurement.
+    let spec = WorkloadSpec::Eval {
+        tasks: qeval::suite::test_suite().len(),
+        samples: 64,
+        seed: 7,
+        technique: Technique::Scot,
+    };
+    let reference = spec.run_serial().unwrap().to_json().encode();
+    let sharded = run_sharded(&spec, &config(4)).unwrap().to_json().encode();
+    assert_eq!(
+        sharded, reference,
+        "4-worker merge must be byte-identical to the single-process run"
+    );
+
+    let mut group = c.benchmark_group("shard_eval");
+    for workers in [1usize, 2, 4] {
+        group.bench_function(&format!("workers_{workers}"), |b| {
+            let cfg = config(workers);
+            b.iter(|| std::hint::black_box(run_sharded(&spec, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_qec(c: &mut Criterion) {
+    let spec = WorkloadSpec::QecSweep {
+        distance: 7,
+        rounds: 2,
+        trials: 100,
+        seed: 11,
+        points: 4,
+    };
+    let mut group = c.benchmark_group("shard_qec_d7");
+    for workers in [1usize, 4] {
+        group.bench_function(&format!("workers_{workers}"), |b| {
+            let cfg = config(workers);
+            b.iter(|| std::hint::black_box(run_sharded(&spec, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_eval, bench_shard_qec);
+criterion_main!(benches);

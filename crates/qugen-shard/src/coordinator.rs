@@ -1,0 +1,371 @@
+//! The shard coordinator: spawns workers, deals ranges, merges results.
+//!
+//! Topology: the coordinator self-execs N copies of its own binary in
+//! `--worker` mode and speaks the [`crate::proto`] line protocol over
+//! each worker's stdio pipes. A shared deque of range assignments feeds
+//! one supervisor thread per worker; results land in per-range slots and
+//! are folded **in range order** once everything is in, so the merged
+//! report never depends on which worker finished first.
+//!
+//! Failure semantics: a worker that dies (EOF/broken pipe) or misses the
+//! per-range deadline is killed and its in-flight range is requeued for
+//! one more attempt ([`MAX_ATTEMPTS`] total); a second failure of the
+//! same range is a typed [`ShardError::RangeFailed`]. The pool shrinks
+//! rather than respawns — if every worker dies with work outstanding the
+//! run fails with [`ShardError::WorkersExhausted`]. Worker-reported
+//! workload failures are deterministic and fail the run immediately.
+
+use crate::error::{ShardError, MAX_ATTEMPTS};
+use crate::proto::{FromWorker, ToWorker};
+use crate::workload::{ShardReport, WorkloadSpec};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How a sharded run is shaped.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker processes to spawn (clamped to ≥ 1).
+    pub workers: usize,
+    /// Units per range handed to a worker at a time (clamped to ≥ 1).
+    /// Small ranges load-balance better; 1 is the default.
+    pub range_size: usize,
+    /// Per-range response deadline; a worker that blows it is killed and
+    /// its range reassigned.
+    pub timeout: Duration,
+    /// Worker binary to exec; `None` means the current executable
+    /// (tests and benches point this at `CARGO_BIN_EXE_qugen-shard`).
+    pub worker_binary: Option<PathBuf>,
+    /// Extra environment for workers (the fault-injection test hooks
+    /// ride in here so nothing leaks through the coordinator's env).
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            workers: 4,
+            range_size: 1,
+            timeout: Duration::from_secs(300),
+            worker_binary: None,
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// One entry in the work deque.
+#[derive(Debug, Clone, Copy)]
+struct Assignment {
+    range_id: usize,
+    attempt: u32,
+}
+
+/// Coordinator state shared by the supervisor threads.
+struct Shared {
+    ranges: Vec<(usize, usize)>,
+    queue: Mutex<VecDeque<Assignment>>,
+    /// Wakes idle supervisors when work is requeued or the run ends.
+    wake: Condvar,
+    slots: Vec<Mutex<Option<Vec<Vec<u64>>>>>,
+    remaining: AtomicUsize,
+    error: Mutex<Option<ShardError>>,
+}
+
+impl Shared {
+    fn failed(&self) -> bool {
+        self.error.lock().expect("error slot poisoned").is_some()
+    }
+
+    fn fail(&self, e: ShardError) {
+        let mut slot = self.error.lock().expect("error slot poisoned");
+        // First failure wins; later ones are usually its echoes.
+        slot.get_or_insert(e);
+        drop(slot);
+        self.wake.notify_all();
+    }
+
+    fn done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks until there is an assignment, or returns `None` when the
+    /// run is over (all results in, or failed).
+    fn next_assignment(&self) -> Option<Assignment> {
+        let mut queue = self.queue.lock().expect("queue poisoned");
+        loop {
+            if self.done() || self.failed() {
+                return None;
+            }
+            if let Some(a) = queue.pop_front() {
+                return Some(a);
+            }
+            // Timed wait: also catches the no-notify case where the last
+            // live peer dies without requeueing anything.
+            let (guard, _) = self
+                .wake
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("queue poisoned");
+            queue = guard;
+        }
+    }
+
+    /// Records a completed range (idempotent against stale duplicates).
+    fn complete(&self, range_id: usize, rows: Vec<Vec<u64>>) {
+        let mut slot = self.slots[range_id].lock().expect("slot poisoned");
+        if slot.is_none() {
+            *slot = Some(rows);
+            self.remaining.fetch_sub(1, Ordering::AcqRel);
+        }
+        drop(slot);
+        self.wake.notify_all();
+    }
+
+    /// Puts a failed assignment back for one more attempt, or poisons
+    /// the run when the attempt budget is spent.
+    fn requeue(&self, a: Assignment) {
+        if self.slots[a.range_id]
+            .lock()
+            .expect("slot poisoned")
+            .is_some()
+        {
+            return; // A duplicate already completed it.
+        }
+        if a.attempt + 1 >= MAX_ATTEMPTS {
+            let (start, end) = self.ranges[a.range_id];
+            self.fail(ShardError::RangeFailed {
+                range_id: a.range_id,
+                start,
+                end,
+                attempts: MAX_ATTEMPTS,
+            });
+            return;
+        }
+        self.queue
+            .lock()
+            .expect("queue poisoned")
+            .push_back(Assignment {
+                range_id: a.range_id,
+                attempt: a.attempt + 1,
+            });
+        self.wake.notify_all();
+    }
+}
+
+/// A spawned worker plus the plumbing to talk to it.
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    lines: Receiver<std::io::Result<String>>,
+}
+
+impl WorkerHandle {
+    fn spawn(rank: usize, spec: &WorkloadSpec, config: &ShardConfig) -> Result<Self, ShardError> {
+        let binary = match &config.worker_binary {
+            Some(path) => path.clone(),
+            None => std::env::current_exe()
+                .map_err(|e| ShardError::Spawn(format!("cannot locate own binary: {e}")))?,
+        };
+        let mut command = Command::new(binary);
+        command
+            .arg("--worker")
+            .arg("--rank")
+            .arg(rank.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (key, value) in &config.worker_env {
+            command.env(key, value);
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| ShardError::Spawn(format!("worker {rank}: {e}")))?;
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        // A dedicated reader thread turns the blocking pipe into a
+        // channel so the supervisor can wait with a deadline; it exits on
+        // EOF (dropping the sender, which the supervisor sees as death).
+        let (sender, lines) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                if sender.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        // The init/ready handshake happens under the same deadline as
+        // ranges: a worker that can't start is dead on arrival.
+        let mut handle = WorkerHandle {
+            child,
+            stdin,
+            lines,
+        };
+        handle
+            .send(&ToWorker::Init { spec: spec.clone() })
+            .map_err(|e| ShardError::Spawn(format!("worker {rank}: init: {e}")))?;
+        match handle.recv(config.timeout) {
+            Ok(FromWorker::Ready { rank: reported }) if reported == rank => Ok(handle),
+            Ok(other) => {
+                handle.kill();
+                Err(ShardError::Spawn(format!(
+                    "worker {rank}: bad handshake reply {other:?}"
+                )))
+            }
+            Err(e) => {
+                handle.kill();
+                Err(ShardError::Spawn(format!("worker {rank}: handshake: {e}")))
+            }
+        }
+    }
+
+    fn send(&mut self, message: &ToWorker) -> std::io::Result<()> {
+        let mut line = message.encode();
+        line.push('\n');
+        self.stdin.write_all(line.as_bytes())?;
+        self.stdin.flush()
+    }
+
+    /// Waits for one worker line. `Err` means death or deadline.
+    fn recv(&mut self, timeout: Duration) -> Result<FromWorker, String> {
+        match self.lines.recv_timeout(timeout) {
+            Ok(Ok(line)) => FromWorker::parse(&line).map_err(|e| e.to_string()),
+            Ok(Err(e)) => Err(format!("pipe error: {e}")),
+            Err(RecvTimeoutError::Timeout) => Err("deadline exceeded".into()),
+            Err(RecvTimeoutError::Disconnected) => Err("worker exited".into()),
+        }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Drives one worker until the run completes, fails, or the worker dies.
+fn supervise(rank: usize, worker: &mut WorkerHandle, shared: &Shared, timeout: Duration) {
+    while let Some(assignment) = shared.next_assignment() {
+        let (start, end) = shared.ranges[assignment.range_id];
+        if worker
+            .send(&ToWorker::Range {
+                id: assignment.range_id,
+                start,
+                end,
+            })
+            .is_err()
+        {
+            // Broken pipe: the worker is gone before it saw the range.
+            worker.kill();
+            shared.requeue(assignment);
+            return;
+        }
+        match worker.recv(timeout) {
+            Ok(FromWorker::Rows { id, rows }) if id == assignment.range_id => {
+                shared.complete(id, rows);
+            }
+            Ok(FromWorker::Rows { id, .. }) => {
+                worker.kill();
+                shared.fail(ShardError::Protocol(format!(
+                    "worker {rank} answered range {} with rows for {id}",
+                    assignment.range_id
+                )));
+                return;
+            }
+            Ok(FromWorker::Ready { .. }) => {
+                worker.kill();
+                shared.fail(ShardError::Protocol(format!(
+                    "worker {rank} sent a second handshake"
+                )));
+                return;
+            }
+            Ok(FromWorker::Failed { message }) => {
+                // Deterministic failure: reassignment would just repeat it.
+                worker.kill();
+                shared.fail(ShardError::Workload(format!("worker {rank}: {message}")));
+                return;
+            }
+            Err(_) => {
+                // Death or deadline: reclaim the range, drop the worker.
+                worker.kill();
+                shared.requeue(assignment);
+                return;
+            }
+        }
+    }
+    // Run is over (completed or failed elsewhere): ask for a clean exit.
+    let _ = worker.send(&ToWorker::Exit);
+    let _ = worker.child.wait();
+}
+
+/// Runs `spec` sharded over worker processes and merges the results.
+///
+/// The merged [`ShardReport`] is bit-identical to
+/// [`WorkloadSpec::run_serial`] for every worker count, range size and
+/// completion order — sharding here is a throughput lever, never an
+/// accuracy trade.
+pub fn run_sharded(spec: &WorkloadSpec, config: &ShardConfig) -> Result<ShardReport, ShardError> {
+    spec.validate()?;
+    let ranges = qeval::report::partition_ranges(spec.units(), config.range_size);
+    let workers = config.workers.max(1).min(ranges.len().max(1));
+
+    let shared = Shared {
+        queue: Mutex::new(
+            ranges
+                .iter()
+                .enumerate()
+                .map(|(range_id, _)| Assignment {
+                    range_id,
+                    attempt: 0,
+                })
+                .collect(),
+        ),
+        wake: Condvar::new(),
+        slots: ranges.iter().map(|_| Mutex::new(None)).collect(),
+        remaining: AtomicUsize::new(ranges.len()),
+        error: Mutex::new(None),
+        ranges,
+    };
+
+    // Spawn first, supervise after: a spawn failure aborts the run before
+    // any range is handed out.
+    let mut handles = Vec::with_capacity(workers);
+    for rank in 0..workers {
+        match WorkerHandle::spawn(rank, spec, config) {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                for handle in &mut handles {
+                    handle.kill();
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for (rank, worker) in handles.iter_mut().enumerate() {
+            let shared = &shared;
+            scope.spawn(move || supervise(rank, worker, shared, config.timeout));
+        }
+    });
+
+    if let Some(e) = shared.error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let unfinished = shared.remaining.load(Ordering::Acquire);
+    if unfinished > 0 {
+        return Err(ShardError::WorkersExhausted { unfinished });
+    }
+    let rows = shared
+        .slots
+        .into_iter()
+        .flat_map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("remaining hit zero, so every slot is filled")
+        })
+        .collect();
+    spec.merge(rows)
+}

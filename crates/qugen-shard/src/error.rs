@@ -1,0 +1,123 @@
+//! The shard subsystem's typed error vocabulary.
+//!
+//! Mirrors `qugen_serve::error::ServeError`'s shape one service over:
+//! every failure the coordinator can surface is a [`ShardError`] with a
+//! stable machine-readable [`ShardError::code`]. Callers (the CLI, the
+//! bench, CI smoke greps) key on the code; messages can grow detail
+//! without breaking anyone.
+
+use std::fmt;
+
+/// How many times a range may be handed out before the run fails: the
+/// original assignment plus exactly one reassignment after a worker death
+/// or timeout. A range that kills two workers is treated as poison, not
+/// bad luck.
+pub const MAX_ATTEMPTS: u32 = 2;
+
+/// Why a sharded run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A worker process could not be spawned or its pipes set up.
+    Spawn(String),
+    /// A worker sent a line the coordinator could not understand (bad
+    /// JSON, unknown op, mismatched range id, …).
+    Protocol(String),
+    /// The workload specification itself was malformed (zero tasks,
+    /// unknown technique, …) — nothing was run.
+    BadWorkload(String),
+    /// A range was reassigned after a worker death/timeout and the
+    /// replacement attempt failed too ([`MAX_ATTEMPTS`] exhausted).
+    RangeFailed {
+        /// Index of the poisoned range.
+        range_id: usize,
+        /// Unit range `[start, end)` it covered.
+        start: usize,
+        /// End of the unit range.
+        end: usize,
+        /// Attempts consumed (always [`MAX_ATTEMPTS`]).
+        attempts: u32,
+    },
+    /// Every worker died while ranges were still unfinished; there is
+    /// nobody left to reassign them to.
+    WorkersExhausted {
+        /// Ranges still without a result.
+        unfinished: usize,
+    },
+    /// A worker reported a deterministic workload failure (e.g. the
+    /// simulator refused a circuit). Reassignment would fail identically,
+    /// so the run stops immediately.
+    Workload(String),
+}
+
+impl ShardError {
+    /// Stable machine-readable identifier for the failure class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ShardError::Spawn(_) => "spawn",
+            ShardError::Protocol(_) => "protocol",
+            ShardError::BadWorkload(_) => "bad_workload",
+            ShardError::RangeFailed { .. } => "range_failed",
+            ShardError::WorkersExhausted { .. } => "workers_exhausted",
+            ShardError::Workload(_) => "workload",
+        }
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spawn(msg) => write!(f, "cannot spawn worker: {msg}"),
+            ShardError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ShardError::BadWorkload(msg) => write!(f, "bad workload: {msg}"),
+            ShardError::RangeFailed {
+                range_id,
+                start,
+                end,
+                attempts,
+            } => write!(
+                f,
+                "range {range_id} (units {start}..{end}) failed {attempts} attempts"
+            ),
+            ShardError::WorkersExhausted { unfinished } => {
+                write!(f, "all workers died with {unfinished} range(s) unfinished")
+            }
+            ShardError::Workload(msg) => write!(f, "workload failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ShardError::Spawn("x".into()),
+            ShardError::Protocol("x".into()),
+            ShardError::BadWorkload("x".into()),
+            ShardError::RangeFailed {
+                range_id: 3,
+                start: 6,
+                end: 8,
+                attempts: MAX_ATTEMPTS,
+            },
+            ShardError::WorkersExhausted { unfinished: 2 },
+            ShardError::Workload("x".into()),
+        ];
+        let codes: Vec<_> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            [
+                "spawn",
+                "protocol",
+                "bad_workload",
+                "range_failed",
+                "workers_exhausted",
+                "workload"
+            ]
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # qugen-shard — multi-process evaluation sharding
+//!
+//! `evaluate_parallel`'s determinism contract (per-sample seeds depend
+//! only on global grid indices; partial results fold in task order) means
+//! fanning the task×sample grid across worker *processes* is purely a
+//! merge problem. This crate is that fan-out: a coordinator self-execs N
+//! workers (`qugen-shard --worker`), deals unit ranges over stdio pipes
+//! using the shared [`qugen_wire`] codec, and folds the returned rows in
+//! deterministic range order. The merged report is **bit-identical** to
+//! the single-process run for any worker count, any range size, and any
+//! completion order — verified by property tests and by the CI smoke job.
+//!
+//! * [`workload`] — the flagship workloads (paper eval suite, d7 QEC
+//!   memory sweep): unit grids, integer wire rows, and the merge fold.
+//! * [`proto`] — the coordinator↔worker line vocabulary over
+//!   [`qugen_wire::codec`] (the same value layer `qugen-serve` speaks).
+//! * [`coordinator`] — process supervision: range deque, per-worker
+//!   deadline, reassign-once on death/timeout, deterministic fold.
+//! * [`worker`] — the stdin→stdout range server.
+//! * [`error`] — [`ShardError`], every failure with a stable code.
+//!
+//! # Failure semantics
+//!
+//! A worker that dies or misses the per-range deadline is killed and its
+//! range reassigned exactly once; a second failure is a typed
+//! [`error::ShardError::RangeFailed`]. The pool shrinks rather than
+//! respawns; losing every worker with work outstanding is
+//! [`error::ShardError::WorkersExhausted`]. Deterministic workload
+//! failures (a refused circuit) are never retried.
+
+pub mod coordinator;
+pub mod error;
+pub mod proto;
+pub mod worker;
+pub mod workload;
+
+pub use coordinator::{run_sharded, ShardConfig};
+pub use error::ShardError;
+pub use workload::{ShardReport, Technique, WorkloadSpec};

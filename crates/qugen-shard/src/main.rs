@@ -1,0 +1,170 @@
+//! The `qugen-shard` binary: coordinator by default, worker under
+//! `--worker`.
+//!
+//! ```text
+//! qugen-shard --workers 4 --samples 8 --seed 7           # eval suite
+//! qugen-shard --workload qec --distance 7 --points 6     # QEC sweep
+//! qugen-shard --workers 4 --verify                       # + bit-identity check
+//! qugen-shard --worker --rank 2                          # (internal) worker mode
+//! ```
+
+use qugen_shard::coordinator::{run_sharded, ShardConfig};
+use qugen_shard::worker::run_worker;
+use qugen_shard::workload::{Technique, WorkloadSpec};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: qugen-shard [--workload eval|qec] [--workers N] [--range-size K] \
+                     [--timeout-ms T] [--tasks N] [--samples N] [--seed S] [--technique T] \
+                     [--distance D] [--rounds R] [--trials T] [--points P] \
+                     [--serial] [--verify] [--json]\n\
+                     \x20      qugen-shard --worker --rank I";
+
+fn main() -> ExitCode {
+    let mut worker_mode = false;
+    let mut rank = 0usize;
+    let mut workload = "eval".to_string();
+    let mut config = ShardConfig::default();
+    let mut tasks: Option<usize> = None;
+    let mut samples = 8usize;
+    let mut seed = 7u64;
+    let mut technique = Technique::Scot;
+    let mut distance = 7usize;
+    let mut rounds = 2usize;
+    let mut trials = 400u64;
+    let mut points = 6usize;
+    let mut serial = false;
+    let mut verify = false;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        macro_rules! value_flag {
+            ($target:expr) => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => $target = v,
+                    None => return usage_error(&format!("{arg} needs a value")),
+                }
+            };
+        }
+        match arg.as_str() {
+            "--worker" => worker_mode = true,
+            "--rank" => value_flag!(rank),
+            "--workload" => match args.next() {
+                Some(v) if v == "eval" || v == "qec" => workload = v,
+                _ => return usage_error("--workload must be `eval` or `qec`"),
+            },
+            "--workers" => value_flag!(config.workers),
+            "--range-size" => value_flag!(config.range_size),
+            "--timeout-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => config.timeout = Duration::from_millis(ms),
+                None => return usage_error("--timeout-ms needs a number"),
+            },
+            "--tasks" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => tasks = Some(n),
+                None => return usage_error("--tasks needs a number"),
+            },
+            "--samples" => value_flag!(samples),
+            "--seed" => value_flag!(seed),
+            "--technique" => match args.next().as_deref().and_then(Technique::parse) {
+                Some(t) => technique = t,
+                None => {
+                    return usage_error(
+                        "--technique must be base|fine-tuned|rag|cot|scot (or a full label)",
+                    )
+                }
+            },
+            "--distance" => value_flag!(distance),
+            "--rounds" => value_flag!(rounds),
+            "--trials" => value_flag!(trials),
+            "--points" => value_flag!(points),
+            "--serial" => serial = true,
+            "--verify" => verify = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    if worker_mode {
+        return match run_worker(rank) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("qugen-shard worker {rank}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let spec = match workload.as_str() {
+        "eval" => WorkloadSpec::Eval {
+            tasks: tasks.unwrap_or_else(|| qeval::suite::test_suite().len()),
+            samples,
+            seed,
+            technique,
+        },
+        _ => WorkloadSpec::QecSweep {
+            distance,
+            rounds,
+            trials,
+            seed,
+            points,
+        },
+    };
+
+    let started = Instant::now();
+    let report = if serial {
+        spec.run_serial()
+    } else {
+        run_sharded(&spec, &config)
+    };
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("qugen-shard: [{}] {e}", e.code());
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    print!("{}", report.render());
+    eprintln!(
+        "shard: workload={workload} units={} workers={} range_size={} elapsed={:.1}ms mode={}",
+        spec.units(),
+        config.workers,
+        config.range_size,
+        elapsed.as_secs_f64() * 1e3,
+        if serial { "serial" } else { "sharded" },
+    );
+    if json {
+        println!("{}", report.to_json().encode());
+    }
+
+    if verify {
+        // The determinism contract, checked end to end: the sharded (or
+        // serial) report must encode to the same bytes as the in-process
+        // single-process reference.
+        match spec.run_serial() {
+            Ok(reference) => {
+                let identical = report.to_json().encode() == reference.to_json().encode();
+                println!("bit-identical to single-process: {identical}");
+                if !identical {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("qugen-shard: verify reference failed: [{}] {e}", e.code());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("qugen-shard: {message}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,262 @@
+//! The coordinator ↔ worker wire vocabulary.
+//!
+//! One JSON value per line over the worker's stdio pipes, encoded through
+//! the shared [`qugen_wire::codec`] — the same value layer `qugen-serve`
+//! speaks, so integers (seeds, counts, `f64` bit patterns) survive the
+//! wire exactly and every message has one canonical byte encoding.
+//!
+//! Result rows are arrays of non-negative integers whose meaning belongs
+//! to the workload layer ([`crate::workload`]); the proto layer only
+//! guarantees they transfer losslessly. Keeping floats off the wire (QEC
+//! logical error rates travel as `f64::to_bits`) is what makes the merged
+//! report bit-identical to the single-process run by construction rather
+//! than by rounding luck.
+
+use crate::error::ShardError;
+use crate::workload::WorkloadSpec;
+use qugen_wire::codec::{obj, Json};
+
+/// A message the coordinator sends to a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// First message on the pipe: the workload this worker will serve.
+    Init {
+        /// The full workload specification (workers rebuild task lists
+        /// and noise ladders locally from it; only integers travel).
+        spec: WorkloadSpec,
+    },
+    /// Grade units `[start, end)` and reply with a `rows` message
+    /// carrying the same `id`.
+    Range {
+        /// Coordinator-side range index (echoed back for matching).
+        id: usize,
+        /// First unit (inclusive).
+        start: usize,
+        /// One past the last unit.
+        end: usize,
+    },
+    /// Finish up and exit cleanly.
+    Exit,
+}
+
+impl ToWorker {
+    /// Canonical one-line encoding.
+    pub fn encode(&self) -> String {
+        match self {
+            ToWorker::Init { spec } => obj([
+                ("op", Json::Str("init".into())),
+                ("workload", spec.to_json()),
+            ])
+            .encode(),
+            ToWorker::Range { id, start, end } => obj([
+                ("op", Json::Str("range".into())),
+                ("id", Json::Int(*id as i128)),
+                ("start", Json::Int(*start as i128)),
+                ("end", Json::Int(*end as i128)),
+            ])
+            .encode(),
+            ToWorker::Exit => obj([("op", Json::Str("exit".into()))]).encode(),
+        }
+    }
+
+    /// Parses one coordinator line (worker side).
+    pub fn parse(line: &str) -> Result<ToWorker, String> {
+        let value = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing `op`")?;
+        match op {
+            "init" => {
+                let spec = value.get("workload").ok_or("init without `workload`")?;
+                Ok(ToWorker::Init {
+                    spec: WorkloadSpec::from_json(spec)?,
+                })
+            }
+            "range" => Ok(ToWorker::Range {
+                id: require_usize(&value, "id")?,
+                start: require_usize(&value, "start")?,
+                end: require_usize(&value, "end")?,
+            }),
+            "exit" => Ok(ToWorker::Exit),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// A message a worker sends back to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromWorker {
+    /// Init acknowledged; the worker is ready for ranges.
+    Ready {
+        /// The rank the worker was launched with (sanity-checked by the
+        /// coordinator against the pipe it arrived on).
+        rank: usize,
+    },
+    /// The result rows for one completed range.
+    Rows {
+        /// Echo of the range id from the request.
+        id: usize,
+        /// One integer row per unit, in unit order within the range.
+        rows: Vec<Vec<u64>>,
+    },
+    /// A deterministic workload failure (retrying elsewhere would fail
+    /// identically).
+    Failed {
+        /// What went wrong, for the coordinator's typed error.
+        message: String,
+    },
+}
+
+impl FromWorker {
+    /// Canonical one-line encoding.
+    pub fn encode(&self) -> String {
+        match self {
+            FromWorker::Ready { rank } => obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("ready".into())),
+                ("rank", Json::Int(*rank as i128)),
+            ])
+            .encode(),
+            FromWorker::Rows { id, rows } => {
+                let rows = rows
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&v| Json::Int(v as i128)).collect()))
+                    .collect();
+                obj([
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::Str("rows".into())),
+                    ("id", Json::Int(*id as i128)),
+                    ("rows", Json::Arr(rows)),
+                ])
+                .encode()
+            }
+            FromWorker::Failed { message } => obj([
+                ("ok", Json::Bool(false)),
+                ("message", Json::Str(message.clone())),
+            ])
+            .encode(),
+        }
+    }
+
+    /// Parses one worker line (coordinator side).
+    pub fn parse(line: &str) -> Result<FromWorker, ShardError> {
+        let bad = |msg: String| ShardError::Protocol(msg);
+        let value = Json::parse(line).map_err(|e| bad(format!("worker sent invalid JSON: {e}")))?;
+        match value.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => {
+                let message = value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("worker failed without a message")
+                    .to_string();
+                return Ok(FromWorker::Failed { message });
+            }
+            None => return Err(bad("worker reply missing `ok`".into())),
+        }
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("worker reply missing `op`".into()))?;
+        match op {
+            "ready" => Ok(FromWorker::Ready {
+                rank: require_usize(&value, "rank").map_err(bad)?,
+            }),
+            "rows" => {
+                let id = require_usize(&value, "id").map_err(bad)?;
+                let rows = match value.get("rows") {
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(|row| match row {
+                            Json::Arr(cells) => cells
+                                .iter()
+                                .map(|c| {
+                                    c.as_u64()
+                                        .ok_or_else(|| bad("row cell is not a u64".into()))
+                                })
+                                .collect::<Result<Vec<u64>, _>>(),
+                            _ => Err(bad("row is not an array".into())),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => return Err(bad("rows reply missing `rows` array".into())),
+                };
+                Ok(FromWorker::Rows { id, rows })
+            }
+            other => Err(bad(format!("unknown worker op `{other}`"))),
+        }
+    }
+}
+
+/// Pulls a required non-negative integer field as `usize`.
+fn require_usize(value: &Json, key: &str) -> Result<usize, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Technique, WorkloadSpec};
+
+    #[test]
+    fn coordinator_messages_round_trip() {
+        let messages = [
+            ToWorker::Init {
+                spec: WorkloadSpec::Eval {
+                    tasks: 12,
+                    samples: 4,
+                    seed: u64::MAX - 3,
+                    technique: Technique::Scot,
+                },
+            },
+            ToWorker::Range {
+                id: 7,
+                start: 14,
+                end: 16,
+            },
+            ToWorker::Exit,
+        ];
+        for m in messages {
+            let line = m.encode();
+            assert_eq!(ToWorker::parse(&line).unwrap(), m, "{line}");
+        }
+    }
+
+    #[test]
+    fn worker_messages_round_trip_with_exact_u64_rows() {
+        let messages = [
+            FromWorker::Ready { rank: 3 },
+            FromWorker::Rows {
+                id: 2,
+                // A full-range f64 bit pattern must survive the wire.
+                rows: vec![vec![5, f64::to_bits(0.12345)], vec![6, u64::MAX]],
+            },
+            FromWorker::Failed {
+                message: "simulator refused".into(),
+            },
+        ];
+        for m in messages {
+            let line = m.encode();
+            assert_eq!(FromWorker::parse(&line).unwrap(), m, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_worker_lines_are_typed_protocol_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            "{\"ok\":true}",
+            "{\"ok\":true,\"op\":\"rows\",\"id\":0}",
+            "{\"ok\":true,\"op\":\"rows\",\"id\":0,\"rows\":[[-1]]}",
+            "{\"ok\":true,\"op\":\"mystery\"}",
+        ] {
+            let err = FromWorker::parse(bad).unwrap_err();
+            assert_eq!(err.code(), "protocol", "{bad}");
+        }
+    }
+}

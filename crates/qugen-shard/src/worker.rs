@@ -1,0 +1,111 @@
+//! The worker side of the shard protocol: a stdin→stdout range server.
+//!
+//! A worker is the same `qugen-shard` binary re-exec'd with `--worker
+//! --rank I`. It reads one [`crate::proto::ToWorker`] line at a time,
+//! grades ranges single-threaded (process fan-out is the parallelism
+//! unit), and answers each range with its rows. Workers are stateless
+//! between ranges — all placement information (global unit indices) is in
+//! the request, which is what makes reassignment after a death safe.
+//!
+//! # Fault injection (test hooks)
+//!
+//! The robustness tests need workers that die or hang on cue. Three env
+//! variables (set per-worker by the coordinator's `worker_env`, so they
+//! never leak across runs) arrange that:
+//!
+//! * `QUGEN_SHARD_FAIL_RANK` — rank to sabotage, or `all`.
+//! * `QUGEN_SHARD_FAIL_AFTER` — ranges to complete first (default 0).
+//! * `QUGEN_SHARD_FAIL_MODE` — `exit` (default) or `hang`.
+
+use crate::proto::{FromWorker, ToWorker};
+use crate::workload::WorkloadCtx;
+use std::io::{BufRead, Write};
+
+/// What the fault-injection env asked this worker to do.
+struct FaultPlan {
+    armed: bool,
+    after: usize,
+    hang: bool,
+}
+
+impl FaultPlan {
+    fn from_env(rank: usize) -> FaultPlan {
+        let armed = match std::env::var("QUGEN_SHARD_FAIL_RANK") {
+            Ok(v) => v == "all" || v.parse() == Ok(rank),
+            Err(_) => false,
+        };
+        let after = std::env::var("QUGEN_SHARD_FAIL_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let hang = std::env::var("QUGEN_SHARD_FAIL_MODE").as_deref() == Ok("hang");
+        FaultPlan { armed, after, hang }
+    }
+
+    /// Fires the planned fault if `completed` ranges have been served.
+    fn maybe_fire(&self, completed: usize) {
+        if !self.armed || completed < self.after {
+            return;
+        }
+        if self.hang {
+            // Simulate a wedged worker: stop answering but stay alive so
+            // only the coordinator's deadline can reclaim the range.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        std::process::exit(3);
+    }
+}
+
+/// Serves ranges from stdin until an `exit` op or EOF (coordinator gone).
+///
+/// `Err` is a protocol-level failure worth a nonzero exit status; workload
+/// failures are reported to the coordinator in-band instead.
+pub fn run_worker(rank: usize) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut lines = stdin.lock().lines();
+    let mut out = stdout.lock();
+    let fault = FaultPlan::from_env(rank);
+
+    let mut reply = |message: &FromWorker| -> Result<(), String> {
+        let mut line = message.encode();
+        line.push('\n');
+        out.write_all(line.as_bytes())
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("stdout gone: {e}"))
+    };
+
+    // First line must be init; it tells us what to build.
+    let first = match lines.next() {
+        Some(line) => line.map_err(|e| format!("stdin error: {e}"))?,
+        None => return Ok(()), // Spawned and immediately abandoned.
+    };
+    let spec = match ToWorker::parse(&first) {
+        Ok(ToWorker::Init { spec }) => spec,
+        Ok(other) => return Err(format!("expected init, got {other:?}")),
+        Err(e) => return Err(format!("bad init line: {e}")),
+    };
+    let ctx: WorkloadCtx = spec.build_ctx();
+    reply(&FromWorker::Ready { rank })?;
+
+    let mut completed = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| format!("stdin error: {e}"))?;
+        match ToWorker::parse(&line) {
+            Ok(ToWorker::Range { id, start, end }) => {
+                fault.maybe_fire(completed);
+                match spec.run_range(&ctx, start, end) {
+                    Ok(rows) => reply(&FromWorker::Rows { id, rows })?,
+                    Err(message) => reply(&FromWorker::Failed { message })?,
+                }
+                completed += 1;
+            }
+            Ok(ToWorker::Exit) => return Ok(()),
+            Ok(ToWorker::Init { .. }) => return Err("double init".into()),
+            Err(e) => return Err(format!("bad coordinator line: {e}")),
+        }
+    }
+    Ok(()) // EOF: coordinator dropped the pipe.
+}

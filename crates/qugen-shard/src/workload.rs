@@ -1,0 +1,634 @@
+//! The two flagship workloads a shard run can execute, and their merge
+//! logic.
+//!
+//! A workload is a grid of independent **units** (an eval task, a QEC
+//! sweep point) whose per-unit seeds depend only on the spec and the unit
+//! index — never on which process grades them. Workers turn a unit range
+//! into integer rows; the coordinator concatenates rows in unit order and
+//! [`WorkloadSpec::merge`]s them through exactly the fold the
+//! single-process path uses, so the merged report is bit-identical to
+//! [`WorkloadSpec::run_serial`] for any worker count, range size, or
+//! completion order.
+//!
+//! Wire rows are integers only. The eval workload ships raw tallies; the
+//! QEC workload ships logical error rates as [`f64::to_bits`] so the
+//! float crosses the pipe exactly.
+
+use crate::error::ShardError;
+use qec::memory::{circuit_level_experiment_threaded, MemoryResult};
+use qeval::report::{self, EvalOutcome, TaskEval};
+use qeval::suite::{test_suite, Task};
+use qlm::model::{CodeLlm, GenConfig};
+use qsim::noise::NoiseModel;
+use qugen_wire::codec::{obj, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Low end of the QEC sweep's physical error ladder.
+pub const QEC_P_LO: f64 = 1e-3;
+/// High end of the QEC sweep's physical error ladder.
+pub const QEC_P_HI: f64 = 8e-3;
+
+/// Generation technique for the eval workload (wire names are the
+/// [`GenConfig`] labels from the paper's Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Baseline model.
+    Base,
+    /// Fine-tuned model.
+    FineTuned,
+    /// Fine-tuned + retrieval.
+    Rag,
+    /// Fine-tuned + chain-of-thought.
+    Cot,
+    /// Fine-tuned + structured chain-of-thought (the paper's best).
+    Scot,
+}
+
+impl Technique {
+    /// The [`GenConfig`] this technique names.
+    pub fn gen_config(&self) -> GenConfig {
+        match self {
+            Technique::Base => GenConfig::base(),
+            Technique::FineTuned => GenConfig::fine_tuned(),
+            Technique::Rag => GenConfig::with_rag(),
+            Technique::Cot => GenConfig::with_cot(),
+            Technique::Scot => GenConfig::with_scot(),
+        }
+    }
+
+    /// Stable wire/CLI name (the `GenConfig` label).
+    pub fn as_str(&self) -> &'static str {
+        self.gen_config().label
+    }
+
+    /// Parses a wire/CLI name; short forms (`rag`, `cot`, `scot`) are
+    /// accepted for the CLI's sake.
+    pub fn parse(s: &str) -> Option<Technique> {
+        match s {
+            "base" => Some(Technique::Base),
+            "fine-tuned" => Some(Technique::FineTuned),
+            "fine-tuned+rag" | "rag" => Some(Technique::Rag),
+            "fine-tuned+cot" | "cot" => Some(Technique::Cot),
+            "fine-tuned+scot" | "scot" => Some(Technique::Scot),
+            _ => None,
+        }
+    }
+}
+
+/// What a shard run computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// The paper eval suite: grade `samples` generations for the first
+    /// `tasks` suite tasks under one technique. Unit = task index.
+    Eval {
+        /// How many suite tasks (a prefix of [`test_suite`]).
+        tasks: usize,
+        /// Samples per task.
+        samples: usize,
+        /// Base seed (per-sample seeds derive from it + global indices).
+        seed: u64,
+        /// Generation technique.
+        technique: Technique,
+    },
+    /// The distance-`d` QEC memory sweep: one circuit-level experiment
+    /// per point on a geometric physical-error ladder. Unit = point.
+    QecSweep {
+        /// Code distance.
+        distance: usize,
+        /// Syndrome-extraction rounds.
+        rounds: usize,
+        /// Monte-Carlo trials per point.
+        trials: u64,
+        /// Base seed (point `i` runs with `derive_seed(seed, i)`).
+        seed: u64,
+        /// Ladder points between [`QEC_P_LO`] and [`QEC_P_HI`].
+        points: usize,
+    },
+}
+
+/// Per-worker state built once at init (the model and task list are
+/// deterministic functions of the spec, so every process builds the same
+/// ones).
+pub struct WorkloadCtx {
+    llm: Option<CodeLlm>,
+    tasks: Vec<Task>,
+}
+
+/// The merged result of a shard run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardReport {
+    /// Eval workload outcome (the Figure 3 row).
+    Eval(EvalOutcome),
+    /// QEC sweep outcome, one result per ladder point in order.
+    Qec(Vec<MemoryResult>),
+}
+
+impl WorkloadSpec {
+    /// Number of independent units in the grid.
+    pub fn units(&self) -> usize {
+        match self {
+            WorkloadSpec::Eval { tasks, .. } => *tasks,
+            WorkloadSpec::QecSweep { points, .. } => *points,
+        }
+    }
+
+    /// Rejects specs that cannot run, before any process is spawned.
+    pub fn validate(&self) -> Result<(), ShardError> {
+        let bad = |msg: String| Err(ShardError::BadWorkload(msg));
+        match self {
+            WorkloadSpec::Eval { tasks, samples, .. } => {
+                let suite_len = test_suite().len();
+                if *tasks == 0 || *tasks > suite_len {
+                    return bad(format!("tasks must be 1..={suite_len}, got {tasks}"));
+                }
+                if *samples == 0 {
+                    return bad("samples must be >= 1".into());
+                }
+            }
+            WorkloadSpec::QecSweep {
+                distance,
+                rounds,
+                trials,
+                points,
+                ..
+            } => {
+                if *distance < 3 || distance % 2 == 0 {
+                    return bad(format!("distance must be odd and >= 3, got {distance}"));
+                }
+                if *rounds == 0 || *trials == 0 || *points == 0 {
+                    return bad("rounds, trials and points must all be >= 1".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical wire form (integers only; the technique travels by
+    /// label).
+    pub fn to_json(&self) -> Json {
+        match self {
+            WorkloadSpec::Eval {
+                tasks,
+                samples,
+                seed,
+                technique,
+            } => obj([
+                ("kind", Json::Str("eval".into())),
+                ("tasks", Json::Int(*tasks as i128)),
+                ("samples", Json::Int(*samples as i128)),
+                ("seed", Json::Int(*seed as i128)),
+                ("technique", Json::Str(technique.as_str().into())),
+            ]),
+            WorkloadSpec::QecSweep {
+                distance,
+                rounds,
+                trials,
+                seed,
+                points,
+            } => obj([
+                ("kind", Json::Str("qec".into())),
+                ("distance", Json::Int(*distance as i128)),
+                ("rounds", Json::Int(*rounds as i128)),
+                ("trials", Json::Int(*trials as i128)),
+                ("seed", Json::Int(*seed as i128)),
+                ("points", Json::Int(*points as i128)),
+            ]),
+        }
+    }
+
+    /// Parses the wire form.
+    pub fn from_json(value: &Json) -> Result<WorkloadSpec, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("workload missing `kind`")?;
+        let field = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("workload missing or invalid `{key}`"))
+        };
+        match kind {
+            "eval" => {
+                let technique = value
+                    .get("technique")
+                    .and_then(Json::as_str)
+                    .and_then(Technique::parse)
+                    .ok_or("workload has unknown `technique`")?;
+                Ok(WorkloadSpec::Eval {
+                    tasks: field("tasks")? as usize,
+                    samples: field("samples")? as usize,
+                    seed: field("seed")?,
+                    technique,
+                })
+            }
+            "qec" => Ok(WorkloadSpec::QecSweep {
+                distance: field("distance")? as usize,
+                rounds: field("rounds")? as usize,
+                trials: field("trials")?,
+                seed: field("seed")?,
+                points: field("points")? as usize,
+            }),
+            other => Err(format!("unknown workload kind `{other}`")),
+        }
+    }
+
+    /// Builds the per-process state a worker (or the merge) needs.
+    pub fn build_ctx(&self) -> WorkloadCtx {
+        match self {
+            WorkloadSpec::Eval { tasks, .. } => WorkloadCtx {
+                llm: Some(CodeLlm::new()),
+                tasks: test_suite().into_iter().take(*tasks).collect(),
+            },
+            WorkloadSpec::QecSweep { .. } => WorkloadCtx {
+                llm: None,
+                tasks: Vec::new(),
+            },
+        }
+    }
+
+    /// Physical error rate for QEC sweep point `i`: a geometric ladder
+    /// from [`QEC_P_LO`] to [`QEC_P_HI`]. Pure function of the spec, so
+    /// workers and the merge compute identical values.
+    pub fn qec_rate(&self, point: usize, points: usize) -> f64 {
+        if points <= 1 {
+            return QEC_P_LO;
+        }
+        let t = point as f64 / (points - 1) as f64;
+        QEC_P_LO * (QEC_P_HI / QEC_P_LO).powf(t)
+    }
+
+    /// Worker side: grades units `[start, end)` single-threaded (process
+    /// fan-out is the parallelism unit) and returns one integer row per
+    /// unit, in unit order.
+    ///
+    /// Errors are deterministic workload failures — the same range would
+    /// fail on any worker.
+    pub fn run_range(
+        &self,
+        ctx: &WorkloadCtx,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<Vec<u64>>, String> {
+        if start > end || end > self.units() {
+            return Err(format!(
+                "range {start}..{end} out of bounds for {} units",
+                self.units()
+            ));
+        }
+        match self {
+            WorkloadSpec::Eval {
+                samples,
+                seed,
+                technique,
+                ..
+            } => {
+                let llm = ctx.llm.as_ref().ok_or("eval context without a model")?;
+                let config = technique.gen_config();
+                let evals = report::evaluate_range(
+                    llm, &ctx.tasks, &config, *samples, *seed, start, end, 1,
+                );
+                Ok(evals
+                    .into_iter()
+                    .enumerate()
+                    .map(|(offset, te)| {
+                        vec![
+                            (start + offset) as u64,
+                            te.samples as u64,
+                            te.syntactic_ok as u64,
+                            te.passed as u64,
+                        ]
+                    })
+                    .collect())
+            }
+            WorkloadSpec::QecSweep {
+                distance,
+                rounds,
+                trials,
+                seed,
+                points,
+            } => (start..end)
+                .map(|point| {
+                    let noise = NoiseModel::uniform_depolarizing(self.qec_rate(point, *points));
+                    let point_seed = qsim::exec::derive_seed(*seed, point as u64);
+                    let r = circuit_level_experiment_threaded(
+                        *distance, &noise, *rounds, *trials, point_seed, 1,
+                    )
+                    .map_err(|e| format!("qec point {point}: {e}"))?;
+                    // The rate crosses the pipe as raw bits: exact, so the
+                    // merged sweep equals the in-process one bit-for-bit.
+                    Ok(vec![point as u64, r.p_logical.to_bits()])
+                })
+                .collect(),
+        }
+    }
+
+    /// Coordinator side: folds the concatenation of all range rows (in
+    /// unit order) into the final report, through the same seam the
+    /// single-process path uses.
+    pub fn merge(&self, rows: Vec<Vec<u64>>) -> Result<ShardReport, ShardError> {
+        let bad = |msg: String| ShardError::Protocol(msg);
+        if rows.len() != self.units() {
+            return Err(bad(format!(
+                "merge expected {} rows, got {}",
+                self.units(),
+                rows.len()
+            )));
+        }
+        match self {
+            WorkloadSpec::Eval { technique, .. } => {
+                let ctx = self.build_ctx();
+                let mut evals = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let [t_idx, samples, syntactic_ok, passed] = row.as_slice() else {
+                        return Err(bad(format!("eval row {i} is not 4 cells")));
+                    };
+                    if *t_idx as usize != i {
+                        return Err(bad(format!("eval row {i} carries task index {t_idx}")));
+                    }
+                    evals.push(TaskEval {
+                        difficulty: ctx.tasks[i].difficulty(),
+                        samples: *samples as usize,
+                        syntactic_ok: *syntactic_ok as usize,
+                        passed: *passed as usize,
+                    });
+                }
+                Ok(ShardReport::Eval(report::fold_outcome(
+                    technique.gen_config().label,
+                    evals,
+                )))
+            }
+            WorkloadSpec::QecSweep {
+                distance,
+                trials,
+                points,
+                ..
+            } => {
+                let mut results = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let [point, bits] = row.as_slice() else {
+                        return Err(bad(format!("qec row {i} is not 2 cells")));
+                    };
+                    if *point as usize != i {
+                        return Err(bad(format!("qec row {i} carries point {point}")));
+                    }
+                    results.push(MemoryResult {
+                        distance: *distance,
+                        p_physical: self.qec_rate(i, *points),
+                        p_logical: f64::from_bits(*bits),
+                        trials: *trials as usize,
+                        decoder: "greedy-matching(circuit-level)",
+                    });
+                }
+                Ok(ShardReport::Qec(results))
+            }
+        }
+    }
+
+    /// The single-process reference: the exact result a sharded run must
+    /// reproduce bit-for-bit.
+    pub fn run_serial(&self) -> Result<ShardReport, ShardError> {
+        self.validate()?;
+        match self {
+            WorkloadSpec::Eval {
+                samples,
+                seed,
+                technique,
+                ..
+            } => {
+                let ctx = self.build_ctx();
+                let llm = ctx.llm.as_ref().expect("eval context has a model");
+                Ok(ShardReport::Eval(report::evaluate_parallel(
+                    llm,
+                    &ctx.tasks,
+                    &technique.gen_config(),
+                    *samples,
+                    *seed,
+                    qsim::exec::recommended_threads(),
+                )))
+            }
+            WorkloadSpec::QecSweep {
+                distance,
+                rounds,
+                trials,
+                seed,
+                points,
+            } => {
+                let threads = qsim::exec::recommended_threads();
+                let results = (0..*points)
+                    .map(|point| {
+                        let noise = NoiseModel::uniform_depolarizing(self.qec_rate(point, *points));
+                        circuit_level_experiment_threaded(
+                            *distance,
+                            &noise,
+                            *rounds,
+                            *trials,
+                            qsim::exec::derive_seed(*seed, point as u64),
+                            threads,
+                        )
+                        .map_err(|e| ShardError::Workload(format!("qec point {point}: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ShardReport::Qec(results))
+            }
+        }
+    }
+}
+
+impl ShardReport {
+    /// Canonical JSON form — the byte string the determinism contract is
+    /// stated over: two runs are "bit-identical" iff these encodings are
+    /// equal.
+    pub fn to_json(&self) -> Json {
+        match self {
+            ShardReport::Eval(o) => {
+                let per_difficulty = Json::Obj(
+                    o.per_difficulty
+                        .iter()
+                        .map(|(d, &(passed, total))| {
+                            (
+                                d.to_string(),
+                                Json::Arr(vec![
+                                    Json::Int(passed as i128),
+                                    Json::Int(total as i128),
+                                ]),
+                            )
+                        })
+                        .collect::<BTreeMap<_, _>>(),
+                );
+                let per_task = Json::Arr(
+                    o.per_task
+                        .iter()
+                        .map(|&(n, c)| Json::Arr(vec![Json::Int(n as i128), Json::Int(c as i128)]))
+                        .collect(),
+                );
+                obj([
+                    ("kind", Json::Str("eval".into())),
+                    ("label", Json::Str(o.label.clone())),
+                    ("samples", Json::Int(o.samples as i128)),
+                    ("syntactic_ok", Json::Int(o.syntactic_ok as i128)),
+                    ("passed", Json::Int(o.passed as i128)),
+                    ("per_difficulty", per_difficulty),
+                    ("per_task", per_task),
+                ])
+            }
+            ShardReport::Qec(results) => {
+                let points = results
+                    .iter()
+                    .map(|r| {
+                        obj([
+                            ("distance", Json::Int(r.distance as i128)),
+                            // Bits, not decimal text: the contract is
+                            // exactness, not pretty printing.
+                            ("p_physical_bits", Json::Int(r.p_physical.to_bits() as i128)),
+                            ("p_logical_bits", Json::Int(r.p_logical.to_bits() as i128)),
+                            ("p_logical", Json::Float(r.p_logical)),
+                            ("trials", Json::Int(r.trials as i128)),
+                            ("decoder", Json::Str(r.decoder.into())),
+                        ])
+                    })
+                    .collect();
+                obj([
+                    ("kind", Json::Str("qec".into())),
+                    ("points", Json::Arr(points)),
+                ])
+            }
+        }
+    }
+
+    /// Human-readable rendering for the CLI.
+    pub fn render(&self) -> String {
+        match self {
+            ShardReport::Eval(o) => qeval::report::render_markdown(std::slice::from_ref(o)),
+            ShardReport::Qec(results) => {
+                let mut out =
+                    String::from("| d | p_physical | p_logical | trials |\n|---|---|---|---|\n");
+                for r in results {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {:.5} | {:.5} | {} |",
+                        r.distance, r.p_physical, r.p_logical, r.trials
+                    );
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_the_wire_form() {
+        let specs = [
+            WorkloadSpec::Eval {
+                tasks: 34,
+                samples: 8,
+                seed: u64::MAX,
+                technique: Technique::Scot,
+            },
+            WorkloadSpec::QecSweep {
+                distance: 7,
+                rounds: 2,
+                trials: 500,
+                seed: 99,
+                points: 6,
+            },
+        ];
+        for spec in specs {
+            let json = spec.to_json();
+            let parsed = WorkloadSpec::from_json(&json).unwrap();
+            assert_eq!(parsed, spec);
+            // Canonical: encoding is stable across the round trip.
+            assert_eq!(parsed.to_json().encode(), json.encode());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_spawning_anything() {
+        let bads = [
+            WorkloadSpec::Eval {
+                tasks: 0,
+                samples: 1,
+                seed: 0,
+                technique: Technique::Base,
+            },
+            WorkloadSpec::Eval {
+                tasks: 1000,
+                samples: 1,
+                seed: 0,
+                technique: Technique::Base,
+            },
+            WorkloadSpec::QecSweep {
+                distance: 4,
+                rounds: 1,
+                trials: 1,
+                seed: 0,
+                points: 1,
+            },
+            WorkloadSpec::QecSweep {
+                distance: 3,
+                rounds: 0,
+                trials: 1,
+                seed: 0,
+                points: 1,
+            },
+        ];
+        for spec in bads {
+            assert_eq!(spec.validate().unwrap_err().code(), "bad_workload");
+        }
+    }
+
+    #[test]
+    fn eval_range_rows_merge_to_the_serial_outcome() {
+        let spec = WorkloadSpec::Eval {
+            tasks: 6,
+            samples: 2,
+            seed: 17,
+            technique: Technique::FineTuned,
+        };
+        let ctx = spec.build_ctx();
+        let mut rows = Vec::new();
+        for (start, end) in report::partition_ranges(spec.units(), 2) {
+            rows.extend(spec.run_range(&ctx, start, end).unwrap());
+        }
+        let merged = spec.merge(rows).unwrap();
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(merged, serial);
+        assert_eq!(merged.to_json().encode(), serial.to_json().encode());
+    }
+
+    #[test]
+    fn qec_rows_merge_bit_identically() {
+        let spec = WorkloadSpec::QecSweep {
+            distance: 3,
+            rounds: 1,
+            trials: 60,
+            seed: 5,
+            points: 3,
+        };
+        let ctx = spec.build_ctx();
+        let rows = spec.run_range(&ctx, 0, 3).unwrap();
+        let merged = spec.merge(rows).unwrap();
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(merged, serial);
+        assert_eq!(merged.to_json().encode(), serial.to_json().encode());
+    }
+
+    #[test]
+    fn technique_names_round_trip() {
+        for t in [
+            Technique::Base,
+            Technique::FineTuned,
+            Technique::Rag,
+            Technique::Cot,
+            Technique::Scot,
+        ] {
+            assert_eq!(Technique::parse(t.as_str()), Some(t));
+        }
+        assert_eq!(Technique::parse("quantum-vibes"), None);
+    }
+}

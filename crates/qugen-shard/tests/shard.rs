@@ -1,0 +1,164 @@
+//! End-to-end shard tests against the real `qugen-shard` binary.
+//!
+//! Every test spawns actual worker processes via
+//! `CARGO_BIN_EXE_qugen-shard` (cargo builds and exports the path for
+//! integration tests of the package that owns the binary) and holds the
+//! merged report to the determinism contract: byte-identical to the
+//! single-process reference, no matter the worker count, range size, or
+//! which workers die along the way.
+
+use proptest::prelude::*;
+use qugen_shard::coordinator::{run_sharded, ShardConfig};
+use qugen_shard::workload::{Technique, WorkloadSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn config(workers: usize, range_size: usize) -> ShardConfig {
+    ShardConfig {
+        workers,
+        range_size,
+        timeout: Duration::from_secs(120),
+        worker_binary: Some(PathBuf::from(env!("CARGO_BIN_EXE_qugen-shard"))),
+        worker_env: Vec::new(),
+    }
+}
+
+fn eval_spec(tasks: usize, samples: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::Eval {
+        tasks,
+        samples,
+        seed,
+        technique: Technique::FineTuned,
+    }
+}
+
+#[test]
+fn sharded_eval_is_bit_identical_to_single_process() {
+    let spec = eval_spec(8, 2, 13);
+    let reference = spec.run_serial().unwrap();
+    let reference_bytes = reference.to_json().encode();
+    for (workers, range_size) in [(1, 1), (1, 3), (4, 1), (4, 2), (8, 1)] {
+        let report = run_sharded(&spec, &config(workers, range_size)).unwrap();
+        assert_eq!(
+            report, reference,
+            "workers={workers} range_size={range_size}"
+        );
+        assert_eq!(
+            report.to_json().encode(),
+            reference_bytes,
+            "workers={workers} range_size={range_size}"
+        );
+    }
+}
+
+#[test]
+fn sharded_qec_sweep_is_bit_identical_to_single_process() {
+    let spec = WorkloadSpec::QecSweep {
+        distance: 3,
+        rounds: 1,
+        trials: 80,
+        seed: 21,
+        points: 5,
+    };
+    let reference = spec.run_serial().unwrap();
+    for workers in [1usize, 3] {
+        let report = run_sharded(&spec, &config(workers, 1)).unwrap();
+        assert_eq!(
+            report.to_json().encode(),
+            reference.to_json().encode(),
+            "workers={workers}"
+        );
+    }
+}
+
+proptest! {
+    // Process spawns make each case expensive; a handful of random grids
+    // is plenty on top of the deterministic matrix above.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 1-shard and N-shard runs of a random task grid produce
+    /// byte-identical reports for arbitrary range splits.
+    #[test]
+    fn random_grids_merge_bit_identically(
+        tasks in 2usize..7,
+        samples in 1usize..3,
+        seed in 0u64..1_000,
+        workers in 2usize..5,
+        range_size in 1usize..4,
+    ) {
+        let spec = eval_spec(tasks, samples, seed);
+        let one = run_sharded(&spec, &config(1, range_size)).unwrap();
+        let many = run_sharded(&spec, &config(workers, range_size)).unwrap();
+        prop_assert_eq!(
+            one.to_json().encode(),
+            many.to_json().encode(),
+            "tasks={} samples={} seed={} workers={} range_size={}",
+            tasks, samples, seed, workers, range_size
+        );
+    }
+}
+
+#[test]
+fn killed_worker_range_is_reassigned_and_merges_identically() {
+    let spec = eval_spec(6, 2, 29);
+    let reference = spec.run_serial().unwrap();
+    // Rank 1 serves one range, then dies on its second: that range must
+    // be reassigned and the merged report must not change a byte.
+    let mut cfg = config(2, 1);
+    cfg.worker_env = vec![
+        ("QUGEN_SHARD_FAIL_RANK".into(), "1".into()),
+        ("QUGEN_SHARD_FAIL_AFTER".into(), "1".into()),
+        ("QUGEN_SHARD_FAIL_MODE".into(), "exit".into()),
+    ];
+    let report = run_sharded(&spec, &cfg).unwrap();
+    assert_eq!(report.to_json().encode(), reference.to_json().encode());
+}
+
+#[test]
+fn hung_worker_is_reclaimed_by_the_deadline() {
+    let spec = eval_spec(4, 1, 31);
+    let reference = spec.run_serial().unwrap();
+    // Rank 1 wedges on its first range; only the per-range deadline can
+    // free it. The survivor finishes the whole grid.
+    let mut cfg = config(2, 1);
+    cfg.timeout = Duration::from_millis(1500);
+    cfg.worker_env = vec![
+        ("QUGEN_SHARD_FAIL_RANK".into(), "1".into()),
+        ("QUGEN_SHARD_FAIL_MODE".into(), "hang".into()),
+    ];
+    let report = run_sharded(&spec, &cfg).unwrap();
+    assert_eq!(report.to_json().encode(), reference.to_json().encode());
+}
+
+#[test]
+fn losing_every_worker_is_a_typed_error() {
+    let spec = eval_spec(4, 1, 37);
+    let mut cfg = config(2, 1);
+    cfg.worker_env = vec![("QUGEN_SHARD_FAIL_RANK".into(), "all".into())];
+    let err = run_sharded(&spec, &cfg).unwrap_err();
+    // Depending on interleaving the run dies on the attempt budget of
+    // one range or on running out of workers; both are typed.
+    assert!(
+        matches!(err.code(), "range_failed" | "workers_exhausted"),
+        "unexpected error: {err:?}"
+    );
+}
+
+#[test]
+fn unspawnable_worker_binary_is_a_typed_error() {
+    let spec = eval_spec(2, 1, 41);
+    let mut cfg = config(1, 1);
+    cfg.worker_binary = Some(PathBuf::from("/nonexistent/qugen-shard"));
+    let err = run_sharded(&spec, &cfg).unwrap_err();
+    assert_eq!(err.code(), "spawn");
+}
+
+#[test]
+fn invalid_workload_fails_before_spawning() {
+    let spec = eval_spec(0, 1, 1);
+    // Even with an unspawnable binary: validation comes first.
+    let mut cfg = config(1, 1);
+    cfg.worker_binary = Some(PathBuf::from("/nonexistent/qugen-shard"));
+    let err = run_sharded(&spec, &cfg).unwrap_err();
+    assert_eq!(err.code(), "bad_workload");
+}

@@ -1,8 +1,10 @@
-//! A minimal hand-rolled JSON codec for the wire protocol.
+//! A minimal hand-rolled JSON codec for the wire protocols.
 //!
 //! The repo takes no external dependencies (see `vendor/README.md`), so the
-//! service carries its own small JSON layer rather than pulling in serde.
-//! Two properties matter more than generality:
+//! services carry their own small JSON layer rather than pulling in serde.
+//! Both `qugen-serve` (job daemon) and `qugen-shard` (eval coordinator)
+//! encode every line through this module. Two properties matter more than
+//! generality:
 //!
 //! * **Integers stay exact.** Numbers without a fraction or exponent parse
 //!   into [`Json::Int`] (an `i128`), so full-range `u64` seeds and shot
@@ -16,7 +18,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Nesting depth bound for the parser: the service reads untrusted lines,
+/// Nesting depth bound for the parser: the services read untrusted lines,
 /// and a few KB of `[[[[…` must return a typed error, not blow the stack.
 const MAX_DEPTH: usize = 128;
 

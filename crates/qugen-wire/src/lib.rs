@@ -1,0 +1,21 @@
+//! Shared wire layer for the qugen service binaries.
+//!
+//! `qugen-serve` (the simulation job daemon) and `qugen-shard` (the
+//! multi-process evaluation coordinator) speak the same transport: one
+//! JSON value per line, integers kept exact, serialization canonical.
+//! This crate holds that common layer so the two protocols cannot drift —
+//! a shard worker reply and a serve job reply are encoded by the same
+//! code path and can be compared byte-for-byte by tests and smoke jobs.
+//!
+//! * [`codec`] — the hand-rolled JSON value type ([`Json`]), parser and
+//!   canonical encoder. The repo takes no external dependencies (see
+//!   `vendor/README.md`), so the wire layer carries its own small JSON
+//!   implementation rather than pulling in serde.
+//!
+//! Protocol vocabularies stay with their services: `qugen_serve::proto`
+//! owns the job-daemon request shapes, `qugen_shard::proto` owns the
+//! coordinator/worker shard messages. Only the value layer is shared.
+
+pub mod codec;
+
+pub use codec::{obj, Json, JsonError};

@@ -13,6 +13,7 @@
 //! - [`qagents`] — the three-agent framework and multi-pass optimization loop
 //! - [`qeval`] — evaluation suites, grader and pass@k
 //! - [`qugen_serve`] — simulation-as-a-service job daemon over the executor
+//! - [`qugen_shard`] — multi-process evaluation sharding with bit-identical merge
 //!
 //! # Quickstart
 //!
@@ -34,3 +35,4 @@ pub use qeval;
 pub use qlm;
 pub use qsim;
 pub use qugen_serve;
+pub use qugen_shard;
