@@ -16,14 +16,64 @@ use crate::dist::{Counts, Distribution};
 use crate::job::JobSpec;
 use crate::mps::{MpsSampler, MpsState};
 use crate::noise::NoiseModel;
-use crate::plan::{self, CircuitPlan, PlanCache};
+use crate::plan::{self, CircuitPlan, PlanCache, PlanCacheStats};
 use crate::state::StateVector;
 use crate::word::OutcomeWord;
 use qcir::circuit::{Circuit, Op};
+use qugen_telemetry::metrics::{self as tmetrics, Counter, Histogram};
+use qugen_telemetry::trace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Interned registry handles for the executor layer: per-job wall time by
+/// resolved backend, shot/chunk volume, and truncation-budget consumption.
+struct ExecMetrics {
+    jobs: &'static Counter,
+    job_failures: &'static Counter,
+    shots: &'static Counter,
+    chunks: &'static Counter,
+    batches: &'static Counter,
+    /// Exact (probability-vector) distribution computations; sampled
+    /// fallbacks count as ordinary jobs instead.
+    distributions: &'static Counter,
+    job_us_dense: &'static Histogram,
+    job_us_tableau: &'static Histogram,
+    job_us_mps: &'static Histogram,
+    /// Worst observed truncation error as ‰ of the budget (only finite
+    /// positive budgets record; >1000 means the budget was blown).
+    truncation_permille: &'static Histogram,
+    truncation_exceeded: &'static Counter,
+}
+
+impl ExecMetrics {
+    fn job_us(&self, kind: BackendKind) -> &'static Histogram {
+        match kind {
+            BackendKind::Dense => self.job_us_dense,
+            BackendKind::Tableau => self.job_us_tableau,
+            BackendKind::Mps { .. } => self.job_us_mps,
+        }
+    }
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ExecMetrics {
+        jobs: tmetrics::counter("exec.jobs"),
+        job_failures: tmetrics::counter("exec.job_failures"),
+        shots: tmetrics::counter("exec.shots"),
+        chunks: tmetrics::counter("exec.chunks"),
+        batches: tmetrics::counter("exec.batches"),
+        distributions: tmetrics::counter("exec.distributions"),
+        job_us_dense: tmetrics::histogram("exec.job_us.dense"),
+        job_us_tableau: tmetrics::histogram("exec.job_us.tableau"),
+        job_us_mps: tmetrics::histogram("exec.job_us.mps"),
+        truncation_permille: tmetrics::histogram("exec.truncation_permille"),
+        truncation_exceeded: tmetrics::counter("exec.truncation_exceeded"),
+    })
+}
 
 /// Shots per RNG chunk (see the module docs on determinism).
 pub const SHOT_CHUNK: u64 = 1024;
@@ -332,6 +382,13 @@ impl Executor {
             .get_or_compile(circuit)
     }
 
+    /// A snapshot of this executor's plan cache counters. With
+    /// [`PlanCacheMode::Shared`] (the default) these cover every sharing
+    /// executor in the process, not just this one.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.lock().expect("plan cache poisoned").stats()
+    }
+
     /// Runs `shots` shots with a deterministic seed.
     ///
     /// # Errors
@@ -352,7 +409,7 @@ impl Executor {
             self.config.backend,
             self.config.truncation_budget,
         )?;
-        self.run_task(&task)
+        self.run_task_timed(&task)
     }
 
     /// Runs one [`JobSpec`], honoring its per-job backend and truncation-
@@ -367,7 +424,7 @@ impl Executor {
             spec.effective_backend(self.config.backend),
             spec.effective_budget(self.config.truncation_budget),
         )?;
-        self.run_task(&task)
+        self.run_task_timed(&task)
     }
 
     /// Runs a batch of [`JobSpec`]s, resolving each job's backend once and
@@ -386,6 +443,11 @@ impl Executor {
         if self.config.threads <= 1 || tasks.len() <= 1 {
             return tasks.iter().map(|spec| self.try_run_job(spec)).collect();
         }
+        // Pooled jobs share the worker pool, so per-job wall time is
+        // meaningless; the batch gets one span covering prepare + execute
+        // and per-job volume counters at fold time instead.
+        exec_metrics().batches.inc();
+        let _batch_span = trace::span("executor", "batch").int("jobs", tasks.len() as i128);
         // Phase 1: resolve every backend and evolve every fast-path prefix
         // exactly once per task. Prefix evolution is the dominant cost for
         // sampling-path tasks (one full dense/MPS pass over the circuit),
@@ -537,23 +599,33 @@ impl Executor {
             .into_iter()
             .enumerate()
             .map(|(t, p)| {
-                let task = p?;
-                if let BatchPlan::Trajectory {
-                    kind: BackendKind::Mps { max_bond },
-                    ..
-                } = task.plan
-                {
-                    let worst = *worst_truncation[t]
+                let m = exec_metrics();
+                m.jobs.inc();
+                let result = (|| {
+                    let task = p?;
+                    m.shots.add(task.shots);
+                    m.chunks.add(task.shots.div_ceil(SHOT_CHUNK));
+                    if let BatchPlan::Trajectory {
+                        kind: BackendKind::Mps { max_bond },
+                        ..
+                    } = task.plan
+                    {
+                        let worst = *worst_truncation[t]
+                            .lock()
+                            .expect("truncation slot poisoned");
+                        check_truncation(task.budget, max_bond, worst)?;
+                    }
+                    let counts = slots[t]
                         .lock()
-                        .expect("truncation slot poisoned");
-                    check_truncation(task.budget, max_bond, worst)?;
+                        .expect("batch slot poisoned")
+                        .take()
+                        .unwrap_or_else(|| Counts::new(task.num_clbits));
+                    Ok(counts)
+                })();
+                if result.is_err() {
+                    m.job_failures.inc();
                 }
-                let counts = slots[t]
-                    .lock()
-                    .expect("batch slot poisoned")
-                    .take()
-                    .unwrap_or_else(|| Counts::new(task.num_clbits));
-                Ok(counts)
+                result
             })
             .collect()
     }
@@ -605,6 +677,7 @@ impl Executor {
         };
         Ok(BatchTask {
             plan,
+            kind,
             num_clbits: circuit.num_clbits(),
             shots,
             seed,
@@ -652,6 +725,34 @@ impl Executor {
                 self.run_trajectories(*kind, circuit, task.shots, task.seed, task.budget)
             }
         }
+    }
+
+    /// [`Executor::run_task`] wrapped in telemetry: per-job wall time into
+    /// the backend's `exec.job_us.*` histogram, shot/chunk volume, and one
+    /// `executor`-layer trace span. With metrics and tracing both off this
+    /// is two relaxed atomic loads and a tail call — no clock read.
+    fn run_task_timed(&self, task: &BatchTask) -> Result<Counts, SimError> {
+        if !tmetrics::enabled() && !trace::enabled() {
+            return self.run_task(task);
+        }
+        let chunks = task.shots.div_ceil(SHOT_CHUNK);
+        let span = trace::span("executor", "job")
+            .label("backend", task.kind.name())
+            .int("shots", task.shots as i128)
+            .int("chunks", chunks as i128);
+        let start = Instant::now();
+        let result = self.run_task(task);
+        let dur_us = start.elapsed().as_micros() as u64;
+        let m = exec_metrics();
+        m.jobs.inc();
+        m.shots.add(task.shots);
+        m.chunks.add(chunks);
+        m.job_us(task.kind).record(dur_us);
+        if result.is_err() {
+            m.job_failures.inc();
+        }
+        span.int("ok", result.is_ok() as i128).finish();
+        result
     }
 
     /// Monte-Carlo path: one trajectory per shot on the resolved backend.
@@ -892,6 +993,16 @@ impl Executor {
         threads: usize,
     ) -> Result<Distribution, SimError> {
         if measures_only_at_end(circuit) && circuit.num_qubits() <= backend::DENSE_QUBIT_CAP {
+            let span = if tmetrics::enabled() || trace::enabled() {
+                exec_metrics().distributions.inc();
+                Some(
+                    trace::span("executor", "distribution")
+                        .label("backend", "exact")
+                        .int("qubits", circuit.num_qubits() as i128),
+                )
+            } else {
+                None
+            };
             let plan = plan::shared_cache()
                 .lock()
                 .expect("plan cache poisoned")
@@ -912,6 +1023,9 @@ impl Executor {
                 }
                 let existing = dist.get_word(&word);
                 dist.set(word.clone(), existing + p);
+            }
+            if let Some(span) = span {
+                span.int("ok", 1).finish();
             }
             Ok(dist)
         } else {
@@ -998,6 +1112,8 @@ impl Sampler {
 /// A batch task with its execution plan and shot bookkeeping.
 struct BatchTask<'c> {
     plan: BatchPlan<'c>,
+    /// The resolved backend (telemetry keys per-job wall time by it).
+    kind: BackendKind,
     num_clbits: usize,
     shots: u64,
     seed: u64,
@@ -1009,7 +1125,15 @@ struct BatchTask<'c> {
 /// The truncation budget check MPS runs pass through: `error_bound` is the
 /// worst per-trajectory rigorous infidelity bound observed.
 fn check_truncation(budget: f64, max_bond: usize, error_bound: f64) -> Result<(), SimError> {
+    // Budget consumption in ‰ — how close MPS runs sail to their budget
+    // is invisible from pass/fail alone. Unbounded budgets record nothing
+    // (consumption of an infinite budget is always 0).
+    if tmetrics::enabled() && budget > 0.0 && budget.is_finite() {
+        let permille = (error_bound / budget * 1000.0).min(u64::MAX as f64) as u64;
+        exec_metrics().truncation_permille.record(permille);
+    }
     if error_bound > budget {
+        exec_metrics().truncation_exceeded.inc();
         Err(SimError::TruncationBudgetExceeded {
             max_bond,
             error_bound,

@@ -25,6 +25,29 @@
 //! state-vector wrapper validates once per gate application.
 
 use qcir::math::{Matrix, C64};
+use qugen_telemetry::metrics::{self, Counter};
+use std::sync::OnceLock;
+
+/// Interned dispatch-tier counters for the two runtime-dispatched kernels:
+/// how many [`apply_1q`] / [`apply_dense2`] calls took the AVX2+FMA path
+/// vs the portable scalar fallback. One relaxed `fetch_add` per kernel
+/// call — amortized over the `2^n`-amplitude sweep each call performs.
+struct TierCounters {
+    butterfly1_avx2: &'static Counter,
+    butterfly1_scalar: &'static Counter,
+    dense2_avx2: &'static Counter,
+    dense2_scalar: &'static Counter,
+}
+
+fn tiers() -> &'static TierCounters {
+    static COUNTERS: OnceLock<TierCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| TierCounters {
+        butterfly1_avx2: metrics::counter("kernels.butterfly1_avx2"),
+        butterfly1_scalar: metrics::counter("kernels.butterfly1_scalar"),
+        dense2_avx2: metrics::counter("kernels.dense2_avx2"),
+        dense2_scalar: metrics::counter("kernels.dense2_scalar"),
+    })
+}
 
 /// Returns `x` with a zero bit inserted at position `bit`: bits below `bit`
 /// stay, bits at or above shift up by one. Iterating `x` over `0..2^(n-1)`
@@ -49,6 +72,7 @@ pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
     let step = 1usize << qubit;
     #[cfg(target_arch = "x86_64")]
     if simd::avx2_fma_available() {
+        tiers().butterfly1_avx2.inc();
         // SAFETY: gated on runtime AVX2+FMA detection.
         unsafe {
             if step >= 2 {
@@ -59,6 +83,7 @@ pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
         }
         return;
     }
+    tiers().butterfly1_scalar.inc();
     if step == 1 {
         let mut quads = amps.chunks_exact_mut(4);
         for quad in &mut quads {
@@ -164,6 +189,7 @@ pub fn apply_dense2(amps: &mut [C64], hi: usize, lo: usize, m: &[C64; 16]) {
     let t = 1usize << qhigh;
     #[cfg(target_arch = "x86_64")]
     if simd::avx2_fma_available() {
+        tiers().dense2_avx2.inc();
         // SAFETY: gated on runtime AVX2+FMA detection.
         unsafe {
             if s >= 2 {
@@ -174,6 +200,7 @@ pub fn apply_dense2(amps: &mut [C64], hi: usize, lo: usize, m: &[C64; 16]) {
         }
         return;
     }
+    tiers().dense2_scalar.inc();
     if s == 1 {
         // Adjacent pairs: each 2t-block splits into a low/high half whose
         // elements interleave as (x0, x1) / (x2, x3) tiles.

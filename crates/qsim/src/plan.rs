@@ -56,9 +56,35 @@ use crate::word::OutcomeWord;
 use qcir::circuit::{Circuit, Op};
 use qcir::gate::{Gate, GateKind};
 use qcir::math::C64;
+use qugen_telemetry::metrics::Counter;
+use qugen_telemetry::{metrics, trace};
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Interned registry handles for the plan layer: cache traffic and the
+/// fusion ratio (`plan.fused_unitaries / plan.source_gates`, fewer is
+/// better) accumulate process-wide.
+struct PlanMetrics {
+    cache_hits: &'static Counter,
+    cache_misses: &'static Counter,
+    cache_evictions: &'static Counter,
+    compiles: &'static Counter,
+    source_gates: &'static Counter,
+    fused_unitaries: &'static Counter,
+}
+
+fn plan_metrics() -> &'static PlanMetrics {
+    static METRICS: OnceLock<PlanMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PlanMetrics {
+        cache_hits: metrics::counter("plan.cache_hits"),
+        cache_misses: metrics::counter("plan.cache_misses"),
+        cache_evictions: metrics::counter("plan.cache_evictions"),
+        compiles: metrics::counter("plan.compiles"),
+        source_gates: metrics::counter("plan.source_gates"),
+        fused_unitaries: metrics::counter("plan.fused_unitaries"),
+    })
+}
 
 /// Default capacity of the process-wide [`shared_cache`] (and of private
 /// executor caches unless [`crate::exec::ExecutorConfig`] overrides it):
@@ -319,14 +345,29 @@ impl CircuitPlan {
             }
         }
         fuser.flush_all();
-        CircuitPlan {
+        let plan = CircuitPlan {
             num_qubits: circuit.num_qubits(),
             num_clbits: circuit.num_clbits(),
             ops: fuser.emitted,
             measure_map,
             source_gate_ops,
             fingerprint: fingerprint(circuit),
-        }
+        };
+        let fused = plan.fused_unitaries();
+        let m = plan_metrics();
+        m.compiles.inc();
+        m.source_gates.add(source_gate_ops as u64);
+        m.fused_unitaries.add(fused as u64);
+        trace::event(
+            "plan",
+            "compile",
+            &[
+                ("qubits", plan.num_qubits as i128),
+                ("source_gates", source_gate_ops as i128),
+                ("fused_unitaries", fused as i128),
+            ],
+        );
+        plan
     }
 
     /// Number of qubits the plan addresses.
@@ -977,6 +1018,7 @@ pub struct PlanCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
     map: HashMap<u128, (u64, Arc<CircuitPlan>)>,
 }
 
@@ -989,24 +1031,33 @@ impl PlanCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
             map: HashMap::new(),
         }
     }
 
     /// The cached plan for `circuit`, compiling and inserting on miss.
+    /// Traffic is double-counted on purpose: into this cache's own
+    /// [`PlanCacheStats`] and into the process-wide registry
+    /// (`plan.cache_hits` / `plan.cache_misses` / `plan.cache_evictions`),
+    /// which aggregates over every cache in the process.
     pub fn get_or_compile(&mut self, circuit: &Circuit) -> Arc<CircuitPlan> {
         let key = fingerprint(circuit);
         self.tick += 1;
         if let Some((last_used, plan)) = self.map.get_mut(&key) {
             *last_used = self.tick;
             self.hits += 1;
+            plan_metrics().cache_hits.inc();
             return Arc::clone(plan);
         }
         self.misses += 1;
+        plan_metrics().cache_misses.inc();
         let plan = Arc::new(CircuitPlan::compile(circuit));
         if self.map.len() >= self.cap {
             if let Some(&oldest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k) {
                 self.map.remove(&oldest);
+                self.evictions += 1;
+                plan_metrics().cache_evictions.inc();
             }
         }
         self.map.insert(key, (self.tick, Arc::clone(&plan)));
@@ -1037,6 +1088,39 @@ impl PlanCache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// LRU evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Every counter and size in one copy — what
+    /// [`crate::exec::Executor::plan_cache_stats`] and the serve `stats`
+    /// op surface.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.cap,
+        }
+    }
+}
+
+/// A point-in-time copy of one [`PlanCache`]'s counters and size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookup hits since construction.
+    pub hits: u64,
+    /// Lookup misses (compiles) since construction.
+    pub misses: u64,
+    /// LRU evictions since construction.
+    pub evictions: u64,
+    /// Cached plan count.
+    pub len: usize,
+    /// The eviction threshold.
+    pub capacity: usize,
 }
 
 /// The process-wide plan cache every [`crate::exec::Executor`] uses unless
@@ -1285,6 +1369,18 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.get_or_compile(&a);
         assert_eq!(cache.misses(), 4, "evicted plan recompiles");
+        assert_eq!(cache.evictions(), 2, "b's insert and a's return each evict");
+        let stats = cache.stats();
+        assert_eq!(
+            (
+                stats.hits,
+                stats.misses,
+                stats.evictions,
+                stats.len,
+                stats.capacity
+            ),
+            (1, 4, 2, 2, 2)
+        );
     }
 
     #[test]

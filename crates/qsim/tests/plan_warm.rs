@@ -71,6 +71,14 @@ fn workload() -> Circuit {
 
 #[test]
 fn warm_cached_plan_runs_skip_classification_and_allocation() {
+    // Telemetry fully on — metrics recording AND an active trace sink —
+    // so the zero-allocation assertion below also pins the observability
+    // layer's hot-path contract: kernel tier counters are relaxed
+    // `fetch_add`s on preallocated atomics, and the shot loop contains
+    // no span, so even a live sink costs it nothing.
+    qugen_telemetry::metrics::set_enabled(true);
+    let _trace_buffer = qugen_telemetry::trace::install_capture();
+
     let qc = workload();
     let exec = ExecutorConfig::new()
         .plan_cache(PlanCacheMode::Private)
@@ -125,7 +133,21 @@ fn warm_cached_plan_runs_skip_classification_and_allocation() {
     }
     assert_eq!(
         min_allocs, 0,
-        "warm cached-plan shots allocated {min_allocs} time(s)"
+        "warm cached-plan shots allocated {min_allocs} time(s) with telemetry enabled"
     );
     assert_eq!(word.num_words(), 1, "inline outcome representation in play");
+
+    // The instrumentation was genuinely live while the loop ran, not
+    // compiled away: the kernel dispatch-tier counters moved.
+    let tier_counts: u64 = [
+        "kernels.butterfly1_avx2",
+        "kernels.butterfly1_scalar",
+        "kernels.dense2_avx2",
+        "kernels.dense2_scalar",
+    ]
+    .iter()
+    .map(|name| qugen_telemetry::metrics::counter(name).get())
+    .sum::<u64>();
+    assert!(tier_counts > 0, "kernel tier counters never advanced");
+    qugen_telemetry::trace::disable();
 }

@@ -10,6 +10,7 @@
 //! | `status` | `job` | `{ok,job,status}` |
 //! | `result` | `job`, `wait?` | `{ok,job,status,counts,backend,cached,shots,clbits}` |
 //! | `stats` | — | queue/cache/worker gauges |
+//! | `metrics` | — | `{ok,metrics}`: full process telemetry snapshot |
 //! | `shutdown` | — | `{ok:true}` then drain |
 //!
 //! `budget` accepts a number or the string `"inf"` (JSON has no infinity
@@ -56,6 +57,10 @@ pub enum Request {
     },
     /// Queue/cache/worker gauges.
     Stats,
+    /// Full process-wide telemetry registry snapshot (every
+    /// `qugen-telemetry` counter, gauge, and histogram) — the superset of
+    /// `stats` for scrapers; `stats` stays the small curated view.
+    Metrics,
     /// Stop accepting work, drain, and exit the serve loop.
     Shutdown,
 }
@@ -117,9 +122,10 @@ impl Request {
                 Ok(Request::Result { job, wait })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::BadRequest(format!(
-                "unknown op `{other}` (expected submit|status|result|stats|shutdown)"
+                "unknown op `{other}` (expected submit|status|result|stats|metrics|shutdown)"
             ))),
         }
     }
@@ -256,6 +262,7 @@ mod tests {
             }
         );
         assert_eq!(parse("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(parse("{\"op\":\"metrics\"}").unwrap(), Request::Metrics);
         assert_eq!(parse("{\"op\":\"shutdown\"}").unwrap(), Request::Shutdown);
         assert_eq!(parse("{\"op\":\"fly\"}").unwrap_err().code(), "bad_request");
         assert_eq!(parse("{}").unwrap_err().code(), "bad_request");

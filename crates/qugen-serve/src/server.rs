@@ -52,13 +52,83 @@ use crate::queue::BoundedQueue;
 use qsim::backend::{self, BackendKind};
 use qsim::exec::{recommended_threads, Executor, ExecutorConfig};
 use qsim::job::{JobKey, JobResult, JobSpec, JobStatus};
+use qugen_telemetry::metrics::{self as tmetrics, Counter, Gauge, Histogram};
+use qugen_telemetry::trace;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Registry handles for the serve layer, interned once. The counters
+/// mirror [`Inner`]'s per-server atomics into the process-wide registry
+/// (the `metrics` op's snapshot); the per-server atomics stay
+/// authoritative for `stats`, which must describe *this* server even
+/// when tests run several in one process.
+struct ServeMetrics {
+    submitted: &'static Counter,
+    executed: &'static Counter,
+    cache_hits: &'static Counter,
+    cache_misses: &'static Counter,
+    /// `result` waits released because no live worker could make
+    /// progress (workerless pool, panicked pool, or drained shutdown).
+    wait_released: &'static Counter,
+    queue_depth: &'static Gauge,
+    busy_workers: &'static Gauge,
+    submit_us: &'static Histogram,
+    status_us: &'static Histogram,
+    result_us: &'static Histogram,
+    stats_us: &'static Histogram,
+    metrics_us: &'static Histogram,
+    shutdown_us: &'static Histogram,
+}
+
+impl ServeMetrics {
+    /// The latency histogram for one op (names match the wire `op`).
+    fn op_us(&self, op: &str) -> &'static Histogram {
+        match op {
+            "submit" => self.submit_us,
+            "status" => self.status_us,
+            "result" => self.result_us,
+            "stats" => self.stats_us,
+            "metrics" => self.metrics_us,
+            _ => self.shutdown_us,
+        }
+    }
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ServeMetrics {
+        submitted: tmetrics::counter("serve.submitted"),
+        executed: tmetrics::counter("serve.executed"),
+        cache_hits: tmetrics::counter("serve.cache_hits"),
+        cache_misses: tmetrics::counter("serve.cache_misses"),
+        wait_released: tmetrics::counter("serve.wait_released"),
+        queue_depth: tmetrics::gauge("serve.queue_depth"),
+        busy_workers: tmetrics::gauge("serve.busy_workers"),
+        submit_us: tmetrics::histogram("serve.submit_us"),
+        status_us: tmetrics::histogram("serve.status_us"),
+        result_us: tmetrics::histogram("serve.result_us"),
+        stats_us: tmetrics::histogram("serve.stats_us"),
+        metrics_us: tmetrics::histogram("serve.metrics_us"),
+        shutdown_us: tmetrics::histogram("serve.shutdown_us"),
+    })
+}
+
+/// The wire `op` a typed request arrived as (for metric/span names).
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Submit { .. } => "submit",
+        Request::Status { .. } => "status",
+        Request::Result { .. } => "result",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
 
 /// How the service is shaped: worker count, queue and cache bounds, and
 /// the executor the workers share.
@@ -154,6 +224,10 @@ struct Inner {
     /// Workers still running their loop; when this hits zero no queued
     /// or running job can ever progress, so waiters stop blocking.
     live_workers: AtomicUsize,
+    /// Workers currently executing a job (between pop and completion) —
+    /// the occupancy half of `stats`' worker picture; `live_workers`
+    /// is the capacity half.
+    busy_workers: AtomicUsize,
     shutting_down: AtomicBool,
 }
 
@@ -177,6 +251,7 @@ impl Server {
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             live_workers: AtomicUsize::new(config.workers),
+            busy_workers: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
         });
         let workers = (0..config.workers)
@@ -211,7 +286,27 @@ impl Server {
     }
 
     /// Typed request dispatch; returns the wire-ready response object.
+    ///
+    /// Every op is timed into its `serve.<op>_us` histogram and emits a
+    /// `serve`-layer trace span; with telemetry and tracing both off the
+    /// wrapper is two relaxed atomic loads.
     pub fn handle(&self, request: Request) -> Json {
+        if !tmetrics::enabled() && !trace::enabled() {
+            return self.dispatch(request);
+        }
+        let op = op_name(&request);
+        let span = trace::span("serve", op);
+        let start = Instant::now();
+        let response = self.dispatch(request);
+        serve_metrics()
+            .op_us(op)
+            .record(start.elapsed().as_micros() as u64);
+        span.int("ok", response.get("error").is_none() as i128)
+            .finish();
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Json {
         match request {
             Request::Submit {
                 source,
@@ -233,6 +328,10 @@ impl Server {
                 Err(e) => e.to_json(),
             },
             Request::Stats => self.stats(),
+            Request::Metrics => obj([
+                ("ok", Json::Bool(true)),
+                ("metrics", tmetrics::snapshot_json()),
+            ]),
             Request::Shutdown => {
                 self.begin_shutdown();
                 obj([("ok", Json::Bool(true)), ("status", str_json("draining"))])
@@ -282,8 +381,11 @@ impl Server {
         // (workers insert into the cache outside the jobs lock for the
         // same reason), so there is no lock-order cycle.
         let hit = inner.cache.lock().expect("cache lock poisoned").get(&key);
+        let m = serve_metrics();
         if let Some(hit) = hit {
             inner.submitted.fetch_add(1, Ordering::Relaxed);
+            m.submitted.inc();
+            m.cache_hits.inc();
             let result = JobResult {
                 counts: hit.counts.clone(),
                 backend: hit.backend,
@@ -336,6 +438,9 @@ impl Server {
             });
         }
         inner.submitted.fetch_add(1, Ordering::Relaxed);
+        m.submitted.inc();
+        m.cache_misses.inc();
+        m.queue_depth.set(inner.queue.len() as i64);
         Ok(submit_reply(id, JobStatus::Queued, false, &tag))
     }
 
@@ -367,6 +472,13 @@ impl Server {
                 return Ok(render_terminal(id, entry));
             }
             if !wait || inner.live_workers.load(Ordering::SeqCst) == 0 {
+                if wait {
+                    // The caller asked to block but no live worker can
+                    // ever finish this job — a released (not satisfied)
+                    // wait, worth counting: a nonzero rate means clients
+                    // are polling a pool that cannot progress.
+                    serve_metrics().wait_released.inc();
+                }
                 return Ok(obj([
                     ("ok", Json::Bool(true)),
                     ("job", Json::Int(id as i128)),
@@ -387,6 +499,7 @@ impl Server {
         let cache_stats = cache.stats();
         let cache_len = cache.len();
         drop(cache);
+        let plan = inner.exec.plan_cache_stats();
         obj([
             ("ok", Json::Bool(true)),
             ("workers", Json::Int(self.workers.len() as i128)),
@@ -401,6 +514,10 @@ impl Server {
                 Json::Int(inner.live_workers.load(Ordering::SeqCst) as i128),
             ),
             (
+                "busy_workers",
+                Json::Int(inner.busy_workers.load(Ordering::SeqCst) as i128),
+            ),
+            (
                 "submitted",
                 Json::Int(inner.submitted.load(Ordering::Relaxed) as i128),
             ),
@@ -411,6 +528,11 @@ impl Server {
             ("cache_hits", Json::Int(cache_stats.hits as i128)),
             ("cache_misses", Json::Int(cache_stats.misses as i128)),
             ("cache_len", Json::Int(cache_len as i128)),
+            ("plan_cache_hits", Json::Int(plan.hits as i128)),
+            ("plan_cache_misses", Json::Int(plan.misses as i128)),
+            ("plan_cache_evictions", Json::Int(plan.evictions as i128)),
+            ("plan_cache_len", Json::Int(plan.len as i128)),
+            ("plan_cache_capacity", Json::Int(plan.capacity as i128)),
             (
                 "shutting_down",
                 Json::Bool(inner.shutting_down.load(Ordering::SeqCst)),
@@ -515,7 +637,9 @@ impl Drop for WorkerGuard<'_> {
 /// One worker: pop → Running → execute → cache → Done/Failed → notify.
 fn worker_loop(inner: &Inner) {
     let _guard = WorkerGuard { inner };
+    let m = serve_metrics();
     while let Some(id) = inner.queue.pop() {
+        m.queue_depth.set(inner.queue.len() as i64);
         let (spec, key, backend) = {
             let mut jobs = inner.jobs.lock().expect("job table poisoned");
             match jobs.map.get_mut(&id) {
@@ -526,9 +650,16 @@ fn worker_loop(inner: &Inner) {
                 None => continue,
             }
         };
+        // Occupancy brackets the execute-and-record section, so a
+        // `stats` reply showing `busy_workers: 0, queue_depth: 0` means
+        // the server is fully drained — every accepted job's result and
+        // terminal status are visible.
+        let busy = inner.busy_workers.fetch_add(1, Ordering::SeqCst) + 1;
+        m.busy_workers.set(busy as i64);
         // Execute outside the table lock so status queries stay live.
         let outcome = inner.exec.try_run_job(&spec);
         inner.executed.fetch_add(1, Ordering::Relaxed);
+        m.executed.inc();
         // Cache insert happens before (not inside) the jobs lock: every
         // site holds at most one of the two mutexes at a time, so the
         // cache/jobs pair cannot form a lock-order cycle with `submit`.
@@ -560,6 +691,10 @@ fn worker_loop(inner: &Inner) {
             jobs.mark_terminal(id);
         }
         drop(jobs);
+        // Occupancy drops only after the terminal status is recorded —
+        // see the increment above for the drain invariant this buys.
+        let busy = inner.busy_workers.fetch_sub(1, Ordering::SeqCst) - 1;
+        m.busy_workers.set(busy as i64);
         inner.done.notify_all();
     }
 }
@@ -867,6 +1002,98 @@ mod tests {
         let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
         assert_eq!(stats.get("submitted").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("jobs").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn stats_reports_drained_queue_and_idle_workers_after_completion() {
+        // Regression: `stats` must expose live occupancy, and both gauges
+        // must return to zero once every accepted job is terminal. The
+        // worker decrements occupancy only after recording the terminal
+        // status, so a short poll (not an instant assert) is the honest
+        // way to observe the drain without racing the notify.
+        let server = Server::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let mut ids = Vec::new();
+        for seed in 0..6 {
+            let reply = parse(&server.handle_line(&submit_line(256, 100 + seed)));
+            ids.push(reply.get("job").unwrap().as_u64().unwrap());
+        }
+        for id in ids {
+            let result = parse(
+                &server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}")),
+            );
+            assert_eq!(result.get("status").unwrap().as_str(), Some("done"));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
+            let depth = stats.get("queue_depth").unwrap().as_u64().unwrap();
+            let busy = stats.get("busy_workers").unwrap().as_u64().unwrap();
+            if depth == 0 && busy == 0 {
+                assert_eq!(stats.get("executed").unwrap().as_u64(), Some(6));
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "queue_depth={depth} busy_workers={busy} never drained to 0"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn stats_exposes_plan_cache_counters() {
+        use qsim::exec::PlanCacheMode;
+        // A private plan cache isolates this test's counters from every
+        // other test sharing the process-wide cache.
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            executor: ExecutorConfig::new()
+                .threads(1)
+                .plan_cache(PlanCacheMode::Private),
+            ..ServerConfig::default()
+        });
+        // Forced dense: auto would pick tableau for a Clifford circuit
+        // and the trajectory path never consults the plan cache.
+        for seed in [1, 2] {
+            let line = format!(
+                "{{\"op\":\"submit\",\"source\":{},\"shots\":64,\"seed\":{seed},\
+                 \"backend\":\"dense\"}}",
+                Json::Str(BELL.to_string()).encode()
+            );
+            let reply = parse(&server.handle_line(&line));
+            let id = reply.get("job").unwrap().as_u64().unwrap();
+            server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}"));
+        }
+        let stats = parse(&server.handle_line("{\"op\":\"stats\"}"));
+        // Same circuit twice: one compile (miss), one plan-cache hit.
+        assert_eq!(stats.get("plan_cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("plan_cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("plan_cache_len").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("plan_cache_evictions").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn metrics_op_returns_a_registry_snapshot() {
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let reply = parse(&server.handle_line(&submit_line(64, 71)));
+        let id = reply.get("job").unwrap().as_u64().unwrap();
+        server.handle_line(&format!("{{\"op\":\"result\",\"job\":{id},\"wait\":true}}"));
+        let snapshot = parse(&server.handle_line("{\"op\":\"metrics\"}"));
+        assert_eq!(snapshot.get("ok"), Some(&Json::Bool(true)));
+        let metrics = snapshot.get("metrics").unwrap().as_obj().unwrap();
+        // The registry is process-wide, so concurrent tests may have
+        // added more — assert presence and a lower bound, not equality.
+        let executed = metrics.get("serve.executed").unwrap().as_u64().unwrap();
+        assert!(executed >= 1, "serve.executed = {executed}");
+        let submit_us = metrics.get("serve.submit_us").unwrap();
+        assert!(submit_us.get("count").unwrap().as_u64().unwrap() >= 1);
+        assert!(metrics.contains_key("exec.jobs"), "{metrics:?}");
     }
 
     #[test]

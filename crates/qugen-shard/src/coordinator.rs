@@ -18,14 +18,70 @@
 use crate::error::{ShardError, MAX_ATTEMPTS};
 use crate::proto::{FromWorker, ToWorker};
 use crate::workload::{ShardReport, WorkloadSpec};
+use qugen_telemetry::metrics::{self as tmetrics, Counter, Histogram};
+use qugen_telemetry::trace;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::{mpsc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Registry handles for the shard layer, interned once.
+struct ShardMetrics {
+    ranges: &'static Counter,
+    requeues: &'static Counter,
+    range_us: &'static Histogram,
+}
+
+fn shard_metrics() -> &'static ShardMetrics {
+    static METRICS: OnceLock<ShardMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ShardMetrics {
+        ranges: tmetrics::counter("shard.ranges"),
+        requeues: tmetrics::counter("shard.requeues"),
+        range_us: tmetrics::histogram("shard.range_us"),
+    })
+}
+
+/// One worker's share of a sharded run (supervisor-side timing, so a
+/// range's duration includes the pipe round trip, not just compute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker rank (index into the spawned pool).
+    pub rank: usize,
+    /// Ranges this worker completed.
+    pub ranges: u64,
+    /// Total µs this worker spent on completed ranges.
+    pub total_us: u64,
+}
+
+/// Timing and fault telemetry for one sharded run — the coordinator's
+/// view of load balance: `max_range_us` names the straggler cost and
+/// `requeues` the fault-recovery churn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Ranges completed (counting duplicates from requeued attempts).
+    pub ranges: u64,
+    /// Assignments put back after a worker died or missed its deadline.
+    pub requeues: u64,
+    /// Fastest completed range, µs (0 when nothing completed).
+    pub min_range_us: u64,
+    /// Slowest completed range, µs — the straggler.
+    pub max_range_us: u64,
+    /// Per-rank completion counts and cumulative time.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// Run-local accumulator behind one mutex; supervisors touch it once per
+/// range, so contention is nil next to the process pipes.
+struct StatsAccum {
+    requeues: u64,
+    min_range_us: u64,
+    max_range_us: u64,
+    per_worker: Vec<WorkerStats>,
+}
 
 /// How a sharded run is shaped.
 #[derive(Debug, Clone)]
@@ -74,6 +130,7 @@ struct Shared {
     slots: Vec<Mutex<Option<Vec<Vec<u64>>>>>,
     remaining: AtomicUsize,
     error: Mutex<Option<ShardError>>,
+    stats: Mutex<StatsAccum>,
 }
 
 impl Shared {
@@ -152,7 +209,30 @@ impl Shared {
                 range_id: a.range_id,
                 attempt: a.attempt + 1,
             });
+        shard_metrics().requeues.inc();
+        self.stats.lock().expect("stats poisoned").requeues += 1;
+        trace::event(
+            "shard",
+            "requeue",
+            &[
+                ("range_id", a.range_id as i128),
+                ("attempt", (a.attempt + 1) as i128),
+            ],
+        );
         self.wake.notify_all();
+    }
+
+    /// Records one completed range's supervisor-side duration for `rank`.
+    fn record_range(&self, rank: usize, dur_us: u64) {
+        let m = shard_metrics();
+        m.ranges.inc();
+        m.range_us.record(dur_us);
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.min_range_us = stats.min_range_us.min(dur_us);
+        stats.max_range_us = stats.max_range_us.max(dur_us);
+        let w = &mut stats.per_worker[rank];
+        w.ranges += 1;
+        w.total_us += dur_us;
     }
 }
 
@@ -249,6 +329,15 @@ impl WorkerHandle {
 fn supervise(rank: usize, worker: &mut WorkerHandle, shared: &Shared, timeout: Duration) {
     while let Some(assignment) = shared.next_assignment() {
         let (start, end) = shared.ranges[assignment.range_id];
+        // The span covers send → compute → recv; failure arms `return`,
+        // so it still emits (without `ok`) when the worker dies mid-range.
+        let span = trace::span("shard", "range")
+            .int("rank", rank as i128)
+            .int("range_id", assignment.range_id as i128)
+            .int("start", start as i128)
+            .int("end", end as i128)
+            .int("attempt", assignment.attempt as i128);
+        let started = Instant::now();
         if worker
             .send(&ToWorker::Range {
                 id: assignment.range_id,
@@ -264,7 +353,10 @@ fn supervise(rank: usize, worker: &mut WorkerHandle, shared: &Shared, timeout: D
         }
         match worker.recv(timeout) {
             Ok(FromWorker::Rows { id, rows }) if id == assignment.range_id => {
+                let dur_us = started.elapsed().as_micros() as u64;
                 shared.complete(id, rows);
+                shared.record_range(rank, dur_us);
+                span.int("ok", 1).finish();
             }
             Ok(FromWorker::Rows { id, .. }) => {
                 worker.kill();
@@ -307,6 +399,21 @@ fn supervise(rank: usize, worker: &mut WorkerHandle, shared: &Shared, timeout: D
 /// completion order — sharding here is a throughput lever, never an
 /// accuracy trade.
 pub fn run_sharded(spec: &WorkloadSpec, config: &ShardConfig) -> Result<ShardReport, ShardError> {
+    run_sharded_with_stats(spec, config).map(|(report, _)| report)
+}
+
+/// [`run_sharded`] plus the run's [`ShardStats`]: per-worker range
+/// counts and cumulative time, requeue churn, and the straggler
+/// (min/max completed-range duration). The report half is identical to
+/// what [`run_sharded`] returns.
+///
+/// # Errors
+///
+/// Exactly [`run_sharded`]'s — a failed run yields no stats.
+pub fn run_sharded_with_stats(
+    spec: &WorkloadSpec,
+    config: &ShardConfig,
+) -> Result<(ShardReport, ShardStats), ShardError> {
     spec.validate()?;
     let ranges = qeval::report::partition_ranges(spec.units(), config.range_size);
     let workers = config.workers.max(1).min(ranges.len().max(1));
@@ -326,6 +433,18 @@ pub fn run_sharded(spec: &WorkloadSpec, config: &ShardConfig) -> Result<ShardRep
         slots: ranges.iter().map(|_| Mutex::new(None)).collect(),
         remaining: AtomicUsize::new(ranges.len()),
         error: Mutex::new(None),
+        stats: Mutex::new(StatsAccum {
+            requeues: 0,
+            min_range_us: u64::MAX,
+            max_range_us: 0,
+            per_worker: (0..workers)
+                .map(|rank| WorkerStats {
+                    rank,
+                    ranges: 0,
+                    total_us: 0,
+                })
+                .collect(),
+        }),
         ranges,
     };
 
@@ -367,5 +486,17 @@ pub fn run_sharded(spec: &WorkloadSpec, config: &ShardConfig) -> Result<ShardRep
                 .expect("remaining hit zero, so every slot is filled")
         })
         .collect();
-    spec.merge(rows)
+    let accum = shared.stats.into_inner().expect("stats poisoned");
+    let stats = ShardStats {
+        ranges: accum.per_worker.iter().map(|w| w.ranges).sum(),
+        requeues: accum.requeues,
+        min_range_us: if accum.min_range_us == u64::MAX {
+            0
+        } else {
+            accum.min_range_us
+        },
+        max_range_us: accum.max_range_us,
+        per_worker: accum.per_worker,
+    };
+    spec.merge(rows).map(|report| (report, stats))
 }

@@ -34,6 +34,6 @@ pub mod proto;
 pub mod worker;
 pub mod workload;
 
-pub use coordinator::{run_sharded, ShardConfig};
+pub use coordinator::{run_sharded, run_sharded_with_stats, ShardConfig, ShardStats, WorkerStats};
 pub use error::ShardError;
 pub use workload::{ShardReport, Technique, WorkloadSpec};

@@ -8,7 +8,7 @@
 //! qugen-shard --worker --rank 2                          # (internal) worker mode
 //! ```
 
-use qugen_shard::coordinator::{run_sharded, ShardConfig};
+use qugen_shard::coordinator::{run_sharded_with_stats, ShardConfig};
 use qugen_shard::worker::run_worker;
 use qugen_shard::workload::{Technique, WorkloadSpec};
 use std::process::ExitCode;
@@ -116,13 +116,13 @@ fn main() -> ExitCode {
     };
 
     let started = Instant::now();
-    let report = if serial {
-        spec.run_serial()
+    let outcome = if serial {
+        spec.run_serial().map(|report| (report, None))
     } else {
-        run_sharded(&spec, &config)
+        run_sharded_with_stats(&spec, &config).map(|(report, stats)| (report, Some(stats)))
     };
-    let report = match report {
-        Ok(report) => report,
+    let (report, stats) = match outcome {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("qugen-shard: [{}] {e}", e.code());
             return ExitCode::FAILURE;
@@ -131,8 +131,21 @@ fn main() -> ExitCode {
     let elapsed = started.elapsed();
 
     print!("{}", report.render());
+    // The straggler fields (range_min/max) bound per-range skew: a max
+    // far above min names the load-balance cost a smaller --range-size
+    // would claw back.
+    let sharded_fields = match &stats {
+        Some(s) => format!(
+            " ranges={} requeues={} range_min_ms={:.1} range_max_ms={:.1}",
+            s.ranges,
+            s.requeues,
+            s.min_range_us as f64 / 1e3,
+            s.max_range_us as f64 / 1e3,
+        ),
+        None => String::new(),
+    };
     eprintln!(
-        "shard: workload={workload} units={} workers={} range_size={} elapsed={:.1}ms mode={}",
+        "shard: workload={workload} units={} workers={} range_size={} elapsed={:.1}ms mode={}{sharded_fields}",
         spec.units(),
         config.workers,
         config.range_size,

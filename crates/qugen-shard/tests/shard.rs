@@ -8,7 +8,7 @@
 //! which workers die along the way.
 
 use proptest::prelude::*;
-use qugen_shard::coordinator::{run_sharded, ShardConfig};
+use qugen_shard::coordinator::{run_sharded, run_sharded_with_stats, ShardConfig};
 use qugen_shard::workload::{Technique, WorkloadSpec};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -102,16 +102,24 @@ proptest! {
 fn killed_worker_range_is_reassigned_and_merges_identically() {
     let spec = eval_spec(6, 2, 29);
     let reference = spec.run_serial().unwrap();
-    // Rank 1 serves one range, then dies on its second: that range must
-    // be reassigned and the merged report must not change a byte.
+    // Rank 1 dies on its very first range (FAIL_AFTER=0, so the kill
+    // doesn't race the queue draining): that range must be reassigned
+    // and the merged report must not change a byte.
     let mut cfg = config(2, 1);
     cfg.worker_env = vec![
         ("QUGEN_SHARD_FAIL_RANK".into(), "1".into()),
-        ("QUGEN_SHARD_FAIL_AFTER".into(), "1".into()),
+        ("QUGEN_SHARD_FAIL_AFTER".into(), "0".into()),
         ("QUGEN_SHARD_FAIL_MODE".into(), "exit".into()),
     ];
-    let report = run_sharded(&spec, &cfg).unwrap();
+    let (report, stats) = run_sharded_with_stats(&spec, &cfg).unwrap();
     assert_eq!(report.to_json().encode(), reference.to_json().encode());
+    // The death shows up in the run's stats: the reclaimed range was
+    // requeued, every range completed, and the timings are coherent.
+    assert!(stats.requeues >= 1, "{stats:?}");
+    assert!(stats.ranges >= 6, "{stats:?}");
+    assert!(stats.min_range_us <= stats.max_range_us, "{stats:?}");
+    let completed: u64 = stats.per_worker.iter().map(|w| w.ranges).sum();
+    assert_eq!(completed, stats.ranges, "{stats:?}");
 }
 
 #[test]

@@ -1,0 +1,48 @@
+//! Observability for the qugen stack: a process-wide metrics registry and
+//! a lightweight JSON trace-span layer, with no dependencies beyond
+//! [`qugen-wire`](qugen_wire) (itself dependency-free — the workspace is
+//! offline/vendored, so this crate is hand-rolled like the wire codec).
+//!
+//! # The two halves
+//!
+//! * [`metrics`] — named atomic [`Counter`](metrics::Counter)s,
+//!   [`Gauge`](metrics::Gauge)s and fixed-bucket log2
+//!   [`Histogram`](metrics::Histogram)s, interned in one process-wide
+//!   registry. Recording is lock-free (relaxed atomics into preallocated
+//!   bucket arrays) and allocation-free, so instrumentation is safe inside
+//!   the executor's zero-alloc shot loop. A snapshot of every metric is
+//!   available as an exact-integer [`Json`](qugen_wire::Json) object —
+//!   this is what the serve daemon's `metrics` op returns.
+//! * [`trace`] — spans and point events emitted as line-delimited
+//!   exact-integer JSON (the [`qugen-wire`](qugen_wire) codec conventions:
+//!   canonical key order, integers never rendered as floats) to stderr or
+//!   a file when `QUGEN_TRACE` is set.
+//!
+//! # Cost contract
+//!
+//! Both halves are built to be left in production code:
+//!
+//! * **Disabled tracing costs one relaxed atomic load.** When `QUGEN_TRACE`
+//!   is unset, [`trace::span`] and [`trace::event`] check one
+//!   `AtomicU8` with `Ordering::Relaxed` and return inert values — no
+//!   clock read, no allocation, no lock.
+//! * **Disabled metrics cost one relaxed atomic load** per record call
+//!   (`QUGEN_TELEMETRY=0`); enabled metrics add one relaxed `fetch_add`
+//!   (three for a histogram) and never allocate or lock.
+//!
+//! # Environment
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `QUGEN_TELEMETRY` | `0` / `off` / `false` disables metric recording (default: on) |
+//! | `QUGEN_TRACE` | unset / `0`: tracing off; `1` / `stderr`: events to stderr; anything else: append to that file path |
+//!
+//! Both variables are read once, at first use; tests and benches override
+//! them in-process via [`metrics::set_enabled`] and
+//! [`trace::install_capture`].
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{counter, gauge, histogram};
+pub use trace::{event, span};

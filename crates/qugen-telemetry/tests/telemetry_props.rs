@@ -1,0 +1,111 @@
+//! Property tests for the histogram accounting and the trace schema.
+//!
+//! The histogram invariant is the one the `metrics` snapshot consumers
+//! rely on: bucket totals, the observation count, and the running sum
+//! always agree with what was recorded — for any value distribution,
+//! including 0 and `u64::MAX`. The trace property is the schema
+//! contract: every emitted line round-trips through the `qugen-wire`
+//! codec and [`TraceEvent`] byte-for-byte.
+
+use proptest::prelude::*;
+use qugen_telemetry::metrics::{self, bucket_index, Histogram, HISTOGRAM_BUCKETS};
+use qugen_telemetry::trace::{self, TraceEvent};
+use qugen_wire::Json;
+
+proptest! {
+    /// Quiescent histograms balance exactly: the bucket counts sum to
+    /// the number of recorded observations, the sum is the (wrapping)
+    /// total of the values, and every value's bit-length bucket is
+    /// occupied.
+    #[test]
+    fn histogram_buckets_balance_recorded_observations(
+        values in prop::collection::vec(0u64..=u64::MAX, 0..256)
+    ) {
+        metrics::set_enabled(true);
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(
+            snap.sum,
+            values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+        );
+        for &v in &values {
+            prop_assert!(snap.buckets[bucket_index(v)] >= 1, "value {v} left its bucket empty");
+        }
+    }
+
+    /// `bucket_index` is total, bounded, and monotone: larger values
+    /// never land in a smaller bucket, and a bucket's range is exactly
+    /// one bit length.
+    #[test]
+    fn bucket_index_is_bounded_and_monotone(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(hi) < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        if lo > 0 {
+            let i = bucket_index(lo);
+            prop_assert!(lo >= 1u64 << (i - 1), "value {lo} below bucket {i}'s floor");
+        }
+    }
+
+    /// A [`TraceEvent`] built from arbitrary fields survives
+    /// typed → JSON → bytes → JSON → typed unchanged, and the two byte
+    /// renderings are identical (the canonical-encoding contract).
+    #[test]
+    fn trace_events_round_trip_through_the_codec(
+        kind in 0u8..=1,
+        pid in 0u32..=u32::MAX,
+        ts_us in 0u64..=u64::MAX,
+        dur_us in 0u64..=u64::MAX,
+        shots in i64::MIN..=i64::MAX,
+    ) {
+        let is_span = kind == 1;
+        let event = TraceEvent {
+            is_span,
+            layer: "executor".to_string(),
+            name: "job".to_string(),
+            pid,
+            ts_us,
+            // Events never carry a duration; spans always do.
+            dur_us: is_span.then_some(dur_us),
+            ints: vec![("shots".to_string(), shots as i128)],
+            labels: vec![("backend".to_string(), "dense".to_string())],
+        };
+        let encoded = event.to_json().encode();
+        let reparsed = Json::parse(&encoded).expect("canonical encoding parses");
+        let decoded = TraceEvent::from_json(&reparsed).expect("schema accepts its own output");
+        prop_assert_eq!(&decoded, &event);
+        prop_assert_eq!(decoded.to_json().encode(), encoded);
+    }
+}
+
+/// The live emitters honor the same contract as hand-built events: each
+/// captured line parses, matches the schema, and re-encodes to the same
+/// bytes.
+#[test]
+fn emitted_lines_round_trip_byte_for_byte() {
+    let buffer = trace::install_capture();
+    {
+        let _span = trace::span("executor", "job")
+            .label("backend", "mps")
+            .int("shots", 4096)
+            .int("chunks", 4);
+    }
+    trace::event("shard", "requeue", &[("range_id", 7), ("attempt", 1)]);
+    trace::disable();
+    let lines = buffer.lock().unwrap().clone();
+    assert_eq!(lines.len(), 2);
+    for line in &lines {
+        let parsed = Json::parse(line).expect("trace line is valid JSON");
+        let event = TraceEvent::from_json(&parsed).expect("trace line matches the schema");
+        assert_eq!(
+            event.to_json().encode(),
+            *line,
+            "round-trip changed the bytes"
+        );
+    }
+}
