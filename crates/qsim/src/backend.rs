@@ -126,7 +126,7 @@ pub enum SimError {
     /// An MPS run truncated more than the executor's budget allows: the
     /// produced counts would come from a state whose fidelity loss can
     /// exceed what the caller accepted. Raise the bond dimension, raise
-    /// the budget ([`crate::exec::Executor::with_truncation_budget`]), or
+    /// the budget ([`crate::exec::ExecutorConfig::truncation_budget`]), or
     /// use an exact engine.
     TruncationBudgetExceeded {
         /// The bond-dimension bound the run used.

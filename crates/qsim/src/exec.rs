@@ -17,6 +17,7 @@ use crate::job::JobSpec;
 use crate::mps::{MpsSampler, MpsState};
 use crate::noise::NoiseModel;
 use crate::plan::{self, CircuitPlan, PlanCache, PlanCacheStats};
+use crate::replay::NoisyPlan;
 use crate::state::StateVector;
 use crate::word::OutcomeWord;
 use qcir::circuit::{Circuit, Op};
@@ -300,43 +301,6 @@ impl Executor {
         ExecutorConfig::new().noise(noise).build()
     }
 
-    /// Overrides the automatic backend dispatch.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure through `ExecutorConfig` (e.g. \
-                `ExecutorConfig::new().backend(..).build()`) or pin it per \
-                job with `JobSpec::with_backend`"
-    )]
-    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
-        self.config.backend = backend;
-        self
-    }
-
-    /// Sets the worker-thread count for shot execution (clamped to ≥ 1).
-    /// Results are independent of this setting; see the module docs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure through `ExecutorConfig` (e.g. \
-                `ExecutorConfig::new().threads(..).build()`)"
-    )]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.config.threads = threads.max(1);
-        self
-    }
-
-    /// Sets the MPS truncation budget (see
-    /// [`ExecutorConfig::truncation_budget`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure through `ExecutorConfig` (e.g. \
-                `ExecutorConfig::new().truncation_budget(..).build()`) or \
-                pin it per job with `JobSpec::with_budget`"
-    )]
-    pub fn with_truncation_budget(mut self, budget: f64) -> Self {
-        self.config.truncation_budget = budget;
-        self
-    }
-
     /// The active configuration.
     pub fn config(&self) -> &ExecutorConfig {
         &self.config
@@ -362,24 +326,21 @@ impl Executor {
         self.config.truncation_budget
     }
 
-    /// Detaches this executor from the process-wide plan cache and gives it
-    /// a private one.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure through `ExecutorConfig` (e.g. \
-                `ExecutorConfig::new().plan_cache(PlanCacheMode::Private).build()`)"
-    )]
-    pub fn with_private_plan_cache(mut self) -> Self {
-        self.plan_cache = Arc::new(Mutex::new(PlanCache::new(self.config.plan_cache_capacity)));
-        self
-    }
-
     /// The cached compiled plan for `circuit` (compiling on first sight).
     pub fn plan_for(&self, circuit: &Circuit) -> Arc<CircuitPlan> {
         self.plan_cache
             .lock()
             .expect("plan cache poisoned")
             .get_or_compile(circuit)
+    }
+
+    /// The cached noisy replay plan for `circuit` under this executor's
+    /// noise model (compiling on first sight).
+    fn noisy_plan_for(&self, circuit: &Circuit) -> Arc<NoisyPlan> {
+        self.plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get_or_compile_noisy(circuit, &self.config.noise)
     }
 
     /// A snapshot of this executor's plan cache counters. With
@@ -545,6 +506,22 @@ impl Executor {
                                     &mut rng,
                                 )
                             }
+                            BatchPlan::NoisyReplay { plan } => {
+                                let ctx = states[t].get_or_insert_with(|| {
+                                    WorkerCtx::Dense(StateVector::zero(plan.num_qubits()))
+                                });
+                                let WorkerCtx::Dense(sv) = ctx else {
+                                    unreachable!("replay tasks only build dense contexts")
+                                };
+                                noisy_replay_chunk(
+                                    plan,
+                                    &self.config.noise,
+                                    sv,
+                                    task.num_clbits,
+                                    chunk_shots,
+                                    &mut rng,
+                                )
+                            }
                             BatchPlan::Trajectory { kind, circuit } => {
                                 let ctx = states[t].get_or_insert_with(|| {
                                     WorkerCtx::Engine(
@@ -656,10 +633,17 @@ impl Executor {
             // Noiseless dense circuits with mid-circuit measurement,
             // conditionals or resets: per-shot trajectories, but driven by
             // the cached fused plan instead of per-gate classification.
-            // (Noisy runs stay on the unfused path: noise channels attach
-            // per gate, which fusion would reassociate.)
             BackendKind::Dense if !self.config.noise.is_noisy() => BatchPlan::PlannedTrajectory {
                 plan: self.plan_for(circuit),
+            },
+            // Noisy dense circuits: gate kernels are precompiled once into
+            // segments split at the live noise attachment sites and
+            // replayed per shot — bit-identical (state, clbits, RNG
+            // stream) to per-gate dispatch, minus the per-shot
+            // classification cost. Fusion would reassociate the noise
+            // channels, so this path precompiles dispatch, not algebra.
+            BackendKind::Dense => BatchPlan::NoisyReplay {
+                plan: self.noisy_plan_for(circuit),
             },
             // Basis words are multi-word `OutcomeWord`s, so measure-at-end
             // MPS circuits keep the O(n·χ²)-per-shot sampling fast path at
@@ -717,6 +701,24 @@ impl Executor {
                 || StateVector::zero(plan.num_qubits()),
                 |sv, chunk_shots, rng| {
                     plan_trajectory_chunk(plan, sv, task.num_clbits, chunk_shots, rng)
+                },
+                |_| {},
+                &AtomicBool::new(false),
+            )),
+            BatchPlan::NoisyReplay { plan } => Ok(self.chunked_counts(
+                task.num_clbits,
+                task.shots,
+                task.seed,
+                || StateVector::zero(plan.num_qubits()),
+                |sv, chunk_shots, rng| {
+                    noisy_replay_chunk(
+                        plan,
+                        &self.config.noise,
+                        sv,
+                        task.num_clbits,
+                        chunk_shots,
+                        rng,
+                    )
                 },
                 |_| {},
                 &AtomicBool::new(false),
@@ -1082,6 +1084,10 @@ enum BatchPlan<'c> {
     /// mid-circuit measurement/conditionals/resets. Each worker lazily
     /// builds its own state vector; the plan itself is shared read-only.
     PlannedTrajectory { plan: Arc<CircuitPlan> },
+    /// Monte-Carlo path on a noisy replay plan: dense circuits under a
+    /// noisy model replay precompiled kernel segments between noise
+    /// insertion points, bit-identical to per-gate dispatch.
+    NoisyReplay { plan: Arc<NoisyPlan> },
     /// Monte-Carlo path: each worker lazily builds its own state per task.
     Trajectory {
         kind: BackendKind,
@@ -1166,6 +1172,27 @@ fn plan_trajectory_chunk(
     let mut word = OutcomeWord::zero();
     for _ in 0..chunk_shots {
         plan.run_trajectory(sv, rng, &mut word);
+        counts.record_word(&word);
+    }
+    counts
+}
+
+/// One chunk of noisy replay trajectories on a reusable state vector: the
+/// precompiled twin of the per-gate `trajectory_chunk`, sharing its RNG
+/// consumption order exactly (see [`crate::replay`] for the bit-identity
+/// contract).
+fn noisy_replay_chunk(
+    plan: &NoisyPlan,
+    noise: &NoiseModel,
+    sv: &mut StateVector,
+    num_clbits: usize,
+    chunk_shots: u64,
+    rng: &mut StdRng,
+) -> Counts {
+    let mut counts = Counts::new(num_clbits);
+    let mut word = OutcomeWord::zero();
+    for _ in 0..chunk_shots {
+        plan.run_trajectory(sv, noise, rng, &mut word);
         counts.record_word(&word);
     }
     counts
@@ -1308,7 +1335,7 @@ mod tests {
             .try_run(&qc, 4000, 1)
             .unwrap()
             .to_distribution();
-        // Force the trajectory path with a zero-rate "noisy" model.
+        // Force the noisy replay path with a zero-rate "noisy" model.
         let mut zero = NoiseModel::uniform_depolarizing(0.0);
         zero.idle_error = 0.0;
         zero.readout_error = 1e-300; // non-zero flag, negligible effect
@@ -1660,8 +1687,8 @@ mod tests {
     fn planned_trajectories_match_the_unfused_engine_path() {
         // Noiseless dense with mid-circuit measurement: runs on the
         // plan-driven trajectory path. A zero-rate "noisy" model forces the
-        // same circuit down the unfused per-gate path; the distributions
-        // must agree.
+        // same circuit down the unfused noisy replay path; the
+        // distributions must agree.
         let mut qc = Circuit::new(3, 3);
         qc.h(0).t(0).measure(0, 0);
         qc.cond_gate(Gate::X, &[1], 0, true);
@@ -1846,27 +1873,57 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_still_configure_the_executor() {
-        // The one-release migration path: the old chained builders must
-        // keep behaving exactly like the typed config they shim onto.
-        let exec = Executor::ideal()
-            .with_backend(BackendChoice::Tableau)
-            .with_threads(3)
-            .with_truncation_budget(0.25)
-            .with_private_plan_cache();
-        assert_eq!(exec.backend_choice(), BackendChoice::Tableau);
-        assert_eq!(exec.threads(), 3);
-        assert_eq!(exec.truncation_budget(), 0.25);
-        let shimmed = exec.try_run(&bell(), 2000, 9).unwrap();
-        let typed = ExecutorConfig::new()
-            .backend(BackendChoice::Tableau)
-            .threads(3)
-            .truncation_budget(0.25)
-            .plan_cache(PlanCacheMode::Private)
+    fn noisy_replay_matches_per_gate_dispatch_across_thread_counts() {
+        // The noisy dense path replays precompiled kernel segments; this
+        // pins its counts bit-identically to a hand-rolled per-gate
+        // reference that replicates the old dispatch loop (same chunk
+        // partition, same derived seeds, same RNG consumption order).
+        let mut c = Circuit::new(3, 3);
+        c.h(0).cx(0, 1).t(1).rz(0.4, 2).barrier_all();
+        c.swap(1, 2).ccx(0, 1, 2).measure(0, 0);
+        c.cond_gate(Gate::X, &[2], 0, true);
+        c.reset(0);
+        c.h(0).cz(0, 2).measure(1, 1).measure(2, 2);
+
+        let mut noise = NoiseModel::ideal();
+        noise.one_qubit_depol = 0.02;
+        noise.two_qubit_depol = 0.05;
+        noise.idle_error = 0.01;
+        noise.readout_error = 0.03;
+
+        let shots = 3 * SHOT_CHUNK + 17; // force multiple chunks + a ragged tail
+        let seed = 0xD15EA5E;
+
+        // Per-gate reference: the same chunk partition and seed derivation
+        // the executor uses, but each trajectory dispatched gate by gate.
+        let reference_exec = ExecutorConfig::new().noise(noise.clone()).build();
+        let mut expected = Counts::new(c.num_clbits());
+        let chunks = shots.div_ceil(SHOT_CHUNK);
+        let mut state = BackendKind::Dense
             .build()
-            .try_run(&bell(), 2000, 9)
-            .unwrap();
-        assert_eq!(shimmed, typed);
+            .init(c.num_qubits())
+            .expect("3 qubits fit the dense backend");
+        let mut word = OutcomeWord::zero();
+        for chunk in 0..chunks {
+            let chunk_shots = (shots - chunk * SHOT_CHUNK).min(SHOT_CHUNK);
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, chunk));
+            for _ in 0..chunk_shots {
+                reference_exec.trajectory(&c, state.as_mut(), &mut rng, &mut word);
+                expected.record_word(&word);
+            }
+        }
+
+        for threads in [1usize, 4] {
+            let counts = ExecutorConfig::new()
+                .noise(noise.clone())
+                .threads(threads)
+                .build()
+                .try_run(&c, shots, seed)
+                .unwrap();
+            assert_eq!(
+                counts, expected,
+                "noisy replay must be bit-identical at {threads} thread(s)"
+            );
+        }
     }
 }

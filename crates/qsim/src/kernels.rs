@@ -28,15 +28,21 @@ use qcir::math::{Matrix, C64};
 use qugen_telemetry::metrics::{self, Counter};
 use std::sync::OnceLock;
 
-/// Interned dispatch-tier counters for the two runtime-dispatched kernels:
-/// how many [`apply_1q`] / [`apply_dense2`] calls took the AVX2+FMA path
-/// vs the portable scalar fallback. One relaxed `fetch_add` per kernel
+/// Interned dispatch-tier counters for the runtime-dispatched kernels:
+/// how many calls of each vectorizable kernel took the AVX2+FMA path vs
+/// the portable scalar fallback. One relaxed `fetch_add` per kernel
 /// call — amortized over the `2^n`-amplitude sweep each call performs.
 struct TierCounters {
     butterfly1_avx2: &'static Counter,
     butterfly1_scalar: &'static Counter,
     dense2_avx2: &'static Counter,
     dense2_scalar: &'static Counter,
+    diag1_avx2: &'static Counter,
+    diag1_scalar: &'static Counter,
+    diag2_avx2: &'static Counter,
+    diag2_scalar: &'static Counter,
+    dense3_avx2: &'static Counter,
+    dense3_scalar: &'static Counter,
 }
 
 fn tiers() -> &'static TierCounters {
@@ -46,7 +52,27 @@ fn tiers() -> &'static TierCounters {
         butterfly1_scalar: metrics::counter("kernels.butterfly1_scalar"),
         dense2_avx2: metrics::counter("kernels.dense2_avx2"),
         dense2_scalar: metrics::counter("kernels.dense2_scalar"),
+        diag1_avx2: metrics::counter("kernels.diag1_avx2"),
+        diag1_scalar: metrics::counter("kernels.diag1_scalar"),
+        diag2_avx2: metrics::counter("kernels.diag2_avx2"),
+        diag2_scalar: metrics::counter("kernels.diag2_scalar"),
+        dense3_avx2: metrics::counter("kernels.dense3_avx2"),
+        dense3_scalar: metrics::counter("kernels.dense3_scalar"),
     })
+}
+
+/// Whether the runtime-dispatched AVX2+FMA tier is active on this host.
+/// Other modules (the MPS theta contraction) consult this once per
+/// contraction to pick their own tier counter; always `false` off x86-64.
+pub fn avx2_fma_active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        simd::avx2_fma_available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }
 
 /// Returns `x` with a zero bit inserted at position `bit`: bits below `bit`
@@ -116,11 +142,27 @@ pub fn apply_1q(amps: &mut [C64], qubit: usize, m: &[C64; 4]) {
 /// Multiplies the `|0>` / `|1>` components of `qubit` by `d0` / `d1`.
 ///
 /// When `d0 == 1` (Z, S, T, P, ...) only the set-bit half of the vector is
-/// touched. Like [`apply_1q`], the half scans run in explicit 2-wide lane
-/// chunks for autovectorization.
+/// touched. On x86-64 with runtime-detected AVX2+FMA each half scan runs
+/// as packed two-amplitude complex products (same dispatch shape as
+/// [`apply_1q`]); the scalar loops below — explicit 2-wide lane chunks for
+/// autovectorization — remain the portable fallback.
 pub fn apply_diag1(amps: &mut [C64], qubit: usize, d0: C64, d1: C64) {
     let step = 1usize << qubit;
     let phase_only = d0 == C64::ONE;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        tiers().diag1_avx2.inc();
+        // SAFETY: gated on runtime AVX2+FMA detection.
+        unsafe {
+            if step >= 2 {
+                simd::diag1_lanes_avx(amps, step, d0, d1, phase_only);
+            } else {
+                simd::scale_pairs_avx(amps, d0, d1);
+            }
+        }
+        return;
+    }
+    tiers().diag1_scalar.inc();
     if step == 1 {
         let mut quads = amps.chunks_exact_mut(4);
         for quad in &mut quads {
@@ -246,17 +288,96 @@ pub fn apply_dense2(amps: &mut [C64], hi: usize, lo: usize, m: &[C64; 16]) {
 /// `d[0..4]` (`d[(hi_bit << 1) | lo_bit]`), skipping quarters whose factor
 /// is exactly 1 — so a fused CZ/CP-style block still touches only the
 /// quarter it phases.
+///
+/// Like [`apply_dense2`], the sweep walks the two qubit strides so every
+/// quarter is visited as contiguous runs (streaming access instead of the
+/// gathered four-index hops the naive formulation does), and on x86-64
+/// with runtime-detected AVX2+FMA each run is scaled as packed
+/// two-amplitude complex products.
 pub fn apply_diag2(amps: &mut [C64], hi: usize, lo: usize, d: &[C64; 4]) {
     debug_assert_ne!(hi, lo);
-    let hbit = 1usize << hi;
-    let lbit = 1usize << lo;
-    let (b0, b1) = sort2(hi, lo);
-    let offsets = [0, lbit, hbit, hbit | lbit];
-    for c in 0..amps.len() >> 2 {
-        let base = insert_zero_bit(insert_zero_bit(c, b0), b1);
-        for (factor, off) in d.iter().zip(offsets) {
-            if *factor != C64::ONE {
-                amps[base | off] *= *factor;
+    // Orient the diagonal so index bit 1 is the *higher* qubit position
+    // (exact entry permutation, mirroring apply_dense2).
+    let mut oriented = *d;
+    if hi < lo {
+        for (k, &dk) in d.iter().enumerate() {
+            oriented[swap_bits2(k)] = dk;
+        }
+    }
+    let d = &oriented;
+    let (qlow, qhigh) = sort2(hi, lo);
+    let s = 1usize << qlow;
+    let t = 1usize << qhigh;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        tiers().diag2_avx2.inc();
+        // SAFETY: gated on runtime AVX2+FMA detection.
+        unsafe {
+            if s >= 2 {
+                simd::diag2_lanes_avx(amps, s, t, d);
+            } else {
+                simd::diag2_tiles_avx(amps, t, d);
+            }
+        }
+        return;
+    }
+    tiers().diag2_scalar.inc();
+    let skip = [
+        d[0] == C64::ONE,
+        d[1] == C64::ONE,
+        d[2] == C64::ONE,
+        d[3] == C64::ONE,
+    ];
+    if s == 1 {
+        // Adjacent pairs: quarters interleave as (even, odd) lanes of each
+        // half, so the factor pair is applied per 2-amplitude tile.
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            for pair in lo_half.chunks_exact_mut(2) {
+                if !skip[0] {
+                    pair[0] *= d[0];
+                }
+                if !skip[1] {
+                    pair[1] *= d[1];
+                }
+            }
+            for pair in hi_half.chunks_exact_mut(2) {
+                if !skip[2] {
+                    pair[0] *= d[2];
+                }
+                if !skip[3] {
+                    pair[1] *= d[3];
+                }
+            }
+        }
+        return;
+    }
+    for block in amps.chunks_exact_mut(t << 1) {
+        let (lo_half, hi_half) = block.split_at_mut(t);
+        for sub in lo_half.chunks_exact_mut(s << 1) {
+            let (a0, a1) = sub.split_at_mut(s);
+            if !skip[0] {
+                for a in a0 {
+                    *a *= d[0];
+                }
+            }
+            if !skip[1] {
+                for a in a1 {
+                    *a *= d[1];
+                }
+            }
+        }
+        for sub in hi_half.chunks_exact_mut(s << 1) {
+            let (a2, a3) = sub.split_at_mut(s);
+            if !skip[2] {
+                for a in a2 {
+                    *a *= d[2];
+                }
+            }
+            if !skip[3] {
+                for a in a3 {
+                    *a *= d[3];
+                }
             }
         }
     }
@@ -321,25 +442,61 @@ pub fn apply_controlled_diag1(amps: &mut [C64], control: usize, target: usize, d
 }
 
 /// CX: swaps the target pair where `control` is set (index permutation).
+///
+/// The walk is structured as a stride nest so every exchanged run is
+/// contiguous (`swap_with_slice` over whole subruns, which lowers to block
+/// memory moves) instead of the per-index gathered `swap` the naive
+/// formulation does. A permutation needs no arithmetic, so there is no
+/// vectorized tier — the block moves already saturate memory bandwidth.
 pub fn apply_cx(amps: &mut [C64], control: usize, target: usize) {
-    let cbit = 1usize << control;
-    let tbit = 1usize << target;
-    let (lo, hi) = sort2(control, target);
-    for c in 0..amps.len() >> 2 {
-        let base = insert_zero_bit(insert_zero_bit(c, lo), hi);
-        amps.swap(base | cbit, base | cbit | tbit);
+    let (qlow, qhigh) = sort2(control, target);
+    let s = 1usize << qlow;
+    let t = 1usize << qhigh;
+    if control > target {
+        // Control is the outer stride: the whole upper half of each block
+        // swaps its target subrun pairs.
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (_, hi_half) = block.split_at_mut(t);
+            for sub in hi_half.chunks_exact_mut(s << 1) {
+                let (t0, t1) = sub.split_at_mut(s);
+                t0.swap_with_slice(t1);
+            }
+        }
+    } else {
+        // Control is the inner stride: control-set subruns of the two
+        // target halves exchange.
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            for (ls, hs) in lo_half
+                .chunks_exact_mut(s << 1)
+                .zip(hi_half.chunks_exact_mut(s << 1))
+            {
+                let (_, l1) = ls.split_at_mut(s);
+                let (_, h1) = hs.split_at_mut(s);
+                l1.swap_with_slice(h1);
+            }
+        }
     }
 }
 
 /// SWAP: exchanges the amplitudes of `a` and `b` (index permutation over the
-/// `01`/`10` pairs).
+/// `01`/`10` pairs). Streaming stride nest like [`apply_cx`]: the `01`
+/// subruns of the upper half exchange with the `10` subruns of the lower
+/// half as contiguous block moves.
 pub fn apply_swap(amps: &mut [C64], a: usize, b: usize) {
-    let abit = 1usize << a;
-    let bbit = 1usize << b;
-    let (lo, hi) = sort2(a, b);
-    for c in 0..amps.len() >> 2 {
-        let base = insert_zero_bit(insert_zero_bit(c, lo), hi);
-        amps.swap(base | abit, base | bbit);
+    let (qlow, qhigh) = sort2(a, b);
+    let s = 1usize << qlow;
+    let t = 1usize << qhigh;
+    for block in amps.chunks_exact_mut(t << 1) {
+        let (lo_half, hi_half) = block.split_at_mut(t);
+        for (ls, hs) in lo_half
+            .chunks_exact_mut(s << 1)
+            .zip(hi_half.chunks_exact_mut(s << 1))
+        {
+            let (_, l1) = ls.split_at_mut(s);
+            let (h0, _) = hs.split_at_mut(s);
+            l1.swap_with_slice(h0);
+        }
     }
 }
 
@@ -364,6 +521,81 @@ pub fn apply_cswap(amps: &mut [C64], control: usize, a: usize, b: usize) {
     for c in 0..amps.len() >> 3 {
         let base = insert_zero_bit(insert_zero_bit(insert_zero_bit(c, b0), b1), b2);
         amps.swap(base | cbit | abit, base | cbit | bbit);
+    }
+}
+
+/// Applies a dense three-qubit unitary (`m` row-major, 8x8) over the
+/// eight-amplitude groups it couples. `q2 > q1 > q0` is required and `q2`
+/// is the most significant matrix bit — the plan layer always builds its
+/// 8x8 superblocks already oriented to the sorted qubit positions.
+///
+/// This is the `Dense3` superblock kernel the compiled-plan fuser emits:
+/// one pass over the state applies what was a run of gates across a qubit
+/// triple, halving sweep count (and therefore memory traffic, the binding
+/// cost now that the arithmetic is vectorized) relative to two `Dense2`
+/// sweeps. On x86-64 with runtime-detected AVX2+FMA the update runs as
+/// packed two-amplitude complex products (lane variant for `q0 >= 1`,
+/// adjacent-pair tile variant for `q0 == 0`); the scalar gather/scatter
+/// loop with zero-entry skipping is the portable fallback.
+///
+/// # Panics
+///
+/// Debug-asserts `q2 > q1 > q0`; the plan compiler guarantees it.
+pub fn apply_dense3(amps: &mut [C64], q2: usize, q1: usize, q0: usize, m: &[C64; 64]) {
+    debug_assert!(q2 > q1 && q1 > q0);
+    let s0 = 1usize << q0;
+    let s1 = 1usize << q1;
+    let s2 = 1usize << q2;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        tiers().dense3_avx2.inc();
+        // SAFETY: gated on runtime AVX2+FMA detection.
+        unsafe {
+            if s0 >= 2 {
+                simd::dense3_lanes_avx(amps, q0, q1, q2, m);
+            } else {
+                simd::dense3_tiles_avx(amps, q1, q2, m);
+            }
+        }
+        return;
+    }
+    tiers().dense3_scalar.inc();
+    let offs = [0, s0, s1, s1 | s0, s2, s2 | s0, s2 | s1, s2 | s1 | s0];
+    for c in 0..amps.len() >> 3 {
+        let base = insert_zero_bit(insert_zero_bit(insert_zero_bit(c, q0), q1), q2);
+        let mut x = [C64::ZERO; 8];
+        for (xi, &off) in x.iter_mut().zip(&offs) {
+            *xi = amps[base | off];
+        }
+        for (row, &off) in offs.iter().enumerate() {
+            let mrow = &m[row * 8..row * 8 + 8];
+            let mut acc = C64::ZERO;
+            // Fused 8x8 blocks are often structurally sparse (permutation
+            // or controlled factors), so skipping exact zeros pays.
+            for (mk, &xk) in mrow.iter().zip(&x) {
+                if *mk != C64::ZERO {
+                    acc += *mk * xk;
+                }
+            }
+            amps[base | off] = acc;
+        }
+    }
+}
+
+/// `dst += scale * src` over complex slices — the axpy inner step of the
+/// MPS two-site theta contraction, runtime-dispatched to AVX2+FMA like the
+/// dense kernels (no per-call tier counter: callers run many axpys per
+/// logical contraction and count once via [`avx2_fma_active`]).
+pub fn axpy(dst: &mut [C64], src: &[C64], scale: C64) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_fma_available() {
+        // SAFETY: gated on runtime AVX2+FMA detection.
+        unsafe { simd::axpy_avx(dst, src, scale) };
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += scale * *s;
     }
 }
 
@@ -667,6 +899,278 @@ mod simd {
             }
         }
     }
+
+    /// Scales a contiguous even-length run by one broadcast complex factor,
+    /// two amplitudes per product. Shared by the diagonal lane kernels.
+    #[inline(always)]
+    unsafe fn scale_run_avx(run: &mut [C64], dr: __m256d, di: __m256d) {
+        for pair in run.chunks_exact_mut(2) {
+            let p = pair.as_mut_ptr().cast::<f64>();
+            let y = _mm256_loadu_pd(p);
+            let ys = _mm256_permute_pd(y, 0b0101);
+            _mm256_storeu_pd(p, cmul2(y, ys, dr, di));
+        }
+    }
+
+    /// Scales adjacent `(even, odd)` amplitude pairs by the packed factor
+    /// pair in `(mr, mi)`, blending the original bits back over any lane
+    /// pair whose factor is exactly 1 so skipped amplitudes stay untouched
+    /// bit for bit (matching the scalar tier's skip semantics).
+    #[inline(always)]
+    unsafe fn scale_pairs_masked(
+        half: &mut [C64],
+        mr: __m256d,
+        mi: __m256d,
+        skip_a: bool,
+        skip_b: bool,
+    ) {
+        for pair in half.chunks_exact_mut(2) {
+            let p = pair.as_mut_ptr().cast::<f64>();
+            let y = _mm256_loadu_pd(p);
+            let ys = _mm256_permute_pd(y, 0b0101);
+            let mut r = cmul2(y, ys, mr, mi);
+            if skip_a {
+                r = _mm256_blend_pd(r, y, 0b0011);
+            } else if skip_b {
+                r = _mm256_blend_pd(r, y, 0b1100);
+            }
+            _mm256_storeu_pd(p, r);
+        }
+    }
+
+    /// The `step == 1` walk of [`super::apply_diag1`]: pairs are adjacent,
+    /// so both diagonal factors ride in one packed vector.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn scale_pairs_avx(amps: &mut [C64], da: C64, db: C64) {
+        let skip_a = da == C64::ONE;
+        let skip_b = db == C64::ONE;
+        if skip_a && skip_b {
+            return;
+        }
+        let mr = _mm256_setr_pd(da.re, da.re, db.re, db.re);
+        let mi = _mm256_setr_pd(da.im, da.im, db.im, db.im);
+        scale_pairs_masked(amps, mr, mi, skip_a, skip_b);
+    }
+
+    /// The `step >= 2` half walk of [`super::apply_diag1`]: each half is a
+    /// contiguous run scaled by one broadcast factor.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn diag1_lanes_avx(
+        amps: &mut [C64],
+        step: usize,
+        d0: C64,
+        d1: C64,
+        phase_only: bool,
+    ) {
+        debug_assert!(step >= 2);
+        let d0r = _mm256_set1_pd(d0.re);
+        let d0i = _mm256_set1_pd(d0.im);
+        let d1r = _mm256_set1_pd(d1.re);
+        let d1i = _mm256_set1_pd(d1.im);
+        for block in amps.chunks_exact_mut(step << 1) {
+            let (lo, hi) = block.split_at_mut(step);
+            if !phase_only {
+                scale_run_avx(lo, d0r, d0i);
+            }
+            scale_run_avx(hi, d1r, d1i);
+        }
+    }
+
+    /// The `s >= 2` stride walk of [`super::apply_diag2`]: every quarter is
+    /// visited as contiguous subruns, each scaled by its broadcast factor;
+    /// exact-1 quarters are skipped whole.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn diag2_lanes_avx(amps: &mut [C64], s: usize, t: usize, d: &[C64; 4]) {
+        debug_assert!(s >= 2);
+        let mut dr = [_mm256_setzero_pd(); 4];
+        let mut di = [_mm256_setzero_pd(); 4];
+        let mut skip = [false; 4];
+        for k in 0..4 {
+            dr[k] = _mm256_set1_pd(d[k].re);
+            di[k] = _mm256_set1_pd(d[k].im);
+            skip[k] = d[k] == C64::ONE;
+        }
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            for sub in lo_half.chunks_exact_mut(s << 1) {
+                let (a0, a1) = sub.split_at_mut(s);
+                if !skip[0] {
+                    scale_run_avx(a0, dr[0], di[0]);
+                }
+                if !skip[1] {
+                    scale_run_avx(a1, dr[1], di[1]);
+                }
+            }
+            for sub in hi_half.chunks_exact_mut(s << 1) {
+                let (a2, a3) = sub.split_at_mut(s);
+                if !skip[2] {
+                    scale_run_avx(a2, dr[2], di[2]);
+                }
+                if !skip[3] {
+                    scale_run_avx(a3, dr[3], di[3]);
+                }
+            }
+        }
+    }
+
+    /// The `s == 1` tile walk of [`super::apply_diag2`]: the low-qubit pair
+    /// interleaves as the `(even, odd)` lanes of each half, so each half is
+    /// scaled by its packed factor pair.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn diag2_tiles_avx(amps: &mut [C64], t: usize, d: &[C64; 4]) {
+        let mr_lo = _mm256_setr_pd(d[0].re, d[0].re, d[1].re, d[1].re);
+        let mi_lo = _mm256_setr_pd(d[0].im, d[0].im, d[1].im, d[1].im);
+        let mr_hi = _mm256_setr_pd(d[2].re, d[2].re, d[3].re, d[3].re);
+        let mi_hi = _mm256_setr_pd(d[2].im, d[2].im, d[3].im, d[3].im);
+        let skip = [
+            d[0] == C64::ONE,
+            d[1] == C64::ONE,
+            d[2] == C64::ONE,
+            d[3] == C64::ONE,
+        ];
+        for block in amps.chunks_exact_mut(t << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(t);
+            if !(skip[0] && skip[1]) {
+                scale_pairs_masked(lo_half, mr_lo, mi_lo, skip[0], skip[1]);
+            }
+            if !(skip[2] && skip[3]) {
+                scale_pairs_masked(hi_half, mr_hi, mi_hi, skip[2], skip[3]);
+            }
+        }
+    }
+
+    /// The `q0 >= 1` walk of [`super::apply_dense3`]: bases advance two at
+    /// a time (the low stride keeps adjacent bases adjacent), so each
+    /// 8-point update runs over two complex amplitudes per vector.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dense3_lanes_avx(
+        amps: &mut [C64],
+        q0: usize,
+        q1: usize,
+        q2: usize,
+        m: &[C64; 64],
+    ) {
+        debug_assert!(q0 >= 1);
+        let s0 = 1usize << q0;
+        let s1 = 1usize << q1;
+        let s2 = 1usize << q2;
+        let mut mr = [_mm256_setzero_pd(); 64];
+        let mut mi = [_mm256_setzero_pd(); 64];
+        for k in 0..64 {
+            mr[k] = _mm256_set1_pd(m[k].re);
+            mi[k] = _mm256_set1_pd(m[k].im);
+        }
+        let offs = [0, s0, s1, s1 | s0, s2, s2 | s0, s2 | s1, s2 | s1 | s0];
+        let ptr = amps.as_mut_ptr();
+        // q0 >= 1 forces at least a 4-qubit state, so the base count is
+        // even and every even base's successor is also a valid base.
+        for c in (0..amps.len() >> 3).step_by(2) {
+            let base = super::insert_zero_bit(
+                super::insert_zero_bit(super::insert_zero_bit(c, q0), q1),
+                q2,
+            );
+            let mut p = [ptr.cast::<f64>(); 8];
+            let mut y = [_mm256_setzero_pd(); 8];
+            let mut ys = [_mm256_setzero_pd(); 8];
+            for k in 0..8 {
+                p[k] = ptr.add(base | offs[k]).cast::<f64>();
+                y[k] = _mm256_loadu_pd(p[k]);
+                ys[k] = _mm256_permute_pd(y[k], 0b0101);
+            }
+            for row in 0..8 {
+                let mut r = cmul2(y[0], ys[0], mr[row * 8], mi[row * 8]);
+                for k in 1..8 {
+                    r = _mm256_add_pd(r, cmul2(y[k], ys[k], mr[row * 8 + k], mi[row * 8 + k]));
+                }
+                _mm256_storeu_pd(p[row], r);
+            }
+        }
+    }
+
+    /// The `q0 == 0` tile walk of [`super::apply_dense3`]: the eight points
+    /// of each update sit as four adjacent pairs, so the 8x8 matrix is
+    /// repacked into row-pair column vectors and each input amplitude is
+    /// broadcast against them (same shape as [`dense2_tiles_avx`]).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dense3_tiles_avx(amps: &mut [C64], q1: usize, q2: usize, m: &[C64; 64]) {
+        let s1 = 1usize << q1;
+        let s2 = 1usize << q2;
+        // col[v][k] packs rows 2v and 2v+1 of column k.
+        let mut col = [[_mm256_setzero_pd(); 8]; 4];
+        for v in 0..4 {
+            for k in 0..8 {
+                col[v][k] = _mm256_setr_pd(
+                    m[2 * v * 8 + k].re,
+                    m[2 * v * 8 + k].im,
+                    m[(2 * v + 1) * 8 + k].re,
+                    m[(2 * v + 1) * 8 + k].im,
+                );
+            }
+        }
+        let col_s = col.map(|row| row.map(|v| _mm256_permute_pd(v, 0b0101)));
+        let offs = [0usize, s1, s2, s2 | s1];
+        let ptr = amps.as_mut_ptr();
+        for c in 0..amps.len() >> 3 {
+            let base = super::insert_zero_bit(super::insert_zero_bit(c << 1, q1), q2);
+            let mut x = [C64::ZERO; 8];
+            for g in 0..4 {
+                x[2 * g] = *ptr.add(base | offs[g]);
+                x[2 * g + 1] = *ptr.add((base | offs[g]) + 1);
+            }
+            for v in 0..4 {
+                let mut r = _mm256_setzero_pd();
+                for k in 0..8 {
+                    let xr = _mm256_set1_pd(x[k].re);
+                    let xi = _mm256_set1_pd(x[k].im);
+                    r = _mm256_add_pd(r, cmul2(col[v][k], col_s[v][k], xr, xi));
+                }
+                _mm256_storeu_pd(ptr.add(base | offs[v]).cast::<f64>(), r);
+            }
+        }
+    }
+
+    /// Packed complex axpy for [`super::axpy`]: `dst += a * src`, two
+    /// amplitudes per product, scalar tail for odd lengths.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2+FMA support at runtime.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn axpy_avx(dst: &mut [C64], src: &[C64], a: C64) {
+        let ar = _mm256_set1_pd(a.re);
+        let ai = _mm256_set1_pd(a.im);
+        let n = dst.len() & !1;
+        let dp = dst.as_mut_ptr().cast::<f64>();
+        let sp = src.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < n {
+            let y = _mm256_loadu_pd(sp.add(2 * i));
+            let ys = _mm256_permute_pd(y, 0b0101);
+            let d = _mm256_loadu_pd(dp.add(2 * i));
+            _mm256_storeu_pd(dp.add(2 * i), _mm256_add_pd(d, cmul2(y, ys, ar, ai)));
+            i += 2;
+        }
+        if n < dst.len() {
+            dst[n] += a * src[n];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -878,6 +1382,56 @@ mod tests {
         let b = reference(&a, &Gate::RZ(0.7).matrix(), &[0]);
         apply_diag1(&mut a, 0, C64::cis(-0.35), C64::cis(0.35));
         assert_close(&a, &b);
+    }
+
+    #[test]
+    fn dense3_kernel_matches_reference_on_all_sorted_triples() {
+        // Structurally sparse (CCX), product-form, and fully dense 8x8
+        // unitaries on every sorted qubit triple of a 5-qubit state — this
+        // covers both the q0 == 0 tile path and the q0 >= 1 lane path.
+        let matrices: Vec<Matrix> = vec![
+            Gate::CCX.matrix(),
+            Gate::H.matrix().kron(&Gate::CX.matrix()),
+            Gate::CRY(0.9)
+                .matrix()
+                .kron(&Gate::U(0.3, -0.8, 1.7).matrix()),
+            Gate::CCX
+                .matrix()
+                .matmul(&Gate::H.matrix().kron(&Gate::CRZ(0.4).matrix())),
+        ];
+        for q2 in 0..5 {
+            for q1 in 0..q2 {
+                for q0 in 0..q1 {
+                    for matrix in &matrices {
+                        let mut m = [C64::ZERO; 64];
+                        for r in 0..8 {
+                            for c in 0..8 {
+                                m[r * 8 + c] = matrix.get(r, c);
+                            }
+                        }
+                        let mut a = test_amps(5);
+                        let b = reference(&a, matrix, &[q2, q1, q0]);
+                        apply_dense3(&mut a, q2, q1, q0, &m);
+                        assert_close(&a, &b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates_like_the_scalar_formula() {
+        for len in [0usize, 1, 2, 3, 8, 17] {
+            let src = test_amps(5)[..len].to_vec();
+            let mut dst = test_amps(5)[5..5 + len].to_vec();
+            let mut want = dst.clone();
+            let a = C64::new(0.37, -1.21);
+            for (w, s) in want.iter_mut().zip(&src) {
+                *w += a * *s;
+            }
+            axpy(&mut dst, &src, a);
+            assert_close(&dst, &want);
+        }
     }
 
     #[test]

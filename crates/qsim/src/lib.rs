@@ -24,13 +24,16 @@
 //! * [`profiles`] — named noise profiles, including the IBM-Brisbane-like
 //!   profile used by the Figure 4 reproduction.
 //! * [`plan`] — the compile step: lowers a circuit once into a fused,
-//!   matrix-precomputed [`plan::CircuitPlan`], cached in a process-wide
-//!   LRU keyed by circuit content hash, so repeated runs skip gate
-//!   classification entirely.
+//!   matrix-precomputed [`plan::CircuitPlan`] (cost-model-gated up to 8×8
+//!   superblocks), cached in a process-wide LRU keyed by circuit content
+//!   hash, so repeated runs skip gate classification entirely.
+//! * [`replay`] — the noisy twin of [`plan`]: per-gate kernels
+//!   precompiled once and replayed in segments between noise insertion
+//!   points, bit-identical to per-gate dispatch.
 //! * [`exec`] — the circuit executor: shot sampling, trajectories,
 //!   conditionals and mid-circuit measurement, driven by cached plans on
-//!   the noiseless dense path. Configured through the typed
-//!   [`exec::ExecutorConfig`].
+//!   both the noiseless and the noisy dense paths. Configured through the
+//!   typed [`exec::ExecutorConfig`].
 //! * [`job`] — the typed job vocabulary ([`job::JobSpec`] /
 //!   [`job::JobStatus`] / [`job::JobResult`]) shared by in-process batch
 //!   calls, the `qugen-serve` daemon and future shard coordinators, with
@@ -67,6 +70,7 @@ pub mod noise;
 pub mod observable;
 pub mod plan;
 pub mod profiles;
+pub mod replay;
 pub mod stabilizer;
 pub mod state;
 pub mod word;

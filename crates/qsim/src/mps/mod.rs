@@ -36,11 +36,31 @@
 
 pub mod svd;
 
+use crate::kernels;
 use crate::noise::Pauli;
 use crate::word::OutcomeWord;
 use qcir::gate::Gate;
 use qcir::math::{Matrix, C64};
+use qugen_telemetry::metrics::{self, Counter};
 use rand::Rng;
+use std::sync::OnceLock;
+
+/// Dispatch-tier counters for the two-site theta contraction: one count
+/// per [`MpsState::apply_two_site`] call (which runs many
+/// [`kernels::axpy`] sweeps), keyed by whether the AVX2+FMA tier is
+/// active on this host.
+struct ThetaTiers {
+    theta_avx2: &'static Counter,
+    theta_scalar: &'static Counter,
+}
+
+fn theta_tiers() -> &'static ThetaTiers {
+    static COUNTERS: OnceLock<ThetaTiers> = OnceLock::new();
+    COUNTERS.get_or_init(|| ThetaTiers {
+        theta_avx2: metrics::counter("mps.theta_avx2"),
+        theta_scalar: metrics::counter("mps.theta_scalar"),
+    })
+}
 
 /// Relative singular-value cutoff: components below `σ_max · REL_CUTOFF`
 /// are numerically-null and always dropped (their weight still counts
@@ -450,7 +470,18 @@ impl MpsState {
 
     /// The core two-site update: contract sites `(i, i+1)` into a block,
     /// apply `u` (row index `s_i·2 + s_{i+1}`), split back by truncated SVD.
+    ///
+    /// Both contraction stages run as contiguous [`kernels::axpy`] sweeps
+    /// over the right bond index `r`, so on x86-64 with AVX2+FMA the inner
+    /// loops take the packed-lane path (one tier count per call, not per
+    /// sweep — see [`theta_tiers`]).
     fn apply_two_site(&mut self, i: usize, u: &[C64; 16]) {
+        let t = theta_tiers();
+        if kernels::avx2_fma_active() {
+            t.theta_avx2.inc();
+        } else {
+            t.theta_scalar.inc();
+        }
         let (dl, dm, dr) = (
             self.tensors[i].dl,
             self.tensors[i].dr,
@@ -471,31 +502,29 @@ impl MpsState {
                         for s2 in 0..2 {
                             let dst = (l * 4 + s1 * 2 + s2) * dr;
                             let src = (k * 2 + s2) * dr;
-                            for r in 0..dr {
-                                theta[dst + r] += av * tb[src + r];
-                            }
+                            kernels::axpy(&mut theta[dst..dst + dr], &tb[src..src + dr], av);
                         }
                     }
                 }
             }
         }
-        // Apply the 4x4 unitary on the physical pair.
+        // Apply the 4x4 unitary on the physical pair: for each output row
+        // `p = s1·2 + s2` the destination `block[(l·2+s1)·cols + s2·dr ..]`
+        // is contiguous over `r`, so each `u[p,q]` term is one axpy sweep.
         let rows = 2 * dl;
         let cols = 2 * dr;
         let mut block = vec![C64::ZERO; rows * cols];
         for l in 0..dl {
-            for r in 0..dr {
-                for p in 0..4 {
-                    let mut acc = C64::ZERO;
-                    for q in 0..4 {
-                        let uv = u[p * 4 + q];
-                        if uv != C64::ZERO {
-                            acc += uv * theta[(l * 4 + q) * dr + r];
-                        }
+            for p in 0..4 {
+                // Reshape to (l, s1) x (s2, r) on the fly.
+                let (s1, s2) = (p >> 1, p & 1);
+                let dst = (l * 2 + s1) * cols + s2 * dr;
+                for q in 0..4 {
+                    let uv = u[p * 4 + q];
+                    if uv != C64::ZERO {
+                        let src = (l * 4 + q) * dr;
+                        kernels::axpy(&mut block[dst..dst + dr], &theta[src..src + dr], uv);
                     }
-                    // Reshape to (l, s1) x (s2, r) on the fly.
-                    let (s1, s2) = (p >> 1, p & 1);
-                    block[(l * 2 + s1) * cols + (s2 * dr + r)] = acc;
                 }
             }
         }

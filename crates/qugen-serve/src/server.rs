@@ -534,6 +534,10 @@ impl Server {
             ("plan_cache_len", Json::Int(plan.len as i128)),
             ("plan_cache_capacity", Json::Int(plan.capacity as i128)),
             (
+                "plan_fusion_declined",
+                Json::Int(plan.fusion_declined as i128),
+            ),
+            (
                 "shutting_down",
                 Json::Bool(inner.shutting_down.load(Ordering::SeqCst)),
             ),
@@ -1073,6 +1077,8 @@ mod tests {
         assert_eq!(stats.get("plan_cache_hits").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("plan_cache_len").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("plan_cache_evictions").unwrap().as_u64(), Some(0));
+        // BELL is a bare Bell pair: nothing for the fuser to decline.
+        assert_eq!(stats.get("plan_fusion_declined").unwrap().as_u64(), Some(0));
     }
 
     #[test]
